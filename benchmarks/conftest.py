@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks run at the ``smoke`` scale so ``pytest benchmarks/
+--benchmark-only`` terminates in minutes; the standalone harness
+(``python -m repro.bench``) regenerates the figures at larger scales.
+Each benchmark prints the paper-style table it produced, so the bench run
+itself documents the reproduced series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.config import SCALES
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return SCALES["smoke"]
+
+
+def _emit(results) -> None:
+    """Print the figure tables produced inside a benchmark."""
+    from repro.bench.reporting import format_table
+
+    for res in results:
+        print()
+        print(format_table(res.title, res.headers, res.rows))
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Fixture handing benchmarks the table printer (avoids importing the
+    benchmarks directory as a package, which plain ``pytest benchmarks/``
+    does not put on sys.path)."""
+    return _emit

@@ -1,0 +1,23 @@
+"""Ablation benchmark: FP's design choices (DESIGN.md §3).
+
+Not a paper figure — this quantifies the individual contributions of FP's
+ingredients: virtual seed points, dominance node pruning, and the optional
+footnote-7 tightening with the Phase-1 region.
+"""
+
+import pytest
+
+from repro.bench.figures import figure_ablation
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_fp_ablation(benchmark, scale, emit):
+    results = benchmark.pedantic(figure_ablation, args=(scale,), rounds=1, iterations=1)
+    emit(results)
+    io = results[0]
+    for row in io.rows:
+        d, default, no_seeds, no_dom, tighten = row
+        # The footnote-7 tightening can only reduce page reads.
+        assert tighten <= default + 1e-9
+        # Disabling dominance pruning can only increase page reads.
+        assert no_dom >= default - 1e-9

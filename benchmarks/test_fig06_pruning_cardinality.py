@@ -1,0 +1,29 @@
+"""Figure 6: pruning effectiveness of SP and CP.
+
+Regenerates the cardinality of the skyline ``SL`` (6a) and of ``SL ∩ CH``
+(6b) versus dimensionality, and asserts the paper's qualitative shape:
+ANTI ≫ IND ≫ COR, and CP's candidate set is a subset of SP's.
+"""
+
+import pytest
+
+from repro.bench.figures import figure_06
+
+
+@pytest.mark.benchmark(group="figure-06")
+def test_figure_06(benchmark, scale, emit):
+    results = benchmark.pedantic(figure_06, args=(scale,), rounds=1, iterations=1)
+    emit(results)
+    sl, ch = results[0], results[1]
+    for row_sl, row_ch in zip(sl.rows, ch.rows):
+        d, ind, cor, anti = row_sl
+        # Paper shape: anti-correlated skylines dwarf correlated ones.
+        assert anti > ind > cor
+        # CP keeps a subset of SP's candidates.
+        for v_sl, v_ch in zip(row_sl[1:], row_ch[1:]):
+            if v_ch == v_ch:  # skip NaN (d above the CP cap)
+                assert v_ch <= v_sl + 1e-9
+    # Skyline width grows with dimensionality (per family).
+    for col in (1, 3):
+        series = [row[col] for row in sl.rows]
+        assert series[-1] > series[0]

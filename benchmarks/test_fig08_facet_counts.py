@@ -1,0 +1,29 @@
+"""Figure 8: FP's pruning effectiveness.
+
+Regenerates the total facet count of ``CH'`` (8a) and the count of facets
+incident to ``p_k`` (8b). The paper's headline: FP needs to maintain only a
+vanishing fraction of the hull.
+"""
+
+import pytest
+
+from repro.bench.figures import figure_08
+
+
+@pytest.mark.benchmark(group="figure-08")
+def test_figure_08(benchmark, scale, emit):
+    results = benchmark.pedantic(figure_08, args=(scale,), rounds=1, iterations=1)
+    emit(results)
+    total, incident = results[0], results[1]
+    for row_all, row_inc in zip(total.rows, incident.rows):
+        d = row_all[0]
+        for fam_idx in range(3):
+            all_facets = row_all[2 + fam_idx]
+            inc_facets = row_inc[1 + 2 * fam_idx]
+            # Incident facets are a small fraction of the full hull's.
+            assert inc_facets <= all_facets
+            if d >= 3:
+                assert inc_facets < 0.5 * all_facets
+    # Incident facet count grows with d (drives Figure 14's volume decay).
+    ind_series = [row[1] for row in incident.rows]
+    assert ind_series[-1] > ind_series[0]

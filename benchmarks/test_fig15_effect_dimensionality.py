@@ -1,0 +1,30 @@
+"""Figure 15: CPU and I/O time of SP/CP/FP versus dimensionality.
+
+The paper's headline comparison: FP outperforms SP and CP in all cases,
+with especially large I/O margins. Charts are per synthetic family.
+"""
+
+import math
+
+import pytest
+
+from repro.bench.figures import figure_15
+
+
+@pytest.mark.benchmark(group="figure-15")
+def test_figure_15(benchmark, scale, emit):
+    results = benchmark.pedantic(figure_15, args=(scale,), rounds=1, iterations=1)
+    emit(results)
+    by_name = {r.figure: r for r in results}
+    for family in ("IND", "ANTI"):
+        io = by_name[f"15-{family}-io"]
+        for row in io.rows:
+            d, cp, sp, fp = row
+            # FP's I/O never exceeds SP/CP's (they share the BBS scan).
+            assert fp <= sp + 1e-9
+        cpu = by_name[f"15-{family}-cpu"]
+        # Aggregate CPU comparison (per-cell noise is possible at smoke
+        # scale; the sums reflect the chart's ordering).
+        total_fp = sum(r[3] for r in cpu.rows)
+        total_sp = sum(r[2] for r in cpu.rows)
+        assert total_fp < total_sp

@@ -1,0 +1,24 @@
+"""Figure 16: effect of dataset cardinality (IND, d=4).
+
+The paper's finding: FP scales much better with n — its I/O advantage over
+SP/CP grows with cardinality.
+"""
+
+import pytest
+
+from repro.bench.figures import figure_16
+
+
+@pytest.mark.benchmark(group="figure-16")
+def test_figure_16(benchmark, scale, emit):
+    results = benchmark.pedantic(figure_16, args=(scale,), rounds=1, iterations=1)
+    emit(results)
+    cpu, io = results[0], results[1]
+    for row in io.rows:
+        n, cp, sp, fp = row
+        assert fp <= sp + 1e-9
+    # I/O cost grows with n for SP/CP; FP stays far below at the top end.
+    assert io.rows[-1][2] > io.rows[0][2] * 0.5
+    assert io.rows[-1][3] < io.rows[-1][2]
+    # CPU: FP at the largest n beats SP (paper: 2.8-16.5x).
+    assert cpu.rows[-1][3] < cpu.rows[-1][2]

@@ -1,0 +1,22 @@
+"""Figure 17: effect of k on the real-data surrogates (HOTEL*, HOUSE*)."""
+
+import pytest
+
+from repro.bench.figures import figure_17
+
+
+@pytest.mark.benchmark(group="figure-17")
+def test_figure_17(benchmark, scale, emit):
+    results = benchmark.pedantic(figure_17, args=(scale,), rounds=1, iterations=1)
+    emit(results)
+    by_name = {r.figure: r for r in results}
+    for ds in ("HOTEL", "HOUSE"):
+        io = by_name[f"17-{ds}-io"]
+        for row in io.rows:
+            k, cp, sp, fp = row
+            # SP and CP share the same BBS I/O (footnote 9 of the paper).
+            assert cp == pytest.approx(sp)
+            assert fp <= sp + 1e-9
+        cpu = by_name[f"17-{ds}-cpu"]
+        # CPU time grows with k overall (larger T; more phase-1 planes).
+        assert sum(cpu.rows[-1][1:]) > 0

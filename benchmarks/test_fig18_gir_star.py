@@ -1,0 +1,24 @@
+"""Figure 18: order-insensitive GIR*, effect of cardinality (IND, d=4).
+
+Same trends as Figure 16, at uniformly higher cost since several result
+records must be defended against the non-results (Section 7.1).
+"""
+
+import pytest
+
+from repro.bench.figures import figure_16, figure_18
+
+
+@pytest.mark.benchmark(group="figure-18")
+def test_figure_18(benchmark, scale, emit):
+    results = benchmark.pedantic(figure_18, args=(scale,), rounds=1, iterations=1)
+    emit(results)
+    cpu, io = results[0], results[1]
+    for row in io.rows:
+        n, cp, sp, fp = row
+        assert fp <= sp + 1e-9
+
+    # GIR* costs at least as much as the order-sensitive GIR (more
+    # defenders per query) — compare SP CPU at the largest n.
+    plain = figure_16(scale, seed=7)  # same seed as figure_18 uses
+    assert cpu.rows[-1][2] >= 0.5 * plain[0].rows[-1][2]

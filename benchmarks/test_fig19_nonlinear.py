@@ -1,0 +1,26 @@
+"""Figure 19: SP under non-linear monotone scoring functions (HOTEL*).
+
+The paper's finding: SP's cost is essentially independent of the scoring
+family, because BBS dominance pruning is function-agnostic and the number
+of half-spaces to intersect stays comparable.
+"""
+
+import pytest
+
+from repro.bench.figures import figure_19
+
+
+@pytest.mark.benchmark(group="figure-19")
+def test_figure_19(benchmark, scale, emit):
+    results = benchmark.pedantic(figure_19, args=(scale,), rounds=1, iterations=1)
+    emit(results)
+    cpu, io = results[0], results[1]
+    for row in io.rows:
+        k, poly, mixed, linear = row
+        # I/O within a small factor across scoring families (paper: equal
+        # up to noise, since the BBS scan is function-independent).
+        hi, lo = max(row[1:]), max(min(row[1:]), 1e-9)
+        assert hi / lo < 3.0
+    for row in cpu.rows:
+        hi, lo = max(row[1:]), max(min(row[1:]), 1e-9)
+        assert hi / lo < 10.0  # same order of magnitude

@@ -1,0 +1,97 @@
+"""The paper's motivating scenario: a restaurant recommendation service.
+
+A HungryGoWhere/Yelp-style service rates restaurants on four factors —
+food quality, ambience, value for money, service — and users ask for a
+personalised top-10 with per-factor weights (Figure 1 of the paper). This
+example shows how the GIR powers the three applications from the paper's
+introduction:
+
+1. **weight readjustment guidance** — slide-bar bounds within which moving
+   a weight cannot change the recommendation, plus what the new top-10
+   becomes at each tipping point;
+2. **sensitivity analysis** — how robust the recommendation is, as the
+   probability that a random weight setting produces the same list;
+3. **simultaneous multi-weight changes** — something the LIRs of the
+   earlier work [24] cannot certify, but the GIR can.
+
+Run with:  python examples/restaurant_recommender.py
+"""
+
+import numpy as np
+
+import repro
+
+FACTORS = ["food quality", "ambience", "value", "service"]
+
+
+def make_restaurant_data(n: int = 50_000, seed: int = 3) -> repro.Dataset:
+    """Synthetic restaurant ratings: factor scores correlate through an
+    underlying quality level, with per-factor idiosyncrasies (a cheap gem
+    scores high on value but low on ambience, etc.)."""
+    rng = np.random.default_rng(seed)
+    quality = rng.beta(5, 2, size=(n, 1))  # most restaurants are decent
+    idiosyncratic = rng.normal(0, 0.12, size=(n, 4))
+    # Scale into the open interval so no two restaurants saturate at the
+    # exact same corner rating (the paper assumes tie-free data).
+    ratings = np.clip(0.08 + 0.8 * quality + idiosyncratic, 0.001, 0.999)
+    return repro.Dataset(ratings, name="restaurants")
+
+
+def main(n: int = 50_000) -> None:
+    data = make_restaurant_data(n=n)
+    tree = repro.bulk_load_str(data)
+
+    # The user of Figure 1: weights (60, 50, 60, 70) on a 0-100 scale.
+    weights = np.array([60, 50, 60, 70], dtype=float) / 100.0
+    k = 10
+
+    gir = repro.compute_gir(tree, data, weights, k, method="fp")
+    print("Top-10 restaurants:", list(gir.topk.ids))
+    print()
+
+    # --- Application 1: slide-bar bounds (Figure 1(a)) ------------------
+    print("Immutable range per slide-bar (0-100 scale):")
+    for factor, w, (lo, hi) in zip(FACTORS, weights, gir.lir_intervals()):
+        print(
+            f"  {factor:<13} at {w * 100:5.1f}  "
+            f"safe range [{lo * 100:6.2f}, {hi * 100:6.2f}]"
+        )
+    print()
+
+    print("What happens at each tipping point:")
+    for pert in gir.boundary_perturbations():
+        print(f"  - {pert.description}")
+        print(f"    new top-10: {list(pert.new_order)}")
+    print()
+
+    # --- Application 2: sensitivity of the recommendation ----------------
+    ratio = gir.volume_ratio()
+    print(f"Robustness: a uniformly random weight setting has probability "
+          f"{ratio:.2e} of producing this exact ranked list.")
+    stb = repro.stb_radius(data, weights, k)
+    print(f"(For comparison, the STB ball of Soliman et al. has radius "
+          f"{stb:.4f}; the GIR is the maximal region, STB a ball inside it.)")
+    print()
+
+    # --- Application 3: simultaneous multi-weight changes ----------------
+    # LIRs only certify one-weight-at-a-time moves. The GIR certifies any
+    # joint move: e.g. lower 'value' AND raise 'service' together.
+    joint = weights + np.array([0.0, 0.0, -0.03, +0.04])
+    inside = gir.contains(joint)
+    print(f"Joint change value-3/service+4 keeps the top-10: {inside}")
+    if inside:
+        check = repro.scan_topk(data.points, joint, k)
+        assert check.ids == gir.topk.ids
+        print("  (verified by re-running the query)")
+
+    # A fixed safe box for UIs that want static bounds (Figure 13(a)):
+    mah = repro.maximal_axis_rectangle(gir)
+    print("\nMaximum axis-parallel box inside the GIR (static UI bounds):")
+    for factor, (lo, hi) in zip(FACTORS, mah.intervals()):
+        print(f"  {factor:<13} [{lo * 100:6.2f}, {hi * 100:6.2f}]")
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 50_000)

@@ -1,0 +1,18 @@
+"""Baselines and comparators.
+
+* :mod:`repro.baselines.exhaustive` — the straightforward full-scan
+  half-space intersection of Section 3.3: the correctness oracle every
+  Phase-2 method is tested against.
+* :mod:`repro.baselines.stb` — the STB sensitivity ball of [30]: the
+  largest ball around the query preserving the result (a subset of the
+  GIR, computed by a full scan).
+* :mod:`repro.baselines.lir` — the local immutable regions of [24]:
+  per-dimension validity intervals, computed by direct scan; the paper
+  notes they coincide with the GIR's interactive projection (Section 7.3).
+"""
+
+from repro.baselines.exhaustive import exhaustive_gir
+from repro.baselines.lir import lir_intervals_scan
+from repro.baselines.stb import stb_radius
+
+__all__ = ["exhaustive_gir", "stb_radius", "lir_intervals_scan"]

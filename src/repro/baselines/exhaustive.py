@@ -1,0 +1,93 @@
+"""The straightforward GIR computation of Section 3.3.
+
+Derives all ``n − 1`` half-spaces of Definition 1 by scanning the entire
+dataset and intersects them directly. With complexity ``Ω(n^{d/2})`` for the
+intersection (and O(n) data access), the paper dismisses it as "hugely
+impractical" for sizable databases — here it serves as the exact-correctness
+oracle for SP/CP/FP on test-sized inputs, and as the measurable baseline the
+pruning methods are compared against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.phase1 import phase1_halfspaces
+from repro.data.dataset import Dataset
+from repro.geometry.halfspace import Halfspace, separation_halfspace
+from repro.geometry.polytope import Polytope
+from repro.query.linear_scan import scan_topk
+from repro.query.topk import TopKResult
+from repro.scoring import LinearScoring, ScoringFunction
+
+__all__ = ["ExhaustiveGIR", "exhaustive_gir"]
+
+
+class ExhaustiveGIR:
+    """Result container mirroring :class:`repro.core.gir.GIRResult`."""
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        topk: TopKResult,
+        halfspaces: list[Halfspace],
+        polytope: Polytope,
+    ) -> None:
+        self.weights = weights
+        self.topk = topk
+        self.halfspaces = halfspaces
+        self.polytope = polytope
+        self.method = "exhaustive"
+
+    def contains(self, q: np.ndarray, tol: float = 1e-9) -> bool:
+        return self.polytope.contains(q, tol=tol)
+
+    def volume(self) -> float:
+        return self.polytope.volume()
+
+
+def exhaustive_gir(
+    data: Dataset | np.ndarray,
+    weights: np.ndarray,
+    k: int,
+    scorer: ScoringFunction | None = None,
+    order_sensitive: bool = True,
+) -> ExhaustiveGIR:
+    """GIR (or GIR* with ``order_sensitive=False``) by full scan.
+
+    All ``k − 1`` ordering conditions plus, for every non-result record,
+    one separation condition per defending result record (only ``p_k`` in
+    the order-sensitive case; all of ``R`` for GIR*).
+    """
+    points = data.points if isinstance(data, Dataset) else np.asarray(data, float)
+    weights = np.asarray(weights, dtype=np.float64)
+    n, d = points.shape
+    scorer = scorer or LinearScoring(d)
+    points_g = scorer.transform(points)
+
+    result = scan_topk(points, weights, k, scorer=scorer)
+    result_set = set(result.ids)
+
+    halfspaces: list[Halfspace] = []
+    if order_sensitive:
+        halfspaces.extend(phase1_halfspaces(result, points_g))
+        defenders = [result.kth_id]
+    else:
+        defenders = list(result.ids)
+
+    for defender in defenders:
+        def_g = points_g[defender]
+        for rid in range(n):
+            if rid in result_set:
+                continue
+            halfspaces.append(
+                separation_halfspace(def_g, points_g[rid], defender, rid)
+            )
+
+    box = Polytope.from_unit_box(d)
+    polytope = box.with_constraints(
+        np.asarray([hs.normal for hs in halfspaces])
+        if halfspaces
+        else np.empty((0, d))
+    )
+    return ExhaustiveGIR(weights, result, halfspaces, polytope)

@@ -1,0 +1,76 @@
+"""LIR — local immutable regions of Mouratidis & Pang [24].
+
+A LIR is the validity interval of one isolated query weight while every
+other weight is held constant. The paper observes (Section 7.3) that the
+LIRs are exactly the GIR's interactive projections through the original
+query vector — a relationship the test-suite verifies. Here the intervals
+are computed *directly* by scanning the conditions, independent of any GIR
+machinery, so the two implementations cross-check each other.
+
+For each condition ``(p − p') · q' ≥ 0`` and axis ``i``, fixing the other
+weights turns the condition into a one-sided bound on ``w_i``: with
+``a = g(p) − g(p')`` and ``r = a · q − a_i q_i`` the condition reads
+``a_i w_i ≥ −r``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.query.linear_scan import scan_topk
+from repro.scoring import LinearScoring, ScoringFunction
+
+__all__ = ["lir_intervals_scan"]
+
+
+def lir_intervals_scan(
+    data: Dataset | np.ndarray,
+    weights: np.ndarray,
+    k: int,
+    scorer: ScoringFunction | None = None,
+) -> list[tuple[float, float]]:
+    """Per-axis immutable intervals ``[lo_i, hi_i]`` around ``weights``.
+
+    Within ``[lo_i, hi_i]`` (all other weights fixed) the ordered top-k
+    result is preserved; the interval is clipped to the query space
+    ``[0, 1]``.
+    """
+    points = data.points if isinstance(data, Dataset) else np.asarray(data, float)
+    q = np.asarray(weights, dtype=np.float64)
+    n, d = points.shape
+    scorer = scorer or LinearScoring(d)
+    points_g = scorer.transform(points)
+
+    result = scan_topk(points, q, k, scorer=scorer)
+    ids = list(result.ids)
+
+    # Collect all condition normals: k-1 ordering rows + (n-k) separation rows.
+    normals = []
+    for i in range(len(ids) - 1):
+        normals.append(points_g[ids[i]] - points_g[ids[i + 1]])
+    mask = np.ones(n, dtype=bool)
+    mask[ids] = False
+    pk_g = points_g[ids[-1]]
+    normals.append(pk_g[None, :] - points_g[mask])
+    A = np.vstack([np.atleast_2d(row) for row in normals])
+
+    intervals: list[tuple[float, float]] = []
+    dots = A @ q
+    for axis in range(d):
+        a_i = A[:, axis]
+        rest = dots - a_i * q[axis]  # a·q with the axis term removed
+        lo, hi = 0.0, 1.0
+        # a_i * w_i >= -rest
+        pos = a_i > 1e-14
+        neg = a_i < -1e-14
+        zero = ~(pos | neg)
+        if pos.any():
+            lo = max(lo, float(np.max(-rest[pos] / a_i[pos])))
+        if neg.any():
+            hi = min(hi, float(np.min(-rest[neg] / a_i[neg])))
+        if zero.any() and (rest[zero] < -1e-9).any():
+            intervals.append((float("nan"), float("nan")))
+            continue
+        intervals.append((lo, hi))
+    return intervals

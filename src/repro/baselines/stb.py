@@ -1,0 +1,65 @@
+"""STB — the sensitivity ball of Soliman et al. [30].
+
+STB is the largest ball centred at the query vector within which the top-k
+result is unchanged. Because the GIR is the *maximal* result-preserving
+locus, the STB ball is exactly the largest ball around ``q`` inscribed in
+the GIR: its radius is the minimum distance from ``q`` to any of the
+``n − 1`` bounding hyperplanes of Definition 1. As in [30], the radius is
+computed by a full scan of the dataset — the inefficiency the paper
+contrasts its methods against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.query.linear_scan import scan_topk
+from repro.scoring import LinearScoring, ScoringFunction
+
+__all__ = ["stb_radius"]
+
+
+def stb_radius(
+    data: Dataset | np.ndarray,
+    weights: np.ndarray,
+    k: int,
+    scorer: ScoringFunction | None = None,
+) -> float:
+    """Radius of the STB ball around ``weights`` (0 when on a boundary).
+
+    Distance from ``q`` to hyperplane ``a · x = 0`` is ``(a · q)/‖a‖``;
+    the radius is the minimum over all ordering and separation conditions.
+    The query-space walls ``[0,1]^d`` also clip the ball, mirroring the
+    GIR's clipping.
+    """
+    points = data.points if isinstance(data, Dataset) else np.asarray(data, float)
+    q = np.asarray(weights, dtype=np.float64)
+    n, d = points.shape
+    scorer = scorer or LinearScoring(d)
+    points_g = scorer.transform(points)
+
+    result = scan_topk(points, q, k, scorer=scorer)
+    ids = list(result.ids)
+    radius = np.inf
+
+    # Ordering conditions between consecutive result records.
+    for i in range(len(ids) - 1):
+        a = points_g[ids[i]] - points_g[ids[i + 1]]
+        norm = np.linalg.norm(a)
+        if norm > 0:
+            radius = min(radius, float(a @ q) / norm)
+
+    # Separation conditions: p_k versus every non-result record (full scan).
+    pk_g = points_g[ids[-1]]
+    mask = np.ones(n, dtype=bool)
+    mask[ids] = False
+    normals = pk_g[None, :] - points_g[mask]
+    norms = np.linalg.norm(normals, axis=1)
+    ok = norms > 0
+    if ok.any():
+        radius = min(radius, float(np.min((normals[ok] @ q) / norms[ok])))
+
+    # Query-space walls.
+    radius = min(radius, float(q.min()), float((1.0 - q).min()))
+    return max(float(radius), 0.0)

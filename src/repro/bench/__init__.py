@@ -1,0 +1,17 @@
+"""Benchmark harness reproducing every evaluation figure of the paper.
+
+Entry point: ``python -m repro.bench --figure 15 --scale default``.
+
+Each figure of Section 8 has a generator in :mod:`repro.bench.figures` that
+runs the corresponding parameter sweep and prints the same series the paper
+plots. Scales (:mod:`repro.bench.config`) trade fidelity for runtime:
+pure-Python constants differ from the paper's C++ by a constant factor, so
+the harness shrinks cardinalities while preserving the comparative shapes
+(who wins, by what factor, where the trends bend) — see EXPERIMENTS.md.
+"""
+
+from repro.bench.config import SCALES, ExperimentScale
+from repro.bench.figures import FIGURES
+from repro.bench.harness import run_figure
+
+__all__ = ["SCALES", "ExperimentScale", "FIGURES", "run_figure"]

@@ -1,0 +1,46 @@
+"""CLI: ``python -m repro.bench --figure 15 --scale default``."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.config import SCALES
+from repro.bench.figures import FIGURES
+from repro.bench.harness import run_all, run_figure
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description=(
+            "Regenerate the evaluation figures of 'Global Immutable Region "
+            "Computation' (SIGMOD 2014)."
+        ),
+    )
+    parser.add_argument(
+        "--figure",
+        default="all",
+        choices=[*FIGURES.keys(), "all"],
+        help="which paper figure to regenerate (default: all)",
+    )
+    parser.add_argument(
+        "--scale",
+        default="bench",
+        choices=list(SCALES.keys()),
+        help="runtime/fidelity trade-off (see repro.bench.config)",
+    )
+    parser.add_argument(
+        "--out-dir",
+        default=None,
+        help="directory to write the result tables into (optional)",
+    )
+    args = parser.parse_args(argv)
+    if args.figure == "all":
+        run_all(args.scale, args.out_dir)
+    else:
+        run_figure(args.figure, args.scale, args.out_dir)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,103 @@
+"""Experiment scales: the paper's parameter grid, shrunk for pure Python.
+
+Table 2 of the paper (defaults in bold there): d ∈ {2,…,8} (default 4),
+n ∈ {0.5M,…,20M} (default 1M), k ∈ {5,…,100} (default 20). A pure-Python
+reproduction cannot run 1M-record sweeps per cell in reasonable time, so
+each scale preserves the *sweep structure* at reduced cardinality:
+
+* ``smoke``   — seconds; used by the pytest-benchmark suite;
+* ``bench``   — a couple of minutes per figure (default for benchmarks/);
+* ``default`` — tens of minutes for the full harness run in EXPERIMENTS.md;
+* ``paper``   — the paper's own parameters where feasible (hours).
+
+CP's convex hull of the skyline explodes combinatorially with d (that is
+the paper's own finding — Figure 15 shows CP's CPU above 10⁷ ms at d=8);
+``d_cap_cp`` bounds the dimensions CP is asked to run at per scale so the
+suite terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentScale", "SCALES"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """One runtime/fidelity trade-off point."""
+
+    name: str
+    #: default cardinality (the paper's 1M)
+    n_default: int
+    #: cardinality sweep for Figures 16 & 18 (the paper's 0.5M…20M)
+    n_sweep: tuple[int, ...]
+    #: dimensionality sweep for Figures 6, 8, 14(a), 15 (paper: 2…8)
+    d_sweep: tuple[int, ...]
+    #: largest d at which CP (hull-of-skyline) is attempted
+    d_cap_cp: int
+    #: k sweep for Figures 14(b), 17, 19 (paper: 5…100)
+    k_sweep: tuple[int, ...]
+    #: default k (paper: 20)
+    k_default: int
+    #: cardinality of the real-data surrogates (paper: full datasets)
+    house_n: int
+    hotel_n: int
+    #: random queries averaged per cell (paper: 100)
+    queries: int
+
+    def __post_init__(self) -> None:
+        if self.n_default <= 0 or self.queries <= 0:
+            raise ValueError("scale parameters must be positive")
+
+
+SCALES: dict[str, ExperimentScale] = {
+    "smoke": ExperimentScale(
+        name="smoke",
+        n_default=4_000,
+        n_sweep=(2_000, 4_000, 8_000),
+        d_sweep=(2, 3, 4),
+        d_cap_cp=4,
+        k_sweep=(5, 10, 20),
+        k_default=10,
+        house_n=6_000,
+        hotel_n=8_000,
+        queries=2,
+    ),
+    "bench": ExperimentScale(
+        name="bench",
+        n_default=15_000,
+        n_sweep=(5_000, 10_000, 20_000, 40_000),
+        d_sweep=(2, 3, 4, 5),
+        d_cap_cp=5,
+        k_sweep=(5, 10, 20, 50),
+        k_default=20,
+        house_n=20_000,
+        hotel_n=25_000,
+        queries=3,
+    ),
+    "default": ExperimentScale(
+        name="default",
+        n_default=40_000,
+        n_sweep=(15_000, 30_000, 60_000, 120_000, 240_000),
+        d_sweep=(2, 3, 4, 5, 6),
+        d_cap_cp=5,
+        k_sweep=(5, 10, 20, 50, 100),
+        k_default=20,
+        house_n=60_000,
+        hotel_n=80_000,
+        queries=3,
+    ),
+    "paper": ExperimentScale(
+        name="paper",
+        n_default=1_000_000,
+        n_sweep=(500_000, 1_000_000, 5_000_000, 10_000_000, 20_000_000),
+        d_sweep=(2, 3, 4, 5, 6, 7, 8),
+        d_cap_cp=6,
+        k_sweep=(5, 10, 20, 50, 100),
+        k_default=20,
+        house_n=315_265,
+        hotel_n=418_843,
+        queries=100,
+    ),
+}

@@ -1,0 +1,433 @@
+"""One generator per evaluation figure of the paper (Section 8).
+
+Every generator runs the figure's parameter sweep at the requested scale
+and returns :class:`FigureResult` tables whose rows correspond to the
+series in the paper's charts. EXPERIMENTS.md records how the measured
+shapes compare to the published ones.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from statistics import mean
+
+import numpy as np
+
+from repro.bench.config import ExperimentScale
+from repro.bench.metering import measure_methods, prepare_tree, random_queries
+from repro.core.gir import compute_gir
+from repro.core.phase2_cp import hull_of_skyline
+from repro.core.phase2_fp import build_fan, refine_fans
+from repro.data.real import hotel_surrogate, house_surrogate
+from repro.data.synthetic import make_synthetic
+from repro.geometry.convexhull import qhull_facet_count
+from repro.query.bbs import bbs_skyline
+from repro.query.brs import brs_topk
+from repro.scoring import LinearScoring, mixed_scoring, polynomial_scoring
+
+__all__ = ["FigureResult", "FIGURES"]
+
+FAMILIES = ("IND", "COR", "ANTI")
+METHODS = ("sp", "cp", "fp")
+
+#: Cardinality caps for full-hull facet counting (Figure 8(a)) — the full
+#: hull of CH' is exactly the Ω(n^{d/2}) object the paper avoids building;
+#: we count its facets on a subsample at high d and report the n used.
+_HULL_N_CAP = {2: 60_000, 3: 60_000, 4: 30_000, 5: 15_000, 6: 6_000, 7: 2_500, 8: 1_200}
+
+
+@dataclass
+class FigureResult:
+    """One printed table of a figure."""
+
+    figure: str
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+
+
+def _mean_or_nan(values: list[float]) -> float:
+    return mean(values) if values else float("nan")
+
+
+# ---------------------------------------------------------------- Figure 6
+
+
+def figure_06(scale: ExperimentScale, seed: int = 1) -> list[FigureResult]:
+    """Cardinality of SL (6a) and SL ∩ CH (6b) versus dimensionality."""
+    rng = np.random.default_rng(seed)
+    rows_sl, rows_ch = [], []
+    for d in scale.d_sweep:
+        row_sl: list = [d]
+        row_ch: list = [d]
+        for family in FAMILIES:
+            data = make_synthetic(family, scale.n_default, d, seed=seed)
+            tree = prepare_tree(data)
+            sl_sizes, ch_sizes = [], []
+            for q in random_queries(rng, d, scale.queries):
+                run = brs_topk(tree, data.points, q, scale.k_default, metered=False)
+                sl = bbs_skyline(tree, data.points, run=run, metered=False)
+                sl_sizes.append(len(sl))
+                if d <= scale.d_cap_cp:
+                    ch_sizes.append(len(hull_of_skyline(data.points, sl)))
+            row_sl.append(_mean_or_nan(sl_sizes))
+            row_ch.append(_mean_or_nan([float(c) for c in ch_sizes]))
+        rows_sl.append(row_sl)
+        rows_ch.append(row_ch)
+    headers = ["d", *FAMILIES]
+    return [
+        FigureResult("6a", f"Figure 6(a): |SL| vs d  (n={scale.n_default}, k={scale.k_default})", headers, rows_sl),
+        FigureResult("6b", f"Figure 6(b): |SL ∩ CH| vs d  (n={scale.n_default}, k={scale.k_default}, CP capped at d={scale.d_cap_cp})", headers, rows_ch),
+    ]
+
+
+# ---------------------------------------------------------------- Figure 8
+
+
+def figure_08(scale: ExperimentScale, seed: int = 2) -> list[FigureResult]:
+    """Facets on CH' (8a) and facets incident to p_k (8b) versus d."""
+    rng = np.random.default_rng(seed)
+    rows_all, rows_inc = [], []
+    for d in scale.d_sweep:
+        n_hull = min(scale.n_default, _HULL_N_CAP.get(d, 1_000))
+        row_all: list = [d, n_hull]
+        row_inc: list = [d]
+        for family in FAMILIES:
+            data = make_synthetic(family, scale.n_default, d, seed=seed)
+            tree = prepare_tree(data)
+            total_facets, incident_facets, criticals = [], [], []
+            for q in random_queries(rng, d, scale.queries):
+                run = brs_topk(tree, data.points, q, scale.k_default, metered=False)
+                pk = run.result.kth_id
+                # 8(b): the FP fan gives the incident facets exactly.
+                fan = build_fan(
+                    pk, data.points, data.points, run.encountered, q, np.zeros(d)
+                )
+                refine_fans(
+                    tree, data.points, data.points, run, {pk: fan},
+                    LinearScoring(d), metered=False,
+                )
+                incident_facets.append(float(fan.facet_count()))
+                criticals.append(
+                    float(len([c for c in fan.critical_keys() if not isinstance(c, tuple)]))
+                )
+                # 8(a): full CH' facet count on a (possibly subsampled) set.
+                non_result = np.setdiff1d(
+                    np.arange(data.n), np.asarray(run.result.ids)
+                )
+                if len(non_result) > n_hull:
+                    non_result = rng.choice(non_result, n_hull, replace=False)
+                chp = np.vstack([data.points[pk][None, :], data.points[non_result]])
+                try:
+                    total_facets.append(float(qhull_facet_count(chp)))
+                except Exception:
+                    total_facets.append(float("nan"))
+            row_all.append(_mean_or_nan(total_facets))
+            row_inc.append(_mean_or_nan(incident_facets))
+            row_inc.append(_mean_or_nan(criticals))
+        rows_all.append(row_all)
+        rows_inc.append(row_inc)
+    return [
+        FigureResult(
+            "8a",
+            f"Figure 8(a): facets on CH' vs d  (hull subsampled per caps; k={scale.k_default})",
+            ["d", "n_hull", *FAMILIES],
+            rows_all,
+        ),
+        FigureResult(
+            "8b",
+            f"Figure 8(b): facets incident to p_k (and critical records) vs d  (n={scale.n_default}, k={scale.k_default})",
+            ["d"] + [f"{f} {c}" for f in FAMILIES for c in ("facets", "criticals")],
+            rows_inc,
+        ),
+    ]
+
+
+# ---------------------------------------------------------------- Figure 14
+
+
+def figure_14(scale: ExperimentScale, seed: int = 3) -> list[FigureResult]:
+    """GIR volume / query-space volume: vs d (14a) and vs k (14b)."""
+    rng = np.random.default_rng(seed)
+    rows_a = []
+    for d in scale.d_sweep:
+        row: list = [d]
+        for family in FAMILIES:
+            data = make_synthetic(family, scale.n_default, d, seed=seed)
+            tree = prepare_tree(data)
+            ratios = []
+            for q in random_queries(rng, d, scale.queries):
+                gir = compute_gir(tree, data, q, scale.k_default, method="fp", metered=False)
+                try:
+                    ratios.append(gir.volume_ratio())
+                except Exception:
+                    ratios.append(float("nan"))
+            row.append(_mean_or_nan(ratios))
+        rows_a.append(row)
+
+    rows_b = []
+    real_sets = {
+        "HOUSE": house_surrogate(scale.house_n),
+        "HOTEL": hotel_surrogate(scale.hotel_n),
+    }
+    trees = {name: prepare_tree(ds) for name, ds in real_sets.items()}
+    for k in scale.k_sweep:
+        row = [k]
+        for name, ds in real_sets.items():
+            ratios = []
+            for q in random_queries(rng, ds.d, scale.queries):
+                gir = compute_gir(trees[name], ds, q, k, method="fp", metered=False)
+                try:
+                    ratios.append(gir.volume_ratio())
+                except Exception:
+                    ratios.append(float("nan"))
+            row.append(_mean_or_nan(ratios))
+        rows_b.append(row)
+    return [
+        FigureResult(
+            "14a",
+            f"Figure 14(a): GIR volume ratio vs d  (n={scale.n_default}, k={scale.k_default})",
+            ["d", *FAMILIES],
+            rows_a,
+        ),
+        FigureResult(
+            "14b",
+            f"Figure 14(b): GIR volume ratio vs k  (HOUSE n={scale.house_n}, HOTEL n={scale.hotel_n})",
+            ["k", "HOUSE", "HOTEL"],
+            rows_b,
+        ),
+    ]
+
+
+# ---------------------------------------------------------------- Figure 15
+
+
+def figure_15(scale: ExperimentScale, seed: int = 4) -> list[FigureResult]:
+    """CPU and I/O time of SP/CP/FP versus dimensionality, per family."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for family in FAMILIES:
+        rows_cpu, rows_io = [], []
+        for d in scale.d_sweep:
+            data = make_synthetic(family, scale.n_default, d, seed=seed)
+            tree = prepare_tree(data)
+            methods = tuple(m for m in METHODS if m != "cp" or d <= scale.d_cap_cp)
+            queries = random_queries(rng, d, scale.queries)
+            agg = measure_methods(data, tree, scale.k_default, methods, queries)
+            rows_cpu.append(
+                [d] + [agg[m].cpu_ms if m in agg else float("nan") for m in METHODS]
+            )
+            rows_io.append(
+                [d] + [agg[m].io_ms if m in agg else float("nan") for m in METHODS]
+            )
+        out.append(
+            FigureResult(
+                f"15-{family}-cpu",
+                f"Figure 15: CPU time (ms) vs d — {family}  (n={scale.n_default}, k={scale.k_default})",
+                ["d", "CP", "SP", "FP"],
+                [[r[0], r[2], r[1], r[3]] for r in rows_cpu],
+            )
+        )
+        out.append(
+            FigureResult(
+                f"15-{family}-io",
+                f"Figure 15: I/O time (ms) vs d — {family}  (n={scale.n_default}, k={scale.k_default})",
+                ["d", "CP", "SP", "FP"],
+                [[r[0], r[2], r[1], r[3]] for r in rows_io],
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------- Figure 16
+
+
+def figure_16(scale: ExperimentScale, seed: int = 5, star: bool = False) -> list[FigureResult]:
+    """Effect of cardinality n on CPU/I/O (IND, d=4). ``star=True`` gives
+    Figure 18 (order-insensitive GIR*)."""
+    rng = np.random.default_rng(seed)
+    d = 4
+    rows_cpu, rows_io = [], []
+    for n in scale.n_sweep:
+        data = make_synthetic("IND", n, d, seed=seed)
+        tree = prepare_tree(data)
+        queries = random_queries(rng, d, scale.queries)
+        agg = measure_methods(
+            data, tree, scale.k_default, METHODS, queries, star=star
+        )
+        rows_cpu.append([n] + [agg[m].cpu_ms for m in ("cp", "sp", "fp")])
+        rows_io.append([n] + [agg[m].io_ms for m in ("cp", "sp", "fp")])
+    fig = "18" if star else "16"
+    label = "order-insensitive GIR*" if star else "GIR"
+    return [
+        FigureResult(
+            f"{fig}-cpu",
+            f"Figure {fig}(a): {label} CPU time (ms) vs n  (IND, d=4, k={scale.k_default})",
+            ["n", "CP", "SP", "FP"],
+            rows_cpu,
+        ),
+        FigureResult(
+            f"{fig}-io",
+            f"Figure {fig}(b): {label} I/O time (ms) vs n  (IND, d=4, k={scale.k_default})",
+            ["n", "CP", "SP", "FP"],
+            rows_io,
+        ),
+    ]
+
+
+# ---------------------------------------------------------------- Figure 17
+
+
+def figure_17(scale: ExperimentScale, seed: int = 6) -> list[FigureResult]:
+    """Effect of k on CPU/I/O for the real datasets."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for name, data in (
+        ("HOTEL", hotel_surrogate(scale.hotel_n)),
+        ("HOUSE", house_surrogate(scale.house_n)),
+    ):
+        tree = prepare_tree(data)
+        rows_cpu, rows_io = [], []
+        for k in scale.k_sweep:
+            queries = random_queries(rng, data.d, scale.queries)
+            agg = measure_methods(data, tree, k, METHODS, queries)
+            rows_cpu.append([k] + [agg[m].cpu_ms for m in ("cp", "sp", "fp")])
+            rows_io.append([k] + [agg[m].io_ms for m in ("cp", "sp", "fp")])
+        out.append(
+            FigureResult(
+                f"17-{name}-cpu",
+                f"Figure 17: CPU time (ms) vs k — {name}*  (n={data.n})",
+                ["k", "CP", "SP", "FP"],
+                rows_cpu,
+            )
+        )
+        out.append(
+            FigureResult(
+                f"17-{name}-io",
+                f"Figure 17: I/O time (ms) vs k — {name}*  (n={data.n})",
+                ["k", "CP", "SP", "FP"],
+                rows_io,
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------- Figure 18
+
+
+def figure_18(scale: ExperimentScale, seed: int = 7) -> list[FigureResult]:
+    """Order-insensitive GIR*: effect of n (IND, d=4)."""
+    return figure_16(scale, seed=seed, star=True)
+
+
+# ---------------------------------------------------------------- Figure 19
+
+
+def figure_19(scale: ExperimentScale, seed: int = 8) -> list[FigureResult]:
+    """Non-linear scoring functions: SP on HOTEL versus k."""
+    rng = np.random.default_rng(seed)
+    data = hotel_surrogate(scale.hotel_n)
+    tree = prepare_tree(data)
+    scorers = {
+        "Polynomial": polynomial_scoring([4, 3, 2, 1]),
+        "Mixed": mixed_scoring(),
+        "Linear": LinearScoring(4),
+    }
+    rows_cpu, rows_io = [], []
+    for k in scale.k_sweep:
+        row_cpu: list = [k]
+        row_io: list = [k]
+        for label, scorer in scorers.items():
+            queries = random_queries(rng, 4, scale.queries)
+            agg = measure_methods(data, tree, k, ("sp",), queries, scorer=scorer)
+            row_cpu.append(agg["sp"].cpu_ms)
+            row_io.append(agg["sp"].io_ms)
+        rows_cpu.append(row_cpu)
+        rows_io.append(row_io)
+    headers = ["k", *scorers.keys()]
+    return [
+        FigureResult(
+            "19-cpu",
+            f"Figure 19(a): SP CPU time (ms) vs k, scoring families  (HOTEL* n={data.n})",
+            headers,
+            rows_cpu,
+        ),
+        FigureResult(
+            "19-io",
+            f"Figure 19(b): SP I/O time (ms) vs k, scoring families  (HOTEL* n={data.n})",
+            headers,
+            rows_io,
+        ),
+    ]
+
+
+# ---------------------------------------------------------------- Ablations
+
+
+def figure_ablation(scale: ExperimentScale, seed: int = 9) -> list[FigureResult]:
+    """Ablation of FP's design choices (not a paper figure; DESIGN.md §3).
+
+    Compares FP variants on IND at the default n/k across d: virtual seeds
+    off, dominance node-pruning off, and the footnote-7 Phase-1 tightening
+    on. All variants are exact; only cost may change.
+    """
+    from repro.core.phase2_fp import FPOptions
+
+    rng = np.random.default_rng(seed)
+    variants = {
+        "FP (default)": FPOptions(),
+        "no seeds": FPOptions(use_virtual_seeds=False),
+        "no dom-prune": FPOptions(prune_dominated_nodes=False),
+        "+phase1 tighten": FPOptions(tighten_with_phase1=True),
+    }
+    rows_io, rows_cpu = [], []
+    for d in scale.d_sweep:
+        data = make_synthetic("IND", scale.n_default, d, seed=seed)
+        tree = prepare_tree(data)
+        queries = random_queries(rng, d, scale.queries)
+        row_io: list = [d]
+        row_cpu: list = [d]
+        for label, opts in variants.items():
+            ios, cpus = [], []
+            for q in queries:
+                run = brs_topk(tree, data.points, q, scale.k_default, metered=False)
+                tree.store.reset_meter()
+                gir = compute_gir(
+                    tree, data, q, scale.k_default, method="fp", run=run,
+                    fp_options=opts,
+                )
+                ios.append(float(gir.stats.io_pages_phase2))
+                cpus.append(gir.stats.cpu_ms_total)
+            row_io.append(mean(ios))
+            row_cpu.append(mean(cpus))
+        rows_io.append(row_io)
+        rows_cpu.append(row_cpu)
+    headers = ["d", *variants.keys()]
+    return [
+        FigureResult(
+            "ablation-io",
+            f"Ablation: FP phase-2 page reads vs d  (IND, n={scale.n_default}, k={scale.k_default})",
+            headers,
+            rows_io,
+        ),
+        FigureResult(
+            "ablation-cpu",
+            f"Ablation: FP CPU (ms) vs d  (IND, n={scale.n_default}, k={scale.k_default})",
+            headers,
+            rows_cpu,
+        ),
+    ]
+
+
+FIGURES = {
+    "6": figure_06,
+    "8": figure_08,
+    "14": figure_14,
+    "15": figure_15,
+    "16": figure_16,
+    "17": figure_17,
+    "18": figure_18,
+    "19": figure_19,
+    "ablation": figure_ablation,
+}

@@ -1,0 +1,47 @@
+"""Harness driver: run figures, print tables, persist results."""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.bench.config import SCALES, ExperimentScale
+from repro.bench.figures import FIGURES, FigureResult
+from repro.bench.reporting import format_table
+
+__all__ = ["run_figure", "run_all"]
+
+
+def run_figure(
+    figure: str,
+    scale: ExperimentScale | str = "bench",
+    out_dir: str | Path | None = None,
+) -> list[FigureResult]:
+    """Run one figure's sweep; print its tables; optionally save them."""
+    if isinstance(scale, str):
+        scale = SCALES[scale]
+    if figure not in FIGURES:
+        raise ValueError(f"unknown figure {figure!r}; expected one of {sorted(FIGURES)}")
+    t0 = time.perf_counter()
+    results = FIGURES[figure](scale)
+    elapsed = time.perf_counter() - t0
+    texts = []
+    for res in results:
+        text = format_table(res.title, res.headers, res.rows)
+        print(text)
+        print()
+        texts.append(text)
+    print(f"[figure {figure} done in {elapsed:.1f}s at scale '{scale.name}']\n")
+    if out_dir is not None:
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"figure_{figure}_{scale.name}.txt"
+        path.write_text("\n\n".join(texts) + "\n")
+    return results
+
+
+def run_all(
+    scale: ExperimentScale | str = "bench", out_dir: str | Path | None = None
+) -> dict[str, list[FigureResult]]:
+    """Run every figure in order."""
+    return {fig: run_figure(fig, scale, out_dir) for fig in FIGURES}

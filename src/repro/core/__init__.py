@@ -1,0 +1,42 @@
+"""The paper's primary contribution: GIR computation.
+
+Entry points:
+
+* :func:`repro.core.gir.compute_gir` — order-sensitive GIR with method
+  ``"sp"``, ``"cp"`` or ``"fp"`` (Sections 4-6);
+* :func:`repro.core.gir_star.compute_gir_star` — order-insensitive GIR*
+  (Section 7.1);
+* :class:`repro.core.caching.GIRCache` — result caching application (§1);
+* :mod:`repro.core.visualization` — MAH and interactive-projection bounds
+  (Section 7.3);
+* :mod:`repro.core.approximate` — Monte-Carlo sensitivity for scoring
+  functions outside the half-space framework (Section 7.2).
+"""
+
+from repro.core.approximate import (
+    GeneralMonotoneScoring,
+    immutability_probability,
+    immutable_ball_radius,
+)
+from repro.core.caching import GIRCache
+from repro.core.gir import GIRResult, GIRStats, compute_gir
+from repro.core.gir_star import compute_gir_star
+from repro.core.phase2_fp import FPOptions
+from repro.core.perturbation import Perturbation, boundary_perturbations
+from repro.core.visualization import interactive_projection, maximal_axis_rectangle
+
+__all__ = [
+    "compute_gir",
+    "compute_gir_star",
+    "GIRResult",
+    "GIRStats",
+    "GIRCache",
+    "Perturbation",
+    "boundary_perturbations",
+    "maximal_axis_rectangle",
+    "interactive_projection",
+    "GeneralMonotoneScoring",
+    "immutability_probability",
+    "immutable_ball_radius",
+    "FPOptions",
+]

@@ -1,0 +1,153 @@
+"""Approximate sensitivity analysis for general scoring functions.
+
+For scoring functions that are *not* of the per-dimension form
+``Σ w_i g_i(p)``, the GIR's conditions no longer map to half-spaces: the
+region is a general convex set whose exact representation "is
+computationally expensive or not possible at all", for which the paper
+points to Monte-Carlo approximation (Section 7.2). This module provides
+that route:
+
+* :class:`GeneralMonotoneScoring` — wraps an arbitrary black-box scoring
+  callable ``f(points, weights)`` that is monotone in every attribute, so
+  BRS/BBS still work (MBB top corners remain maxscore points) but no
+  g-space exists;
+* :func:`immutability_probability` — Monte-Carlo estimate of the paper's
+  sensitivity measure, the probability that a uniformly random query
+  vector reproduces the result (= the GIR volume ratio when the function
+  happens to be linear);
+* :func:`immutable_ball_radius` — Monte-Carlo estimate of the largest ball
+  around the query preserving the result (the STB measure of [30] for
+  arbitrary functions).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.query.linear_scan import scan_topk
+from repro.scoring import ScoringFunction
+
+__all__ = [
+    "GeneralMonotoneScoring",
+    "immutability_probability",
+    "immutable_ball_radius",
+]
+
+
+class GeneralMonotoneScoring(ScoringFunction):
+    """A black-box monotone scoring function ``f(points, weights)``.
+
+    Monotone means non-decreasing in every attribute for every fixed
+    weight vector, which keeps index-based top-k search correct. Because
+    the function need not be linear in the weights, there is no g-space:
+    :meth:`transform` raises, steering callers to the Monte-Carlo API.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
+        d: int,
+        name: str = "general",
+    ) -> None:
+        super().__init__(d)
+        self._fn = fn
+        self.name = name
+
+    def transform(self, points: np.ndarray) -> np.ndarray:
+        raise TypeError(
+            "general scoring functions have no per-dimension g-space; use "
+            "repro.core.approximate for sensitivity analysis"
+        )
+
+    def score(self, points: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        pts = np.asarray(points, dtype=np.float64)
+        single = pts.ndim == 1
+        if single:
+            pts = pts[None, :]
+        out = np.asarray(self._fn(pts, np.asarray(weights, dtype=np.float64)))
+        if out.shape != (pts.shape[0],):
+            raise ValueError("scoring callable must return one score per point")
+        return float(out[0]) if single else out
+
+
+def immutability_probability(
+    data: Dataset | np.ndarray,
+    weights: np.ndarray,
+    k: int,
+    scorer: ScoringFunction,
+    samples: int = 2_000,
+    rng: np.random.Generator | None = None,
+    order_sensitive: bool = True,
+) -> float:
+    """Monte-Carlo sensitivity: ``P[random q' preserves the result]``.
+
+    Draws ``samples`` query vectors uniformly from the query space and
+    reports the fraction whose top-k equals the original (ordered, or as a
+    set with ``order_sensitive=False``). For linear scoring this estimates
+    exactly the GIR volume ratio of Figure 14.
+    """
+    points = data.points if isinstance(data, Dataset) else np.asarray(data, float)
+    weights = np.asarray(weights, dtype=np.float64)
+    rng = rng or np.random.default_rng(0)
+    reference = scan_topk(points, weights, k, scorer=scorer)
+    ref_ids = reference.ids
+    ref_set = set(ref_ids)
+    hits = 0
+    for _ in range(samples):
+        q = rng.random(weights.shape[0])
+        got = scan_topk(points, q, k, scorer=scorer)
+        if order_sensitive:
+            hits += got.ids == ref_ids
+        else:
+            hits += set(got.ids) == ref_set
+    return hits / samples
+
+
+def immutable_ball_radius(
+    data: Dataset | np.ndarray,
+    weights: np.ndarray,
+    k: int,
+    scorer: ScoringFunction,
+    directions: int = 64,
+    tolerance: float = 1e-4,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Largest ball radius around ``weights`` preserving the result
+    (approximately): per sampled direction, binary-search the distance at
+    which the result first changes; return the minimum over directions.
+
+    This generalises the STB measure of [30] to arbitrary scoring
+    functions. It is an *upper* bound estimate — finer direction sampling
+    can only shrink it.
+    """
+    points = data.points if isinstance(data, Dataset) else np.asarray(data, float)
+    q = np.asarray(weights, dtype=np.float64)
+    d = q.shape[0]
+    rng = rng or np.random.default_rng(0)
+    reference = scan_topk(points, q, k, scorer=scorer).ids
+
+    def preserved_at(probe: np.ndarray) -> bool:
+        if (probe < 0).any() or (probe > 1).any():
+            return False
+        return scan_topk(points, probe, k, scorer=scorer).ids == reference
+
+    best = float(min(q.min(), (1.0 - q).min()))
+    for _ in range(directions):
+        v = rng.normal(size=d)
+        v /= np.linalg.norm(v)
+        lo, hi = 0.0, best
+        if preserved_at(q + v * hi):
+            continue  # this direction does not bind below the current best
+        while hi - lo > tolerance:
+            mid = (lo + hi) / 2
+            if preserved_at(q + v * mid):
+                lo = mid
+            else:
+                hi = mid
+        best = min(best, lo)
+        if best <= tolerance:
+            break
+    return max(best, 0.0)

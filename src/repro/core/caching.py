@@ -1,0 +1,95 @@
+"""GIR-based top-k result caching (Section 1 application).
+
+Previous top-k results are stored along with their GIRs. A new request
+whose query vector falls inside a cached GIR can be answered without
+touching the database:
+
+* same or smaller ``k`` — inside the (order-sensitive) GIR the whole
+  ordered list is immutable, so the first ``k'`` cached records are the
+  exact answer;
+* larger ``k`` — the cached records are still the correct highest-scoring
+  prefix, which the cache returns immediately flagged *partial* (the paper
+  cites progressive reporting [31] for this case), leaving the caller to
+  compute the remaining records.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.gir import GIRResult
+
+__all__ = ["CacheHit", "GIRCache"]
+
+
+@dataclass(frozen=True)
+class CacheHit:
+    """Outcome of a successful cache lookup."""
+
+    ids: tuple[int, ...]
+    #: True when the request asked for more records than were cached; the
+    #: ids are then the correct leading prefix of the answer.
+    partial: bool
+    #: Key of the cached entry that served the hit.
+    entry_key: int
+
+
+class GIRCache:
+    """An LRU cache of (query, top-k result, GIR) triples."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[int, GIRResult] = OrderedDict()
+        self._next_key = 0
+        self.hits = 0
+        self.partial_hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def insert(self, gir: GIRResult) -> int:
+        """Cache a computed GIR; returns its entry key."""
+        key = self._next_key
+        self._next_key += 1
+        self._entries[key] = gir
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return key
+
+    def lookup(self, weights: np.ndarray, k: int) -> CacheHit | None:
+        """Serve a query from cache if its vector lies in some cached GIR.
+
+        Scans entries most-recently-used first; a hit refreshes the entry's
+        recency. Returns ``None`` on a miss.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        for key in reversed(list(self._entries.keys())):
+            gir = self._entries[key]
+            if gir.weights.shape != weights.shape:
+                continue
+            if not gir.contains(weights):
+                continue
+            cached_ids = gir.topk.ids
+            self._entries.move_to_end(key)
+            if k <= len(cached_ids):
+                self.hits += 1
+                return CacheHit(ids=cached_ids[:k], partial=False, entry_key=key)
+            self.hits += 1
+            self.partial_hits += 1
+            return CacheHit(ids=cached_ids, partial=True, entry_key=key)
+        self.misses += 1
+        return None
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "partial_hits": self.partial_hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+        }

@@ -1,0 +1,199 @@
+"""GIR* — the order-insensitive immutable region (Section 7.1).
+
+GIR* is the maximal locus where the *composition* of the top-k result is
+preserved, ignoring internal order; it encloses the order-sensitive GIR.
+Definition 2 requires ``S(p_i, q') ≥ S(p, q')`` for every result record
+``p_i`` and every non-result record ``p``.
+
+Processing (per the paper):
+
+* **result pruning** — a result record can be ignored if it lies strictly
+  inside the convex hull of ``R`` or if it dominates another result record
+  (anything overtaking it must first overtake the hull/dominated record).
+  The survivors form ``R⁻``.
+* each ``p_i ∈ R⁻`` yields a region ``GIR_i`` by running Phase 2 with
+  ``p_i`` in the role of ``p_k``; then ``GIR* = ∩ GIR_i``.
+* SP/CP compute the skyline (and hull) of the non-result records **once**
+  and reuse it for every ``GIR_i``; FP maintains all the facet fans
+  **concurrently** during a single drain of the retained BRS heap, pruning
+  a node only when it is below every facet of every fan.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.gir import GIRStats
+from repro.core.phase2_cp import hull_of_skyline
+from repro.core.phase2_fp import build_fan, refine_fans
+from repro.core.phase2_sp import skyline_candidates
+from repro.data.dataset import Dataset
+from repro.geometry.convexhull import hull_vertex_ids
+from repro.geometry.halfspace import Halfspace, separation_halfspace
+from repro.geometry.polytope import Polytope
+from repro.index.rtree import RStarTree
+from repro.query.brs import BRSRun, brs_topk
+from repro.query.topk import TopKResult
+from repro.scoring import LinearScoring, ScoringFunction
+
+__all__ = ["GIRStarResult", "compute_gir_star", "prune_result_records"]
+
+
+@dataclass
+class GIRStarResult:
+    """The order-insensitive immutable region of a top-k query."""
+
+    weights: np.ndarray
+    topk: TopKResult
+    halfspaces: list[Halfspace]
+    polytope: Polytope
+    method: str
+    stats: GIRStats
+    #: The pruned result set R⁻ actually used to bound the region.
+    active_result_ids: tuple[int, ...] = ()
+
+    def contains(self, q: np.ndarray, tol: float = 1e-9) -> bool:
+        """Does ``q`` preserve the *composition* of the top-k result?"""
+        return self.polytope.contains(q, tol=tol)
+
+    def volume(self) -> float:
+        return self.polytope.volume()
+
+
+def prune_result_records(
+    result_ids: tuple[int, ...], points: np.ndarray, points_g: np.ndarray
+) -> list[int]:
+    """The paper's ``R⁻``: result records that can actually bound GIR*.
+
+    Discards records strictly inside the hull of ``R`` (in g-space, where
+    scoring is linear) and records dominating at least one other result
+    record (in data space, where dominance is defined).
+    """
+    ids = list(result_ids)
+    if len(ids) == 1:
+        return ids
+    pts_g = points_g[np.asarray(ids, dtype=np.intp)]
+    on_hull = hull_vertex_ids(pts_g)
+    survivors = []
+    for local, rid in enumerate(ids):
+        if local not in on_hull:
+            continue
+        p = points[rid]
+        dominates_other = False
+        for other in ids:
+            if other == rid:
+                continue
+            o = points[other]
+            if (p >= o).all() and (p > o).any():
+                dominates_other = True
+                break
+        if not dominates_other:
+            survivors.append(rid)
+    # R⁻ can never be empty: the record with the minimum score bound must
+    # remain reachable. Degenerate pruning (all records dominate someone in
+    # a chain) falls back to the hull records.
+    if not survivors:
+        survivors = [ids[local] for local in sorted(on_hull)]
+    return survivors
+
+
+def compute_gir_star(
+    tree: RStarTree,
+    data: Dataset | np.ndarray,
+    weights: np.ndarray,
+    k: int,
+    method: str = "fp",
+    scorer: ScoringFunction | None = None,
+    metered: bool = True,
+    run: BRSRun | None = None,
+) -> GIRStarResult:
+    """Compute the order-insensitive GIR* (Definition 2)."""
+    if method not in ("sp", "cp", "fp"):
+        raise ValueError(f"unknown method {method!r}")
+    points = data.points if isinstance(data, Dataset) else np.asarray(data, float)
+    weights = np.asarray(weights, dtype=np.float64)
+    scorer = scorer or LinearScoring(tree.d)
+    points_g = scorer.transform(points)
+
+    io_before = tree.store.stats.page_reads
+    t0 = time.perf_counter()
+    if run is None:
+        run = brs_topk(tree, points, weights, k, scorer=scorer, metered=metered)
+    t1 = time.perf_counter()
+    io_after_topk = tree.store.stats.page_reads
+
+    active = prune_result_records(run.result.ids, points, points_g)
+    halfspaces: list[Halfspace] = []
+    extras: dict[str, float] = {"active_result_records": float(len(active))}
+
+    if method in ("sp", "cp"):
+        skyline = skyline_candidates(tree, points, run, scorer, metered=metered)
+        if method == "cp":
+            candidates = hull_of_skyline(points_g, skyline)
+            extras["hull_size"] = float(len(candidates))
+        else:
+            candidates = skyline
+        extras["skyline_size"] = float(len(skyline))
+        for pi in active:
+            pi_g = points_g[pi]
+            halfspaces.extend(
+                separation_halfspace(pi_g, points_g[rid], pi, rid)
+                for rid in candidates
+            )
+        total_candidates = len(candidates)
+    else:
+        lower_corner_g = scorer.transform_one(np.zeros(tree.d))
+        fans = {
+            pi: build_fan(
+                pi, points, points_g, run.encountered, weights, lower_corner_g
+            )
+            for pi in active
+        }
+        fetched = refine_fans(
+            tree, points, points_g, run, fans, scorer, metered=metered
+        )
+        extras["nodes_fetched_phase2"] = float(fetched)
+        criticals_union: set[int] = set()
+        for pi, fan in fans.items():
+            pi_g = points_g[pi]
+            crits = sorted(
+                key for key in fan.critical_keys() if not isinstance(key, tuple)
+            )
+            criticals_union.update(crits)
+            halfspaces.extend(
+                separation_halfspace(pi_g, points_g[rid], pi, rid) for rid in crits
+            )
+        extras["fan_facets"] = float(sum(f.facet_count() for f in fans.values()))
+        total_candidates = len(criticals_union)
+
+    t2 = time.perf_counter()
+    io_after_phase2 = tree.store.stats.page_reads
+
+    box = Polytope.from_unit_box(tree.d)
+    polytope = box.with_constraints(
+        np.asarray([hs.normal for hs in halfspaces])
+        if halfspaces
+        else np.empty((0, tree.d))
+    )
+    stats = GIRStats(
+        cpu_ms_topk=(t1 - t0) * 1e3,
+        cpu_ms_phase1=0.0,
+        cpu_ms_phase2=(t2 - t1) * 1e3,
+        io_pages_topk=io_after_topk - io_before,
+        io_pages_phase2=io_after_phase2 - io_after_topk,
+        io_ms_per_page=tree.store.stats.latency_ms_per_page,
+        phase2_candidates=total_candidates,
+        extras=extras,
+    )
+    return GIRStarResult(
+        weights=weights,
+        topk=run.result,
+        halfspaces=halfspaces,
+        polytope=polytope,
+        method=method,
+        stats=stats,
+        active_result_ids=tuple(active),
+    )

@@ -1,0 +1,60 @@
+"""Boundary perturbations: what the result becomes at each GIR facet.
+
+Section 3.2: every bounding hyperplane of the GIR corresponds to one of the
+original conditions, which implicitly determines the new top-k result if the
+query shifts onto that boundary — either a *reorder* of two adjacent result
+records (Phase-1 condition) or the *replacement* of the k-th record by a
+specific non-result record (Phase-2 condition). Our algorithms identify the
+records responsible for each bounding half-space along the way; this module
+classifies which half-spaces actually bound the final region and spells out
+the induced result change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.halfspace import Halfspace
+
+__all__ = ["Perturbation", "boundary_perturbations"]
+
+
+@dataclass(frozen=True)
+class Perturbation:
+    """One facet of the GIR and the result change it encodes."""
+
+    halfspace: Halfspace
+    #: The top-k id sequence after crossing this facet.
+    new_order: tuple[int, ...]
+    description: str
+
+
+def boundary_perturbations(gir, tol: float = 1e-9) -> list[Perturbation]:
+    """Classify the GIR's bounding half-spaces and their result changes.
+
+    Only non-redundant (facet-supporting) half-spaces are reported; the box
+    constraints of the query space are skipped since touching them does not
+    alter the result.
+    """
+    mask = gir.polytope.facet_mask(tol=tol)
+    ids = list(gir.topk.ids)
+    out: list[Perturbation] = []
+    for row, hs in gir.halfspace_rows():
+        if not mask[row] or hs.kind == "virtual":
+            continue
+        new_order = list(ids)
+        if hs.kind == "order":
+            i = new_order.index(hs.upper)
+            assert new_order[i + 1] == hs.lower, "phase-1 pair out of order"
+            new_order[i], new_order[i + 1] = new_order[i + 1], new_order[i]
+        else:  # separation: hs.lower replaces p_k
+            assert new_order[-1] == hs.upper, "separation facet not on p_k"
+            new_order[-1] = hs.lower
+        out.append(
+            Perturbation(
+                halfspace=hs,
+                new_order=tuple(new_order),
+                description=hs.describe(),
+            )
+        )
+    return out

@@ -1,0 +1,36 @@
+"""Phase 1: the interim GIR from the result's internal score order.
+
+Section 4: for result ``R = (p_1, …, p_k)`` the ``k − 1`` conditions
+``S(p_i, q') ≥ S(p_{i+1}, q')`` each map to the half-space
+``(g(p_i) − g(p_{i+1})) · q' ≥ 0`` in query space (``g`` is the identity for
+linear scoring). Phase 1 is identical for all methods; the methods differ
+only in Phase 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.halfspace import Halfspace, order_halfspace
+from repro.query.topk import TopKResult
+
+__all__ = ["phase1_halfspaces"]
+
+
+def phase1_halfspaces(result: TopKResult, points_g: np.ndarray) -> list[Halfspace]:
+    """Ordering half-spaces for the interim GIR.
+
+    Parameters
+    ----------
+    result:
+        The ordered top-k result.
+    points_g:
+        The dataset in g-space (``scorer.transform(points)``; the raw
+        points for linear scoring).
+    """
+    out: list[Halfspace] = []
+    ids = result.ids
+    for i in range(len(ids) - 1):
+        upper, lower = ids[i], ids[i + 1]
+        out.append(order_halfspace(points_g[upper], points_g[lower], upper, lower))
+    return out

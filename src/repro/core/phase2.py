@@ -1,0 +1,26 @@
+"""Shared Phase-2 plumbing: the output contract of SP, CP and FP.
+
+Phase 2 (Sections 5-6) shrinks the interim GIR so that no non-result record
+can overtake the k-th result record ``p_k``. Each method returns the same
+structure: the separation half-spaces it derived, the ids of the non-result
+records it actually considered (the paper's pruning-effectiveness metric,
+Figures 6 and 8), and method-specific diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.halfspace import Halfspace
+
+__all__ = ["Phase2Output"]
+
+
+@dataclass
+class Phase2Output:
+    """What a Phase-2 method hands back to the orchestrator."""
+
+    halfspaces: list[Halfspace]
+    candidate_ids: list[int]
+    #: Method diagnostics, e.g. {"skyline_size": …} or {"fan_facets": …}.
+    extras: dict[str, float] = field(default_factory=dict)

@@ -1,0 +1,308 @@
+"""FP — Facet Pruning (Section 6), the paper's main contribution.
+
+FP pins the sweeping hyperplane at the k-th result record ``p_k`` and asks
+which non-result records bound its permissible rotations. Those are exactly
+the records incident to the facets of ``CH' = hull({p_k} ∪ D\\R)`` that are
+themselves incident to ``p_k`` — the *critical records*. FP never builds
+``CH'``; it maintains only the incident-facet star (:class:`FacetFan`) in
+two steps:
+
+1. **memory step** — bootstrap the fan from the records ``T`` that BRS
+   already fetched (minus those dominated by ``p_k``), seeding the initial
+   simplex with the per-dimension maxima heuristic (Section 6.3.1) — or,
+   in two dimensions, directly with the two extreme-angle records of the
+   paper's angular sweep (Section 6.2). The axis projections of ``p_k``
+   are appended as *virtual* seed points (footnote 6); their half-spaces
+   are redundant inside the query space, so they never change the GIR.
+2. **disk step** — drain the retained BRS search heap; an index node is
+   pruned iff its MBB lies below every fan facet (the MBB then sits in the
+   hull's tangent cone at ``p_k``, whose points induce only implied
+   half-spaces), otherwise it is fetched and its children pushed / records
+   tested against the fan.
+
+Everything runs in g-space, so FP also covers the per-dimension monotone
+functions of Section 7.2 (an extension beyond the paper, which only claims
+SP for them; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.phase1 import phase1_halfspaces
+from repro.core.phase2 import Phase2Output
+from repro.geometry.halfspace import separation_halfspace
+from repro.geometry.incident_facets import FacetFan
+from repro.geometry.polytope import Polytope
+from repro.index.mbb import MBB
+from repro.index.rtree import RStarTree
+from repro.query.brs import BRSRun, make_heap_entry
+from repro.scoring import ScoringFunction
+
+__all__ = ["FPOptions", "phase2_fp", "build_fan", "refine_fans", "virtual_seeds"]
+
+
+@dataclass(frozen=True)
+class FPOptions:
+    """Tuning knobs of FP (all correctness-preserving; used for ablations).
+
+    Attributes
+    ----------
+    use_virtual_seeds:
+        Seed the fan with the apex's axis projections (footnote 6). Off,
+        the initial simplex is built from records only; results are
+        identical, pruning near the query-space walls is weaker.
+    prune_dominated_nodes:
+        Skip heap nodes whose whole MBB is dominated by the apex (the
+        node-level form of the paper's record dominance filter).
+    tighten_with_phase1:
+        Footnote 7: intersect the fetch criterion with the Phase-1 interim
+        region — a node is fetched only if, for some vertex ``v`` of the
+        interim GIR, a point of the node could outscore the apex under
+        ``v``. Off by default (the paper describes it as an optional
+        optimisation).
+    """
+
+    use_virtual_seeds: bool = True
+    prune_dominated_nodes: bool = True
+    tighten_with_phase1: bool = False
+
+
+DEFAULT_FP_OPTIONS = FPOptions()
+
+
+def phase1_vertex_directions(
+    run: BRSRun, points_g: np.ndarray, d: int
+) -> np.ndarray | None:
+    """Vertices of the Phase-1 interim region, used by the footnote-7
+    tightening. ``None`` disables tightening (degenerate interim region).
+
+    A record (or MBB) can shrink the *final* GIR only if it outscores the
+    apex somewhere in the interim region; since scores are linear in the
+    weights, it suffices to check the region's vertices.
+    """
+    order = phase1_halfspaces(run.result, points_g)
+    poly = Polytope.from_unit_box(d).with_constraints(
+        np.asarray([h.normal for h in order]) if order else np.empty((0, d))
+    )
+    verts = poly.vertices()
+    if verts.shape[0] == 0:
+        return None
+    return verts
+
+
+def virtual_seeds(
+    apex_g: np.ndarray, lower_corner_g: np.ndarray
+) -> list[tuple[tuple[str, int], np.ndarray]]:
+    """The axis projections of the apex (footnote 6), in g-space.
+
+    Seed ``i`` keeps the apex's i-th g-coordinate and drops every other
+    coordinate to the g-space lower corner, so the apex dominates it and
+    its separation half-space is redundant inside the query space.
+    """
+    d = apex_g.shape[0]
+    seeds = []
+    for i in range(d):
+        s = lower_corner_g.copy()
+        s[i] = apex_g[i]
+        seeds.append((("virtual", i), s))
+    return seeds
+
+
+def _order_candidates(
+    cands: list[tuple[int, np.ndarray]], apex_g: np.ndarray, weights: np.ndarray
+) -> list[tuple[int, np.ndarray]]:
+    """Processing order for the memory step.
+
+    d = 2: the paper's angular sweep — the minimum- and maximum-angle
+    records around the apex come first (they *are* the interim facets, and
+    every other record is then below both).
+
+    d > 2: the per-dimension maxima heuristic — the d records with maximum
+    value along each g-dimension come first, so early facets prune many of
+    the remaining records immediately.
+    """
+    if len(cands) <= 2:
+        return cands
+    d = apex_g.shape[0]
+    if d == 2:
+        # Angle of (p - apex) within the half-plane strictly below the
+        # sweeping line: basis (t, -q) with t ⟂ q.
+        q = weights / max(np.linalg.norm(weights), 1e-300)
+        t = np.array([-q[1], q[0]])
+        first: list[int] = []
+        angles = []
+        for idx, (_, p) in enumerate(cands):
+            v = p - apex_g
+            angles.append(np.arctan2(max(float(v @ -q), 0.0), float(v @ t)))
+        first = [int(np.argmin(angles)), int(np.argmax(angles))]
+    else:
+        pts = np.asarray([p for _, p in cands])
+        first = list(dict.fromkeys(int(np.argmax(pts[:, j])) for j in range(d)))
+    chosen = set(first)
+    ordered = [cands[i] for i in first]
+    ordered.extend(c for i, c in enumerate(cands) if i not in chosen)
+    return ordered
+
+
+def build_fan(
+    apex_id: int,
+    points: np.ndarray,
+    points_g: np.ndarray,
+    encountered: dict[int, np.ndarray],
+    weights: np.ndarray,
+    lower_corner_g: np.ndarray,
+    use_virtual_seeds: bool = True,
+) -> FacetFan:
+    """Step 1 of FP: the fan over the in-memory records ``T``.
+
+    Records dominated by the apex are discarded up front (they can never
+    overtake it), matching Sections 6.2/6.3.1.
+    """
+    apex = points[apex_id]
+    apex_g = points_g[apex_id]
+    cand_ids = [rid for rid in encountered.keys() if rid != apex_id]
+    # Dominance filter: drop records the apex dominates.
+    kept: list[tuple[int, np.ndarray]] = []
+    for rid in cand_ids:
+        p = points[rid]
+        if (apex >= p).all() and (apex > p).any():
+            continue
+        kept.append((rid, points_g[rid]))
+    ordered = _order_candidates(kept, apex_g, weights)
+    fan = FacetFan(apex_g)
+    candidates = list(ordered)
+    if use_virtual_seeds:
+        candidates += virtual_seeds(apex_g, lower_corner_g)
+    fan.bootstrap(candidates)
+    return fan
+
+
+def refine_fans(
+    tree: RStarTree,
+    points: np.ndarray,
+    points_g: np.ndarray,
+    run: BRSRun,
+    fans: dict[int, FacetFan],
+    scorer: ScoringFunction,
+    metered: bool = True,
+    options: FPOptions = DEFAULT_FP_OPTIONS,
+) -> int:
+    """Step 2 of FP: drain the retained BRS heap, refining every fan.
+
+    A node is pruned only when its (g-space) MBB is below every facet of
+    *every* fan — for the single-fan GIR this is the paper's Section 6.2/
+    6.3.2 rule, and for GIR* the multi-fan rule of Section 7.1. Returns the
+    number of nodes fetched from disk.
+    """
+    read = tree.fetch if metered else tree._node
+    heap = list(run.heap)
+    heapq.heapify(heap)
+    exclude = set(run.result.ids)
+    apexes = {apex_id: points[apex_id] for apex_id in fans}
+    directions: np.ndarray | None = None
+    apex_dir_scores: dict[int, np.ndarray] = {}
+    if options.tighten_with_phase1:
+        directions = phase1_vertex_directions(run, points_g, tree.d)
+        if directions is not None:
+            apex_dir_scores = {
+                apex_id: directions @ points_g[apex_id] for apex_id in fans
+            }
+    fetched = 0
+    while heap:
+        entry = heapq.heappop(heap)
+        top = entry.mbb.upper_corner()
+        if options.prune_dominated_nodes and all(
+            # A node whose entire box is dominated by every apex can only
+            # yield half-spaces implied inside the query space (node-level
+            # form of the Section 6.3.1 record dominance filter).
+            (apex >= top).all() and (apex > top).any()
+            for apex in apexes.values()
+        ):
+            continue
+        mbb_g = MBB(
+            scorer.transform_one(entry.mbb.lo), scorer.transform_one(entry.mbb.hi)
+        )
+        if directions is not None:
+            # Footnote 7: fetch only if some point of the node could
+            # outscore an apex somewhere in the Phase-1 interim region
+            # (checked at the region's vertices; scores are linear there).
+            node_best = directions @ mbb_g.hi
+            if all(
+                (node_best <= apex_dir_scores[apex_id] + 1e-12).all()
+                for apex_id in fans
+            ):
+                continue
+        if not any(fan.mbb_sees(mbb_g) for fan in fans.values()):
+            continue
+        node = read(entry.node_id)
+        fetched += 1
+        if node.is_leaf:
+            rids = [e.child_id for e in node.entries if e.child_id not in exclude]
+            if rids:
+                pts = points[np.asarray(rids, dtype=np.intp)]
+                pts_g = points_g[np.asarray(rids, dtype=np.intp)]
+                for apex_id, fan in fans.items():
+                    apex = apexes[apex_id]
+                    # Dominated records only yield implied half-spaces.
+                    keep = ~((apex >= pts).all(axis=1) & (apex > pts).any(axis=1))
+                    idx = np.flatnonzero(keep)
+                    fan.add_points(
+                        [rids[i] for i in idx], [pts_g[i] for i in idx]
+                    )
+        else:
+            for e in node.entries:
+                heapq.heappush(
+                    heap,
+                    make_heap_entry(
+                        e.mbb, e.child_id, node.level - 1, run.result.weights, scorer
+                    ),
+                )
+    return fetched
+
+
+def phase2_fp(
+    tree: RStarTree,
+    points: np.ndarray,
+    points_g: np.ndarray,
+    run: BRSRun,
+    scorer: ScoringFunction,
+    metered: bool = True,
+    options: FPOptions = DEFAULT_FP_OPTIONS,
+) -> Phase2Output:
+    """Full FP Phase 2: memory step, disk step, half-space extraction."""
+    pk = run.result.kth_id
+    lower_corner_g = scorer.transform_one(np.zeros(tree.d))
+    fan = build_fan(
+        pk,
+        points,
+        points_g,
+        run.encountered,
+        run.result.weights,
+        lower_corner_g,
+        use_virtual_seeds=options.use_virtual_seeds,
+    )
+    fetched = refine_fans(
+        tree, points, points_g, run, {pk: fan}, scorer, metered=metered,
+        options=options,
+    )
+    pk_g = points_g[pk]
+    criticals = sorted(
+        key for key in fan.critical_keys() if not isinstance(key, tuple)
+    )
+    halfspaces = [
+        separation_halfspace(pk_g, points_g[rid], pk, rid) for rid in criticals
+    ]
+    return Phase2Output(
+        halfspaces=halfspaces,
+        candidate_ids=list(criticals),
+        extras={
+            "fan_facets": float(fan.facet_count()),
+            "critical_records": float(len(criticals)),
+            "nodes_fetched_phase2": float(fetched),
+            "fan_degenerate": float(fan.degenerate),
+        },
+    )

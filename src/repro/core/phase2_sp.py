@@ -1,0 +1,68 @@
+"""SP — Skyline Pruning (Section 5.1).
+
+Only records in the skyline ``SL`` of ``D \\ R`` can overtake ``p_k`` first:
+a dominated record's score never exceeds its dominator's under any monotone
+scoring function, so satisfying the dominator's condition implies the
+dominated record's. SP therefore intersects the interim GIR with one
+half-space per skyline record.
+
+``SL`` is obtained with the BBS continuation described in Section 5.1: the
+skyline of the records already encountered by BRS, refined by draining the
+retained BRS search heap.
+
+SP is the one method that remains applicable to general monotone scoring
+functions (Section 7.2): dominance pruning is function-agnostic, and the
+half-spaces are formed in g-space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.phase2 import Phase2Output
+from repro.geometry.halfspace import separation_halfspace
+from repro.index.rtree import RStarTree
+from repro.query.bbs import bbs_skyline
+from repro.query.brs import BRSRun
+from repro.scoring import ScoringFunction
+
+__all__ = ["phase2_sp", "skyline_candidates"]
+
+
+def skyline_candidates(
+    tree: RStarTree,
+    points: np.ndarray,
+    run: BRSRun,
+    scorer: ScoringFunction,
+    metered: bool = True,
+) -> list[int]:
+    """The skyline ``SL`` of the non-result records (shared by SP and CP)."""
+    return bbs_skyline(tree, points, run=run, scorer=scorer, metered=metered)
+
+
+def phase2_sp(
+    tree: RStarTree,
+    points: np.ndarray,
+    points_g: np.ndarray,
+    run: BRSRun,
+    scorer: ScoringFunction,
+    metered: bool = True,
+    skyline: list[int] | None = None,
+) -> Phase2Output:
+    """Derive separation half-spaces from every skyline record.
+
+    ``skyline`` can be supplied to reuse an already-computed ``SL`` (the
+    GIR* path computes it once for all result records).
+    """
+    if skyline is None:
+        skyline = skyline_candidates(tree, points, run, scorer, metered=metered)
+    pk = run.result.kth_id
+    pk_g = points_g[pk]
+    halfspaces = [
+        separation_halfspace(pk_g, points_g[rid], pk, rid) for rid in skyline
+    ]
+    return Phase2Output(
+        halfspaces=halfspaces,
+        candidate_ids=list(skyline),
+        extras={"skyline_size": float(len(skyline))},
+    )

@@ -1,0 +1,167 @@
+"""GIR visualisation aids (Section 7.3).
+
+Being a d-dimensional polytope, the GIR cannot be shown directly for
+``d > 2``. The paper proposes two devices, both implemented here:
+
+* **MAH** — the maximum-volume axis-parallel hyper-rectangle that contains
+  the query vector and lies inside the GIR (an instance of the bichromatic
+  rectangle problem). Its per-axis sides give *fixed* slide-bar bounds
+  (Figure 1(a)) valid as long as the query stays inside the MAH.
+* **Interactive projection** — project the (possibly shifted) query onto
+  the GIR along each axis, producing per-axis bounds that are maximal but
+  must be recomputed as the user moves the query. These ranges equal the
+  LIRs of [24].
+
+The MAH is found by maximising ``Σ log(u_i − l_i)`` subject to linear
+constraints: the max of ``a · x`` over a box is corner-separable
+(``Σ_i max(a_i l_i, a_i u_i)``), so "every box corner satisfies ``a·x ≤ b``"
+is a single linear constraint in ``(l, u)`` per GIR facet — a convex
+program solved with SLSQP, with a pure-LP (max-perimeter) fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import LinearConstraint, linprog, minimize
+
+__all__ = ["AxisRectangle", "maximal_axis_rectangle", "interactive_projection"]
+
+_GAP_FLOOR = 1e-12
+
+
+@dataclass(frozen=True)
+class AxisRectangle:
+    """Axis-parallel box ``[lo, hi]`` with convenience accessors."""
+
+    lo: np.ndarray
+    hi: np.ndarray
+
+    def volume(self) -> float:
+        return float(np.prod(np.maximum(self.hi - self.lo, 0.0)))
+
+    def contains(self, x: np.ndarray, tol: float = 1e-9) -> bool:
+        x = np.asarray(x, dtype=np.float64)
+        return bool((x >= self.lo - tol).all() and (x <= self.hi + tol).all())
+
+    def intervals(self) -> list[tuple[float, float]]:
+        return [(float(l), float(h)) for l, h in zip(self.lo, self.hi)]
+
+
+def _corner_constraint_matrix(A: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Linear map ``(l, u) → max over box corners of A x``.
+
+    Row ``i`` of the returned pair ``(L, U)`` satisfies
+    ``max_corner A_i·x = L_i·l + U_i·u`` with ``U = max(A, 0)``,
+    ``L = min(A, 0)``.
+    """
+    return np.minimum(A, 0.0), np.maximum(A, 0.0)
+
+
+def maximal_axis_rectangle(gir, shrink_start: float = 0.5) -> AxisRectangle:
+    """The MAH: max-volume axis box inside the GIR containing the query.
+
+    Parameters
+    ----------
+    gir:
+        A :class:`~repro.core.gir.GIRResult` (or GIR*-result — anything
+        with ``polytope`` and ``weights``).
+    shrink_start:
+        Fraction of the per-axis interactive-projection interval used as
+        the optimiser's feasible starting box.
+    """
+    poly = gir.polytope
+    q = np.asarray(gir.weights, dtype=np.float64)
+    d = poly.d
+    A, b = poly.A, poly.b
+    L, U = _corner_constraint_matrix(A)
+
+    # Feasible start: the interactive-projection box shrunk toward q.
+    start_lo, start_hi = np.empty(d), np.empty(d)
+    for axis in range(d):
+        lo, hi = poly.axis_interval(axis, q)
+        if not np.isfinite(lo) or not np.isfinite(hi):
+            lo = hi = q[axis]
+        start_lo[axis] = q[axis] - shrink_start * max(q[axis] - lo, 0.0)
+        start_hi[axis] = q[axis] + shrink_start * max(hi - q[axis], 0.0)
+
+    # Constraint matrix over the stacked variable z = (l, u).
+    M = np.hstack([L, U])  # corner-max rows: M z <= b
+    # l <= q, q <= u, l <= u encoded as linear rows.
+    eye = np.eye(d)
+    rows = [M]
+    rhs = [b]
+    rows.append(np.hstack([eye, np.zeros((d, d))]))  # l <= q
+    rhs.append(q)
+    rows.append(np.hstack([np.zeros((d, d)), -eye]))  # -u <= -q
+    rhs.append(-q)
+    rows.append(np.hstack([eye, -eye]))  # l - u <= 0
+    rhs.append(np.zeros(d))
+    A_ub = np.vstack(rows)
+    b_ub = np.concatenate(rhs)
+
+    def neg_log_volume(z: np.ndarray) -> float:
+        gaps = np.maximum(z[d:] - z[:d], _GAP_FLOOR)
+        return -float(np.sum(np.log(gaps)))
+
+    def grad(z: np.ndarray) -> np.ndarray:
+        gaps = np.maximum(z[d:] - z[:d], _GAP_FLOOR)
+        g = np.empty(2 * d)
+        g[:d] = 1.0 / gaps
+        g[d:] = -1.0 / gaps
+        return g
+
+    def volume_of(z: np.ndarray) -> float:
+        return float(np.prod(np.maximum(z[d:] - z[:d], 0.0)))
+
+    # The per-axis intervals are individually feasible but their box need
+    # not be (the corner-max constraints couple axes): shrink toward the
+    # degenerate box {q} — always feasible for q inside the GIR — until the
+    # start satisfies every constraint.
+    z0 = np.concatenate([start_lo, start_hi])
+    z_q = np.concatenate([q, q])
+    t = 1.0
+    while t > 1e-6 and not _box_feasible(z0, A_ub, b_ub):
+        t *= 0.6
+        z0 = z_q + t * (np.concatenate([start_lo, start_hi]) - z_q)
+    if not _box_feasible(z0, A_ub, b_ub):
+        z0 = z_q
+
+    result = minimize(
+        neg_log_volume,
+        z0,
+        jac=grad,
+        constraints=[LinearConstraint(A_ub, -np.inf, b_ub)],
+        method="SLSQP",
+        options={"maxiter": 300, "ftol": 1e-12},
+    )
+
+    # Pick the best feasible candidate: the optimiser's answer, the shrunk
+    # start, or the max-perimeter LP solution (corner-prone but feasible).
+    candidates = [z0]
+    if _box_feasible(result.x, A_ub, b_ub):
+        candidates.append(result.x)
+    c = np.concatenate([np.ones(d), -np.ones(d)])  # minimise Σ(l - u)
+    lp = linprog(c, A_ub=A_ub, b_ub=b_ub, bounds=[(None, None)] * 2 * d, method="highs")
+    if lp.success and _box_feasible(lp.x, A_ub, b_ub):
+        candidates.append(lp.x)
+    candidate = max(candidates, key=volume_of)
+    lo, hi = candidate[:d], candidate[d:]
+    return AxisRectangle(lo=np.minimum(lo, hi), hi=np.maximum(lo, hi))
+
+
+def _box_feasible(z: np.ndarray, A_ub: np.ndarray, b_ub: np.ndarray) -> bool:
+    return bool((A_ub @ z <= b_ub + 1e-8).all())
+
+
+def interactive_projection(gir, at: np.ndarray | None = None) -> list[tuple[float, float]]:
+    """Per-axis permissible ranges of the (possibly shifted) query vector.
+
+    Projects ``at`` (default: the original query) onto the GIR along each
+    axis (Figure 13(b)). The returned intervals are maximal — they span the
+    full extent of the GIR on each axis line — and match the LIRs of [24]
+    when evaluated at the original query vector.
+    """
+    base = np.asarray(at if at is not None else gir.weights, dtype=np.float64)
+    return [gir.polytope.axis_interval(axis, base) for axis in range(gir.polytope.d)]

@@ -1,0 +1,26 @@
+"""Datasets for GIR experiments.
+
+Provides the :class:`Dataset` container, the three synthetic benchmark
+distributions from the skyline/preference-query literature (independent,
+correlated, anti-correlated), and surrogates for the paper's two real
+datasets (HOUSE, HOTEL).
+"""
+
+from repro.data.dataset import Dataset
+from repro.data.real import house_surrogate, hotel_surrogate
+from repro.data.synthetic import (
+    anticorrelated,
+    correlated,
+    independent,
+    make_synthetic,
+)
+
+__all__ = [
+    "Dataset",
+    "independent",
+    "correlated",
+    "anticorrelated",
+    "make_synthetic",
+    "house_surrogate",
+    "hotel_surrogate",
+]

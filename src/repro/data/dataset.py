@@ -1,0 +1,141 @@
+"""Dataset container used across the library.
+
+A :class:`Dataset` wraps an ``(n, d)`` float64 array of records normalised to
+the unit hyper-cube ``[0, 1]^d``, exactly as assumed by the paper
+(Section 3.1). Records are addressed by integer ids ``0 .. n-1`` which are
+stable across all index and query structures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Dataset"]
+
+
+class Dataset:
+    """An immutable collection of ``n`` records with ``d`` numeric attributes.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)``. Values are expected in ``[0, 1]``; use
+        :meth:`from_raw` to min-max normalise arbitrary data first.
+    name:
+        Human-readable label used in benchmark reports.
+    """
+
+    __slots__ = ("points", "name")
+
+    def __init__(self, points: np.ndarray, name: str = "dataset") -> None:
+        points = np.array(points, dtype=np.float64, copy=True)
+        if points.ndim != 2:
+            raise ValueError(f"points must be 2-dimensional, got shape {points.shape}")
+        if points.shape[0] == 0 or points.shape[1] == 0:
+            raise ValueError(f"dataset must be non-empty, got shape {points.shape}")
+        if not np.isfinite(points).all():
+            raise ValueError("points must be finite")
+        if points.min() < -1e-9 or points.max() > 1 + 1e-9:
+            raise ValueError(
+                "points must lie in [0, 1]^d; use Dataset.from_raw to normalise"
+            )
+        np.clip(points, 0.0, 1.0, out=points)
+        points.setflags(write=False)
+        self.points = points
+        self.name = str(name)
+
+    # -- basic geometry -----------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of records."""
+        return int(self.points.shape[0])
+
+    @property
+    def d(self) -> int:
+        """Dimensionality (number of attributes)."""
+        return int(self.points.shape[1])
+
+    def __len__(self) -> int:
+        return self.n
+
+    def record(self, rid: int) -> np.ndarray:
+        """Return the attribute vector of record ``rid`` (read-only view)."""
+        return self.points[rid]
+
+    def __getitem__(self, rid: int) -> np.ndarray:
+        return self.points[rid]
+
+    # -- scoring ------------------------------------------------------------
+
+    def scores(self, weights: np.ndarray) -> np.ndarray:
+        """Dot-product scores of every record under query vector ``weights``."""
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (self.d,):
+            raise ValueError(f"expected weight vector of shape ({self.d},)")
+        return self.points @ weights
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_raw(cls, raw: np.ndarray, name: str = "dataset") -> "Dataset":
+        """Min-max normalise ``raw`` per attribute into ``[0, 1]^d``.
+
+        Constant attributes (zero spread) map to 0.5 so they carry no
+        preference signal but stay inside the unit cube.
+        """
+        raw = np.asarray(raw, dtype=np.float64)
+        if raw.ndim != 2:
+            raise ValueError("raw data must be 2-dimensional")
+        lo = raw.min(axis=0)
+        hi = raw.max(axis=0)
+        spread = hi - lo
+        constant = spread <= 0
+        safe_spread = np.where(constant, 1.0, spread)
+        normalised = (raw - lo) / safe_spread
+        normalised[:, constant] = 0.5
+        return cls(normalised, name=name)
+
+    @classmethod
+    def from_csv(
+        cls,
+        path,
+        name: str | None = None,
+        delimiter: str = ",",
+        skip_header: int = 1,
+        columns: "list[int] | None" = None,
+        normalise: bool = True,
+    ) -> "Dataset":
+        """Load records from a CSV file.
+
+        Parameters
+        ----------
+        path:
+            File path (anything ``numpy.genfromtxt`` accepts).
+        skip_header:
+            Header lines to skip (default 1).
+        columns:
+            Attribute columns to use (default: all).
+        normalise:
+            Min-max normalise into ``[0, 1]^d`` (default). Disable only if
+            the file already contains unit-cube data.
+        """
+        raw = np.genfromtxt(path, delimiter=delimiter, skip_header=skip_header)
+        if raw.ndim == 1:
+            raw = raw[:, None]
+        if columns is not None:
+            raw = raw[:, columns]
+        if not np.isfinite(raw).all():
+            raise ValueError(f"{path}: non-numeric or missing values in data")
+        label = name or str(path)
+        if normalise:
+            return cls.from_raw(raw, name=label)
+        return cls(raw, name=label)
+
+    def subset(self, rids: np.ndarray, name: str | None = None) -> "Dataset":
+        """Dataset restricted to the given record ids (ids are re-numbered)."""
+        rids = np.asarray(rids, dtype=np.intp)
+        return Dataset(self.points[rids], name=name or f"{self.name}[subset]")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dataset(name={self.name!r}, n={self.n}, d={self.d})"

@@ -1,0 +1,99 @@
+"""Half-spaces of query space and their provenance.
+
+Every GIR condition (Definition 1) has the form ``(p − p') · q' ≥ 0`` — a
+half-space whose bounding hyperplane passes through the origin of query
+space (Section 3.2, footnote 2). Besides the normal vector we record
+*which records induced the condition*, because the bounding half-spaces
+directly encode the result perturbation at the GIR boundary:
+
+* an **order** half-space ``(p_i − p_{i+1}) · q' ≥ 0`` → crossing it swaps
+  the ranks of ``p_i`` and ``p_{i+1}``;
+* a **separation** half-space ``(p_k − p) · q' ≥ 0`` → crossing it replaces
+  the k-th result record with the non-result record ``p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Halfspace", "order_halfspace", "separation_halfspace"]
+
+
+@dataclass(frozen=True)
+class Halfspace:
+    """The constraint ``normal · q' ≥ 0`` in query space.
+
+    Attributes
+    ----------
+    normal:
+        Coefficient vector ``a`` of the constraint ``a · q' ≥ 0``.
+    kind:
+        ``"order"`` (rank swap inside R), ``"separation"`` (non-result
+        record overtaking p_k) or ``"virtual"`` (redundant scaffolding from
+        FP seed points, see Section 6.2).
+    upper:
+        Record id that must keep the higher score (``p_i`` or ``p_k``).
+    lower:
+        Record id that must stay below (``p_{i+1}`` or the non-result
+        record ``p``); ``None`` for virtual constraints.
+    """
+
+    normal: np.ndarray
+    kind: str
+    upper: int
+    lower: int | None
+
+    def __post_init__(self) -> None:
+        normal = np.asarray(self.normal, dtype=np.float64)
+        normal.setflags(write=False)
+        object.__setattr__(self, "normal", normal)
+        if self.kind not in ("order", "separation", "virtual"):
+            raise ValueError(f"unknown halfspace kind {self.kind!r}")
+
+    def satisfied(self, q: np.ndarray, tol: float = 1e-12) -> bool:
+        """Is ``q`` inside (or on the boundary of) the half-space?"""
+        return float(self.normal @ np.asarray(q, dtype=np.float64)) >= -tol
+
+    def slack(self, q: np.ndarray) -> float:
+        """Signed margin ``normal · q`` (negative = violated)."""
+        return float(self.normal @ np.asarray(q, dtype=np.float64))
+
+    def describe(self) -> str:
+        """Human-readable perturbation semantics (Section 3.2)."""
+        if self.kind == "order":
+            return (
+                f"record {self.lower} overtakes record {self.upper} "
+                "(reorder within the top-k)"
+            )
+        if self.kind == "separation":
+            return (
+                f"record {self.lower} replaces record {self.upper} "
+                "as the k-th result"
+            )
+        return "query-space boundary (no result change inside [0,1]^d)"
+
+
+def order_halfspace(
+    p_upper: np.ndarray, p_lower: np.ndarray, upper_id: int, lower_id: int
+) -> Halfspace:
+    """Phase-1 condition ``S(p_i, q') ≥ S(p_{i+1}, q')``."""
+    return Halfspace(
+        normal=np.asarray(p_upper, float) - np.asarray(p_lower, float),
+        kind="order",
+        upper=upper_id,
+        lower=lower_id,
+    )
+
+
+def separation_halfspace(
+    p_k: np.ndarray, p: np.ndarray, pk_id: int, p_id: int | None, virtual: bool = False
+) -> Halfspace:
+    """Phase-2 condition ``S(p_k, q') ≥ S(p, q')``."""
+    return Halfspace(
+        normal=np.asarray(p_k, float) - np.asarray(p, float),
+        kind="virtual" if virtual else "separation",
+        upper=pk_id,
+        lower=p_id,
+    )

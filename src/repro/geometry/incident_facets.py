@@ -1,0 +1,326 @@
+"""The facet fan: incremental maintenance of hull facets incident to an apex.
+
+This is the core data structure of the paper's FP algorithm (Section 6.3).
+Instead of the full convex hull ``CH' = hull({p_k} ∪ D\\R)``, FP maintains
+only the *star* of the apex ``p_k``: the facets of the hull that are
+incident to it. Soundness of maintaining the star in isolation rests on two
+facts (proved in DESIGN.md §5):
+
+1. every ridge containing the apex is shared by exactly two facets that both
+   contain the apex, so an inserted point can alter the star only if it is
+   *above* (sees) one of the star's facets — points below every star facet
+   can reshape only the remote part of the hull;
+2. the apex is a vertex of every partial hull, because the query hyperplane
+   through ``p_k`` separates it from every other inserted point (they all
+   score strictly below it).
+
+The fan also powers the branch-and-bound refinement of FP's second step:
+an R-tree node can be pruned iff its MBB is below every fan facet, because
+the "beneath-all-incident-facets" cone is the tangent cone of the hull at
+the apex, whose points induce only half-spaces implied by the fan's.
+
+Performance note: facet normals and offsets are kept stacked in numpy
+arrays so visibility tests — the inner loop of FP — are single mat-vecs,
+not per-facet Python loops. High dimensions produce thousands of incident
+facets (Figure 8(b)), which makes this the difference between FP winning
+and losing the CPU comparison of Figure 15.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from repro.geometry.predicates import EPS, affine_rank_basis
+from repro.index.mbb import MBB
+
+__all__ = ["FanFacet", "FacetFan", "FanError"]
+
+PointKey = Hashable
+
+
+class FanError(RuntimeError):
+    """Raised when fan invariants break (apex not a hull vertex)."""
+
+
+class FanFacet:
+    """One star facet: the apex plus ``d − 1`` other vertices.
+
+    ``normal`` points away from the hull interior, and because every fan
+    facet passes through the apex, its offset is ``normal · apex``.
+    """
+
+    __slots__ = ("others", "normal", "offset")
+
+    def __init__(self, others: frozenset[PointKey], normal: np.ndarray, offset: float):
+        self.others = others
+        self.normal = normal
+        self.offset = offset
+
+    def is_above(self, point: np.ndarray, eps: float = EPS) -> bool:
+        return float(self.normal @ point) > self.offset + eps
+
+    def mbb_above(self, mbb: MBB, eps: float = EPS) -> bool:
+        """True iff some corner of ``mbb`` lies strictly above the facet
+        (the max of a linear function over a box is corner-separable)."""
+        best = float(np.where(self.normal > 0, mbb.hi, mbb.lo) @ self.normal)
+        return best > self.offset + eps
+
+
+class FacetFan:
+    """Incrementally maintained star of facets around an apex point.
+
+    Parameters
+    ----------
+    apex:
+        The pinned point ``p_k`` (in data or g-space).
+    eps:
+        Sidedness tolerance.
+
+    Usage: feed candidate points via :meth:`bootstrap` (which greedily forms
+    the initial full-dimensional simplex and then inserts the rest), then
+    :meth:`add_point` for further points, and finally read
+    :meth:`critical_keys`.
+    """
+
+    def __init__(self, apex: np.ndarray, eps: float = EPS) -> None:
+        apex = np.asarray(apex, dtype=np.float64)
+        if apex.ndim != 1 or apex.shape[0] < 2:
+            raise ValueError("apex must be a vector of dimension >= 2")
+        self.apex = apex
+        self.d = int(apex.shape[0])
+        self.eps = eps
+        self.points: dict[PointKey, np.ndarray] = {}
+        self._others: list[frozenset[PointKey]] = []
+        self._normals = np.empty((0, self.d))
+        self._offsets = np.empty(0)
+        self._pos = np.empty((0, self.d))  # max(normal, 0), for MBB tests
+        self._neg = np.empty((0, self.d))  # min(normal, 0)
+        self._interior: np.ndarray | None = None
+        self._degenerate = False
+
+    # -- facet storage ------------------------------------------------------
+
+    @property
+    def facets(self) -> list[FanFacet]:
+        """Materialised facet objects (for inspection/tests)."""
+        return [
+            FanFacet(o, self._normals[i], float(self._offsets[i]))
+            for i, o in enumerate(self._others)
+        ]
+
+    def facet_count(self) -> int:
+        return len(self._others)
+
+    def _set_facets(
+        self, others: list[frozenset[PointKey]], normals: list[np.ndarray], offsets: list[float]
+    ) -> None:
+        self._others = others
+        if others:
+            self._normals = np.vstack(normals)
+            self._offsets = np.asarray(offsets, dtype=np.float64)
+        else:
+            self._normals = np.empty((0, self.d))
+            self._offsets = np.empty(0)
+        self._pos = np.maximum(self._normals, 0.0)
+        self._neg = np.minimum(self._normals, 0.0)
+
+    # -- construction -------------------------------------------------------
+
+    def bootstrap(self, candidates: Iterable[tuple[PointKey, np.ndarray]]) -> None:
+        """Initialise the fan from candidate ``(key, point)`` pairs.
+
+        The first ``d`` affinely independent (with the apex) candidates form
+        the initial simplex; every other candidate is then inserted with
+        :meth:`add_point`. Candidates that span fewer than ``d`` dimensions
+        leave a lower-dimensional fan: ``facets`` stays empty and *every*
+        candidate is recorded as critical (a safe fallback — their
+        half-spaces are simply all kept).
+        """
+        cand = [(k, np.asarray(p, dtype=np.float64)) for k, p in candidates]
+        basis_idx = affine_rank_basis(self.apex, [p for _, p in cand], self.d)
+        if len(basis_idx) < self.d:
+            # Degenerate input: no full-dimensional hull exists. Keep every
+            # candidate as critical — correct, merely unpruned.
+            for key, p in cand:
+                self.points[key] = p
+            self._degenerate = True
+            return
+        simplex = [cand[i] for i in basis_idx]
+        for key, p in simplex:
+            self.points[key] = p
+        all_vertices = np.vstack([self.apex] + [p for _, p in simplex])
+        self._interior = all_vertices.mean(axis=0)
+        keys = [key for key, _ in simplex]
+        others_list, normals, offsets = [], [], []
+        for omit in range(self.d):
+            others = frozenset(k for j, k in enumerate(keys) if j != omit)
+            geom = self._facet_geometry(others)
+            if geom is None:
+                raise FanError("initial simplex produced a flat facet")
+            others_list.append(others)
+            normals.append(geom[0])
+            offsets.append(geom[1])
+        self._set_facets(others_list, normals, offsets)
+        chosen = set(basis_idx)
+        rest_keys = [cand[i][0] for i in range(len(cand)) if i not in chosen]
+        rest_pts = [cand[i][1] for i in range(len(cand)) if i not in chosen]
+        self.add_points(rest_keys, rest_pts)
+
+    def _facet_geometry(
+        self, others: frozenset[PointKey]
+    ) -> tuple[np.ndarray, float] | None:
+        """Hyperplane through apex + ``others``, oriented away from the
+        interior reference; ``None`` when the points are affinely flat."""
+        assert self._interior is not None
+        vs = np.vstack([self.points[k] for k in others])
+        edges = vs - self.apex
+        _, _, vt = np.linalg.svd(edges)
+        normal = vt[-1]
+        offset = float(normal @ self.apex)
+        side = float(normal @ self._interior) - offset
+        if abs(side) <= 1e-13:
+            return None
+        if side > 0:
+            normal, offset = -normal, -offset
+        return normal, float(offset)
+
+    # -- incremental update (Section 6.3.1) -----------------------------------
+
+    @property
+    def degenerate(self) -> bool:
+        return self._degenerate
+
+    def add_points(self, keys: list[PointKey], pts: list[np.ndarray]) -> None:
+        """Insert a batch of points, cheaply skipping the invisible ones.
+
+        Visibility of the whole batch is evaluated in one matrix product
+        against the current facet stack as a prefilter; survivors are then
+        inserted one by one (:meth:`add_point` re-checks visibility itself,
+        so points shadowed by an earlier insertion are dropped exactly).
+        """
+        if self._degenerate:
+            for k, p in zip(keys, pts):
+                self.points[k] = p
+            return
+        if not keys:
+            return
+        pmat = np.asarray(pts)
+        seen = (pmat @ self._normals.T - self._offsets > self.eps).any(axis=1)
+        for idx in np.flatnonzero(seen):
+            self.add_point(keys[int(idx)], pmat[idx])
+
+    def add_point(self, key: PointKey, point: np.ndarray) -> bool:
+        """Insert a point; returns True iff it changed the fan.
+
+        Implements the paper's update: collect the facets the point sees
+        (``F_v``), find the horizon ridges *incident to the apex* (ridges of
+        ``F_v`` facets shared with unseen facets), drop ``F_v`` and connect
+        the point to each retained ridge.
+        """
+        point = np.asarray(point, dtype=np.float64)
+        if self._degenerate:
+            self.points[key] = point
+            return True
+        if not self._others:
+            raise FanError("bootstrap the fan before adding points")
+        above = self._normals @ point - self._offsets > self.eps
+        if not above.any():
+            return False
+        self.points[key] = point
+        visible_idx = np.flatnonzero(above)
+        # Ridges containing the apex: drop one non-apex vertex. A ridge seen
+        # by exactly one visible facet borders an unseen facet => horizon.
+        ridge_count: dict[frozenset[PointKey], int] = {}
+        for i in visible_idx:
+            others = self._others[i]
+            for v in others:
+                ridge = others - {v}
+                ridge_count[ridge] = ridge_count.get(ridge, 0) + 1
+        horizon = [r for r, c in ridge_count.items() if c == 1]
+        if not horizon:
+            raise FanError(
+                "no horizon ridge: the apex is not a hull vertex — inserted "
+                "points must score strictly below the apex under the query"
+            )
+        keep = ~above
+        others_list = [o for o, k in zip(self._others, keep) if k]
+        normals = [self._normals[i] for i in np.flatnonzero(keep)]
+        offsets = [float(self._offsets[i]) for i in np.flatnonzero(keep)]
+        new_others, new_normals, new_offsets = self._facet_geometry_batch(
+            [ridge | {key} for ridge in horizon]
+        )
+        # Degenerate slivers are skipped by the batch helper; the
+        # eps-tolerance of the neighbouring facets covers the gap
+        # (joggle-style resolution).
+        others_list.extend(new_others)
+        normals.extend(new_normals)
+        offsets.extend(new_offsets)
+        self._set_facets(others_list, normals, offsets)
+        return True
+
+    def _facet_geometry_batch(
+        self, others_sets: list[frozenset[PointKey]]
+    ) -> tuple[list[frozenset[PointKey]], list[np.ndarray], list[float]]:
+        """Vectorised :meth:`_facet_geometry` for many facets at once.
+
+        High dimensions create dozens of facets per insertion; one batched
+        SVD call replaces per-facet Python-loop linear algebra.
+        """
+        assert self._interior is not None
+        if not others_sets:
+            return [], [], []
+        edges = np.empty((len(others_sets), self.d - 1, self.d))
+        for i, others in enumerate(others_sets):
+            vs = np.vstack([self.points[k] for k in others])
+            edges[i] = vs - self.apex
+        _, _, vt = np.linalg.svd(edges)
+        normals = vt[:, -1, :]  # null-space direction per facet
+        offsets = normals @ self.apex
+        sides = normals @ self._interior - offsets
+        flip = sides > 0
+        normals[flip] = -normals[flip]
+        offsets[flip] = -offsets[flip]
+        ok = np.abs(sides) > 1e-13
+        return (
+            [o for o, good in zip(others_sets, ok) if good],
+            [normals[i] for i in np.flatnonzero(ok)],
+            [float(offsets[i]) for i in np.flatnonzero(ok)],
+        )
+
+    # -- queries ----------------------------------------------------------------
+
+    def sees(self, point: np.ndarray) -> bool:
+        """Is the point above at least one fan facet (i.e. potentially
+        critical)?"""
+        if self._degenerate:
+            return True
+        p = np.asarray(point, dtype=np.float64)
+        return bool((self._normals @ p - self._offsets > self.eps).any())
+
+    def seen_mask(self, pts: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`sees` for an ``(m, d)`` batch."""
+        if self._degenerate:
+            return np.ones(pts.shape[0], dtype=bool)
+        return (pts @ self._normals.T - self._offsets > self.eps).any(axis=1)
+
+    def mbb_sees(self, mbb: MBB, eps: float | None = None) -> bool:
+        """Can any point of the MBB lie above some fan facet? (False ⇒ the
+        R-tree node is prunable, per Section 6.2/6.3.2.)"""
+        if self._degenerate:
+            return True
+        eps = self.eps if eps is None else eps
+        best = self._pos @ mbb.hi + self._neg @ mbb.lo
+        return bool((best - self._offsets > eps).any())
+
+    def critical_keys(self) -> set[PointKey]:
+        """Keys of the records incident to the maintained facets — the
+        paper's *critical records* (plus every candidate in the degenerate
+        fallback)."""
+        if self._degenerate:
+            return set(self.points.keys())
+        out: set[PointKey] = set()
+        for others in self._others:
+            out |= others
+        return out

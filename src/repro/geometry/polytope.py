@@ -1,0 +1,293 @@
+"""Convex polytopes in H-representation, for GIR regions.
+
+The GIR is an intersection of half-spaces through the origin, clipped to the
+query space ``[0,1]^d`` (Section 3.2): a polyhedral cone ∩ unit box. This
+module wraps that as a general ``A x ≤ b`` polytope and provides, on top of
+scipy's qhull bindings (the library the paper itself uses for half-space
+intersection):
+
+* a strictly interior point via the Chebyshev centre (linear program);
+* vertex enumeration (``scipy.spatial.HalfspaceIntersection``);
+* exact volume (qhull) — the paper's sensitivity measure is
+  ``vol(GIR) / vol(query space)`` (Figure 14);
+* per-axis intervals through a base point — the paper's *interactive
+  projection* visualisation, which recovers the LIRs of [24] (Section 7.3);
+* redundancy classification of constraints (which half-spaces actually
+  bound the region — these carry the result perturbations of Section 3.2);
+* uniform sampling, used by the test-suite's semantic checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.spatial import ConvexHull, HalfspaceIntersection, QhullError
+
+__all__ = ["Polytope"]
+
+_DEGENERATE_RADIUS = 1e-11
+
+
+class Polytope:
+    """The region ``{x : A x ≤ b}``.
+
+    Rows of ``A`` keep their index identity so callers can map facet-ness
+    back to the half-space (and hence the record pair) that produced each
+    row. Use :meth:`from_unit_box` / :meth:`with_constraints` to build.
+    """
+
+    def __init__(self, A: np.ndarray, b: np.ndarray) -> None:
+        A = np.asarray(A, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if A.ndim != 2 or b.ndim != 1 or A.shape[0] != b.shape[0]:
+            raise ValueError("need A of shape (m, d) and b of shape (m,)")
+        self.A = A
+        self.b = b
+        self._cheb: tuple[np.ndarray, float] | None = None
+        self._vertices: np.ndarray | None = None
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_unit_box(cls, d: int) -> "Polytope":
+        """The query space ``[0, 1]^d``."""
+        eye = np.eye(d)
+        A = np.vstack([eye, -eye])
+        b = np.concatenate([np.ones(d), np.zeros(d)])
+        return cls(A, b)
+
+    def with_constraints(self, normals: np.ndarray) -> "Polytope":
+        """Intersect with half-spaces ``normal · x ≥ 0`` (GIR conditions).
+
+        ``normals`` is ``(m, d)``; rows are appended in order after the
+        existing rows, preserving index identity.
+        """
+        normals = np.atleast_2d(np.asarray(normals, dtype=np.float64))
+        if normals.size == 0:
+            return Polytope(self.A.copy(), self.b.copy())
+        A = np.vstack([self.A, -normals])
+        b = np.concatenate([self.b, np.zeros(normals.shape[0])])
+        return Polytope(A, b)
+
+    @property
+    def d(self) -> int:
+        return int(self.A.shape[1])
+
+    @property
+    def m(self) -> int:
+        """Number of constraints."""
+        return int(self.A.shape[0])
+
+    # -- membership ----------------------------------------------------------------
+
+    def contains(self, x: np.ndarray, tol: float = 1e-9) -> bool:
+        x = np.asarray(x, dtype=np.float64)
+        return bool((self.A @ x <= self.b + tol).all())
+
+    def slacks(self, x: np.ndarray) -> np.ndarray:
+        """Per-constraint slack ``b − A x`` (negative = violated)."""
+        return self.b - self.A @ np.asarray(x, dtype=np.float64)
+
+    # -- interior ------------------------------------------------------------------
+
+    def chebyshev_center(self) -> tuple[np.ndarray, float]:
+        """Centre and radius of the largest inscribed ball.
+
+        Radius ``<= 0`` (practically, below ``1e-11``) means the region is
+        empty or lower-dimensional.
+        """
+        if self._cheb is not None:
+            return self._cheb
+        norms = np.linalg.norm(self.A, axis=1)
+        # Variables (x, r): maximise r  s.t.  A x + ||A_i|| r <= b, r >= 0.
+        c = np.zeros(self.d + 1)
+        c[-1] = -1.0
+        A_ub = np.hstack([self.A, norms[:, None]])
+        bounds = [(None, None)] * self.d + [(0, None)]
+        res = linprog(c, A_ub=A_ub, b_ub=self.b, bounds=bounds, method="highs")
+        if not res.success:
+            self._cheb = (np.full(self.d, np.nan), -1.0)
+        else:
+            self._cheb = (res.x[: self.d], float(res.x[-1]))
+        return self._cheb
+
+    def is_empty(self, tol: float = _DEGENERATE_RADIUS) -> bool:
+        """True when the region has no full-dimensional interior."""
+        return self.chebyshev_center()[1] <= tol
+
+    # -- vertices & volume ------------------------------------------------------------
+
+    def vertices(self) -> np.ndarray:
+        """Vertex set via qhull half-space intersection.
+
+        Empty array when the region is empty or lower-dimensional.
+        """
+        if self._vertices is not None:
+            return self._vertices
+        centre, radius = self.chebyshev_center()
+        if radius <= _DEGENERATE_RADIUS:
+            self._vertices = np.empty((0, self.d))
+            return self._vertices
+        halfspaces = np.hstack([self.A, -self.b[:, None]])
+        try:
+            hs = HalfspaceIntersection(halfspaces, centre)
+            verts = hs.intersections
+        except QhullError:
+            try:
+                hs = HalfspaceIntersection(halfspaces, centre, qhull_options="QJ")
+                verts = hs.intersections
+            except QhullError:
+                self._vertices = np.empty((0, self.d))
+                return self._vertices
+        verts = verts[np.isfinite(verts).all(axis=1)]
+        # Deduplicate (qhull reports one point per facet-intersection).
+        if len(verts):
+            verts = np.unique(np.round(verts, 12), axis=0)
+        self._vertices = verts
+        return self._vertices
+
+    def volume(self) -> float:
+        """Euclidean volume; 0 for empty / lower-dimensional regions.
+
+        Falls back to Monte-Carlo estimation when qhull cannot triangulate
+        the vertex set (near-degenerate high-dimensional regions), per the
+        approximate-representation route of Section 7.2.
+        """
+        verts = self.vertices()
+        if verts.shape[0] < self.d + 1:
+            return 0.0
+        try:
+            return float(ConvexHull(verts).volume)
+        except QhullError:
+            try:
+                return float(ConvexHull(verts, qhull_options="QJ").volume)
+            except QhullError:
+                return self.volume_monte_carlo()
+
+    def bounding_box(self) -> tuple[np.ndarray, np.ndarray]:
+        """Axis-aligned bounding box of the region (one LP per bound)."""
+        lo = np.empty(self.d)
+        hi = np.empty(self.d)
+        for axis in range(self.d):
+            c = np.zeros(self.d)
+            c[axis] = 1.0
+            res = linprog(c, A_ub=self.A, b_ub=self.b, bounds=[(None, None)] * self.d, method="highs")
+            lo[axis] = res.fun if res.success else np.nan
+            res = linprog(-c, A_ub=self.A, b_ub=self.b, bounds=[(None, None)] * self.d, method="highs")
+            hi[axis] = -res.fun if res.success else np.nan
+        return lo, hi
+
+    def volume_monte_carlo(
+        self, samples: int = 200_000, rng: np.random.Generator | None = None
+    ) -> float:
+        """Monte-Carlo volume: rejection sampling in the bounding box.
+
+        Used as the high-dimensional fallback where exact vertex
+        triangulation becomes numerically fragile (Section 7.2 suggests
+        exactly this approximation for hard regions).
+        """
+        if self.is_empty():
+            return 0.0
+        rng = rng or np.random.default_rng(0)
+        lo, hi = self.bounding_box()
+        if not (np.isfinite(lo).all() and np.isfinite(hi).all()):
+            return 0.0
+        extent = hi - lo
+        box_volume = float(np.prod(extent))
+        if box_volume <= 0:
+            return 0.0
+        pts = lo + rng.random((samples, self.d)) * extent
+        inside = (pts @ self.A.T <= self.b + 1e-12).all(axis=1)
+        return box_volume * float(inside.mean())
+
+    # -- projections ---------------------------------------------------------------------
+
+    def axis_interval(self, axis: int, base: np.ndarray) -> tuple[float, float]:
+        """Range of coordinate ``axis`` when the other coordinates stay at
+        ``base`` — the paper's interactive projection (Figure 13(b)), which
+        equals the LIR of [24] for that axis.
+
+        Returns an empty interval ``(nan, nan)`` if the line misses the
+        region entirely.
+        """
+        base = np.asarray(base, dtype=np.float64)
+        if base.shape != (self.d,):
+            raise ValueError(f"base must have shape ({self.d},)")
+        coeff = self.A[:, axis]
+        rest = self.b - self.A @ base + coeff * base[axis]
+        lo, hi = -np.inf, np.inf
+        for a, r in zip(coeff, rest):
+            if a > 1e-14:
+                hi = min(hi, r / a)
+            elif a < -1e-14:
+                lo = max(lo, r / a)
+            elif r < -1e-9:
+                return (float("nan"), float("nan"))
+        if lo > hi + 1e-12:
+            return (float("nan"), float("nan"))
+        return (float(lo), float(hi))
+
+    # -- facet classification -----------------------------------------------------------
+
+    def facet_mask(self, tol: float = 1e-9) -> np.ndarray:
+        """Boolean mask over constraint rows: True where the constraint is
+        *non-redundant* (supports a facet of the region).
+
+        Decided by one LP per row: maximise ``A_i x`` subject to all other
+        constraints; the row is a facet iff the optimum exceeds ``b_i``.
+        """
+        m = self.m
+        mask = np.zeros(m, dtype=bool)
+        for i in range(m):
+            keep = np.arange(m) != i
+            res = linprog(
+                -self.A[i],
+                A_ub=self.A[keep],
+                b_ub=self.b[keep] ,
+                bounds=[(None, None)] * self.d,
+                method="highs",
+            )
+            if res.status == 3:  # unbounded without this row => facet
+                mask[i] = True
+            elif res.success and -res.fun > self.b[i] + tol:
+                mask[i] = True
+        return mask
+
+    # -- containment of another polytope ---------------------------------------------------
+
+    def contains_polytope(self, other: "Polytope", tol: float = 1e-8) -> bool:
+        """True iff ``other ⊆ self`` (one LP per constraint of ``self``)."""
+        if other.is_empty():
+            return True
+        for i in range(self.m):
+            res = linprog(
+                -self.A[i],
+                A_ub=other.A,
+                b_ub=other.b,
+                bounds=[(None, None)] * self.d,
+                method="highs",
+            )
+            if res.status == 3:
+                return False
+            if res.success and -res.fun > self.b[i] + tol:
+                return False
+        return True
+
+    # -- sampling -------------------------------------------------------------------------
+
+    def sample(self, count: int, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Random points inside the region (Dirichlet mixtures of vertices).
+
+        Not uniform, but supported exactly on the region — sufficient for
+        semantic spot checks. Returns ``(count, d)``; empty array if the
+        region has no vertices.
+        """
+        rng = rng or np.random.default_rng(0)
+        verts = self.vertices()
+        if verts.shape[0] == 0:
+            return np.empty((0, self.d))
+        weights = rng.dirichlet(np.ones(verts.shape[0]), size=count)
+        return weights @ verts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Polytope(d={self.d}, m={self.m})"

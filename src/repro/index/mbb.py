@@ -1,0 +1,136 @@
+"""Minimum bounding boxes (MBBs) and their score bounds.
+
+The R-tree organises entries by axis-aligned minimum bounding boxes. For
+top-k processing with non-negative weight vectors, the *maxscore* of an MBB
+— the largest score any point inside it can achieve — is attained at its top
+corner (the paper defines it as the max over the MBB's corners, which for a
+monotone function is the top corner). The BRS and BBS algorithms order their
+search heaps by this bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MBB"]
+
+
+class MBB:
+    """Axis-aligned box ``[lo, hi]`` in ``[0, 1]^d``."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: np.ndarray, hi: np.ndarray) -> None:
+        lo = np.asarray(lo, dtype=np.float64)
+        hi = np.asarray(hi, dtype=np.float64)
+        if lo.shape != hi.shape or lo.ndim != 1:
+            raise ValueError("lo and hi must be 1-d arrays of equal length")
+        if (lo > hi + 1e-12).any():
+            raise ValueError("MBB requires lo <= hi in every dimension")
+        self.lo = lo
+        self.hi = hi
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def of_point(cls, point: np.ndarray) -> "MBB":
+        point = np.asarray(point, dtype=np.float64)
+        return cls(point.copy(), point.copy())
+
+    @classmethod
+    def of_points(cls, points: np.ndarray) -> "MBB":
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError("need a non-empty (m, d) array of points")
+        return cls(points.min(axis=0), points.max(axis=0))
+
+    @classmethod
+    def union_of(cls, boxes: list["MBB"]) -> "MBB":
+        if not boxes:
+            raise ValueError("cannot take the union of zero boxes")
+        lo = np.minimum.reduce([b.lo for b in boxes])
+        hi = np.maximum.reduce([b.hi for b in boxes])
+        return cls(lo, hi)
+
+    # -- geometry --------------------------------------------------------------
+
+    @property
+    def d(self) -> int:
+        return int(self.lo.shape[0])
+
+    def union(self, other: "MBB") -> "MBB":
+        return MBB(np.minimum(self.lo, other.lo), np.maximum(self.hi, other.hi))
+
+    def area(self) -> float:
+        """Volume of the box (the R*-tree literature calls it area)."""
+        return float(np.prod(self.hi - self.lo))
+
+    def margin(self) -> float:
+        """Sum of edge lengths (×2^(d-1) in the R* paper; constant factor
+        does not affect argmin comparisons, so we use the plain sum)."""
+        return float(np.sum(self.hi - self.lo))
+
+    def overlap(self, other: "MBB") -> float:
+        """Volume of the intersection with ``other`` (0 when disjoint)."""
+        lo = np.maximum(self.lo, other.lo)
+        hi = np.minimum(self.hi, other.hi)
+        ext = hi - lo
+        if (ext <= 0).any():
+            return 0.0
+        return float(np.prod(ext))
+
+    def enlargement(self, point_or_box: "MBB | np.ndarray") -> float:
+        """Area increase needed to cover ``point_or_box``."""
+        if isinstance(point_or_box, MBB):
+            merged = self.union(point_or_box)
+        else:
+            p = np.asarray(point_or_box, dtype=np.float64)
+            merged = MBB(np.minimum(self.lo, p), np.maximum(self.hi, p))
+        return merged.area() - self.area()
+
+    def contains_point(self, point: np.ndarray, atol: float = 1e-12) -> bool:
+        p = np.asarray(point, dtype=np.float64)
+        return bool((p >= self.lo - atol).all() and (p <= self.hi + atol).all())
+
+    def center(self) -> np.ndarray:
+        return (self.lo + self.hi) / 2.0
+
+    # -- score bounds -----------------------------------------------------------
+
+    def maxscore(self, weights: np.ndarray) -> float:
+        """Upper bound on the score of any point in the box.
+
+        For non-negative weights this is the score of the top corner ``hi``;
+        in general it is attained corner-wise: take ``hi_i`` where ``w_i > 0``
+        and ``lo_i`` otherwise.
+        """
+        w = np.asarray(weights, dtype=np.float64)
+        return float(np.where(w >= 0, self.hi, self.lo) @ w)
+
+    def minscore(self, weights: np.ndarray) -> float:
+        """Lower bound on the score of any point in the box."""
+        w = np.asarray(weights, dtype=np.float64)
+        return float(np.where(w >= 0, self.lo, self.hi) @ w)
+
+    def upper_corner(self) -> np.ndarray:
+        """Top corner — the maxscore point for monotone scoring functions."""
+        return self.hi
+
+    # -- dominance (used by BBS pruning) ------------------------------------------
+
+    def dominated_by(self, point: np.ndarray) -> bool:
+        """True if ``point`` dominates the *entire* box.
+
+        A record dominates the whole box iff it dominates the box's top
+        corner (every point in the box is ≤ the top corner component-wise).
+        """
+        p = np.asarray(point, dtype=np.float64)
+        return bool((p >= self.hi).all() and (p > self.hi).any())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MBB):
+            return NotImplemented
+        return bool(np.array_equal(self.lo, other.lo) and np.array_equal(self.hi, other.hi))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MBB(lo={self.lo.tolist()}, hi={self.hi.tolist()})"

@@ -1,0 +1,88 @@
+"""R-tree node layout and page-capacity arithmetic.
+
+A node occupies exactly one disk page. Fan-out is derived from the page size
+the way a C++ implementation would lay entries out on disk:
+
+* leaf entry: ``d`` float64 attribute values + one 8-byte record id;
+* internal entry: an MBB (``2 d`` float64) + one 8-byte child page id;
+* a small fixed page header.
+
+This makes the simulated page counts (and therefore the I/O measurements)
+track dataset dimensionality the same way the paper's numbers do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.index.mbb import MBB
+
+__all__ = ["NodeEntry", "Node", "node_capacities", "PAGE_HEADER_BYTES"]
+
+#: Bytes reserved per page for node metadata (level, count, ids).
+PAGE_HEADER_BYTES = 32
+
+
+def node_capacities(page_size: int, d: int) -> tuple[int, int]:
+    """Return ``(leaf_capacity, internal_capacity)`` for a page size.
+
+    Capacities are floored at 4 so that degenerate configurations (huge ``d``
+    with a tiny page) still yield a working tree.
+    """
+    if d <= 0:
+        raise ValueError("dimensionality must be positive")
+    usable = page_size - PAGE_HEADER_BYTES
+    leaf_entry = 8 * d + 8
+    internal_entry = 16 * d + 8
+    leaf_cap = max(4, usable // leaf_entry)
+    internal_cap = max(4, usable // internal_entry)
+    return int(leaf_cap), int(internal_cap)
+
+
+@dataclass
+class NodeEntry:
+    """One slot of a node.
+
+    For a leaf node, ``child_id`` is a *record id* and ``mbb`` is the
+    degenerate box of the record's point. For an internal node, ``child_id``
+    is a child *page id* and ``mbb`` is the child's bounding box.
+    """
+
+    mbb: MBB
+    child_id: int
+
+    @property
+    def point(self) -> np.ndarray:
+        """The record point (valid for leaf entries only)."""
+        return self.mbb.lo
+
+
+class Node:
+    """One R-tree node = one disk page."""
+
+    __slots__ = ("node_id", "level", "entries", "parent_id")
+
+    def __init__(self, node_id: int, level: int, entries: list[NodeEntry] | None = None):
+        self.node_id = node_id
+        self.level = level  # 0 = leaf
+        self.entries: list[NodeEntry] = entries if entries is not None else []
+        self.parent_id: int | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def mbb(self) -> MBB:
+        """Tight bounding box over the node's entries."""
+        if not self.entries:
+            raise ValueError(f"node {self.node_id} has no entries")
+        return MBB.union_of([e.mbb for e in self.entries])
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "leaf" if self.is_leaf else f"internal(l={self.level})"
+        return f"Node(id={self.node_id}, {kind}, entries={len(self.entries)})"

@@ -1,0 +1,94 @@
+"""Byte-level page layout for R-tree nodes.
+
+The simulated page store keeps nodes as Python objects, but the fan-out
+arithmetic in :func:`repro.index.node.node_capacities` is justified by an
+actual on-disk layout. This module implements that layout so the capacity
+math is verified, not asserted:
+
+``page := header | entry*``
+
+* header (32 bytes): magic ``b"GIRP"``, format version, level, entry
+  count, node id — little-endian, padded;
+* leaf entry: record id (int64) + ``d`` float64 attribute values;
+* internal entry: child page id (int64) + MBB as ``2 d`` float64.
+
+``encode_node`` refuses to overflow a page, which pins the capacities used
+by the I/O model to what genuinely fits in 4 KiB.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.index.mbb import MBB
+from repro.index.node import Node, NodeEntry, PAGE_HEADER_BYTES
+
+__all__ = ["encode_node", "decode_node", "PageOverflowError", "MAGIC"]
+
+MAGIC = b"GIRP"
+FORMAT_VERSION = 1
+_HEADER = struct.Struct("<4sHHiq12x")  # magic, version, level, count, node_id
+assert _HEADER.size == PAGE_HEADER_BYTES
+
+
+class PageOverflowError(ValueError):
+    """Raised when a node's entries do not fit in one page."""
+
+
+def encode_node(node: Node, page_size: int, d: int) -> bytes:
+    """Serialise ``node`` into exactly ``page_size`` bytes."""
+    if node.is_leaf:
+        entry_size = 8 + 8 * d
+    else:
+        entry_size = 8 + 16 * d
+    needed = PAGE_HEADER_BYTES + entry_size * len(node.entries)
+    if needed > page_size:
+        raise PageOverflowError(
+            f"node {node.node_id} needs {needed} bytes > page size {page_size}"
+        )
+    out = bytearray(page_size)
+    _HEADER.pack_into(
+        out, 0, MAGIC, FORMAT_VERSION, node.level, len(node.entries), node.node_id
+    )
+    offset = PAGE_HEADER_BYTES
+    for e in node.entries:
+        struct.pack_into("<q", out, offset, e.child_id)
+        offset += 8
+        if node.is_leaf:
+            payload = np.ascontiguousarray(e.mbb.lo, dtype="<f8").tobytes()
+        else:
+            payload = (
+                np.ascontiguousarray(e.mbb.lo, dtype="<f8").tobytes()
+                + np.ascontiguousarray(e.mbb.hi, dtype="<f8").tobytes()
+            )
+        out[offset : offset + len(payload)] = payload
+        offset += len(payload)
+    return bytes(out)
+
+
+def decode_node(page: bytes, d: int) -> Node:
+    """Reconstruct a node from its page bytes."""
+    magic, version, level, count, node_id = _HEADER.unpack_from(page, 0)
+    if magic != MAGIC:
+        raise ValueError("not a GIR page (bad magic)")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported page format version {version}")
+    node = Node(node_id, level)
+    offset = PAGE_HEADER_BYTES
+    for _ in range(count):
+        (child_id,) = struct.unpack_from("<q", page, offset)
+        offset += 8
+        if level == 0:
+            point = np.frombuffer(page, dtype="<f8", count=d, offset=offset).copy()
+            offset += 8 * d
+            mbb = MBB(point, point.copy())
+        else:
+            lo = np.frombuffer(page, dtype="<f8", count=d, offset=offset).copy()
+            offset += 8 * d
+            hi = np.frombuffer(page, dtype="<f8", count=d, offset=offset).copy()
+            offset += 8 * d
+            mbb = MBB(lo, hi)
+        node.entries.append(NodeEntry(mbb, int(child_id)))
+    return node

@@ -1,0 +1,194 @@
+"""BRS — Branch-and-bound Ranked Search (Tao et al., Inf. Syst. 2007).
+
+The I/O-optimal top-k algorithm the paper employs (Section 3.3). Entries of
+visited R-tree nodes are organised in a max-heap keyed by *maxscore* — the
+highest score any point under the entry can reach, which for a monotone
+scoring function is the score of the entry MBB's top corner. The search
+terminates when the interim k-th score is no smaller than the maxscore of
+the entry at the top of the heap.
+
+To prepare for GIR computation, :func:`brs_topk` retains
+
+* the **search heap** exactly as BRS leaves it (unexpanded entries), and
+* the set **T** of non-result records already fetched from leaves,
+
+which Phase 2 (SP/CP via BBS continuation, FP via facet refinement) resumes
+from, as Section 3.3 prescribes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.index.mbb import MBB
+from repro.index.rtree import RStarTree
+from repro.query.topk import TopKResult
+from repro.scoring import LinearScoring, ScoringFunction
+
+__all__ = ["HeapEntry", "BRSRun", "brs_topk"]
+
+
+@dataclass(order=True)
+class HeapEntry:
+    """Max-heap entry (stored negated in Python's min-heap).
+
+    ``sort_key`` is ``(-maxscore, -corner_sum, seq)``: the secondary
+    coordinate-sum component makes the order strictly compatible with
+    dominance even when some query weights are zero, which the BBS
+    continuation relies on.
+    """
+
+    sort_key: tuple[float, float, int]
+    node_id: int = field(compare=False)
+    level: int = field(compare=False)
+    mbb: MBB = field(compare=False)
+
+    @property
+    def maxscore(self) -> float:
+        return -self.sort_key[0]
+
+
+_seq = itertools.count()
+
+
+def make_heap_entry(
+    mbb: MBB, node_id: int, level: int, weights: np.ndarray, scorer: ScoringFunction
+) -> HeapEntry:
+    """Build a heap entry keyed by the MBB's maxscore under ``scorer``."""
+    top = mbb.upper_corner()
+    maxscore = float(scorer.score(top, weights))
+    return HeapEntry(
+        sort_key=(-maxscore, -float(top.sum()), next(_seq)),
+        node_id=node_id,
+        level=level,
+        mbb=mbb,
+    )
+
+
+@dataclass
+class BRSRun:
+    """Everything BRS leaves behind, for the GIR phases to resume from."""
+
+    result: TopKResult
+    heap: list[HeapEntry]
+    encountered: dict[int, np.ndarray]  # the paper's set T: rid -> point
+    leaf_accesses: int
+    node_accesses: int
+
+    @property
+    def encountered_ids(self) -> list[int]:
+        return list(self.encountered.keys())
+
+
+def brs_topk(
+    tree: RStarTree,
+    points: np.ndarray,
+    weights: np.ndarray,
+    k: int,
+    scorer: ScoringFunction | None = None,
+    metered: bool = True,
+) -> BRSRun:
+    """Run BRS and return the top-k result plus retained search state.
+
+    Parameters
+    ----------
+    tree:
+        R*-tree over the dataset.
+    points:
+        The dataset's ``(n, d)`` point array (used to score leaf records; a
+        real system would read them from the leaf pages it just fetched).
+    weights:
+        Query vector ``q`` with non-negative components.
+    k:
+        Result size; must not exceed the dataset cardinality.
+    scorer:
+        Scoring function; linear by default.
+    metered:
+        Whether node accesses are charged to the tree's I/O meter.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (tree.d,):
+        raise ValueError(f"expected weights of shape ({tree.d},)")
+    if (weights < 0).any():
+        raise ValueError("query weights must be non-negative")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if k > tree.size:
+        raise ValueError(f"k={k} exceeds dataset cardinality {tree.size}")
+    scorer = scorer or LinearScoring(tree.d)
+    read = tree.fetch if metered else tree._node
+
+    # Scores of fetched records; maintained as (score, tie-break sum, rid).
+    interim: list[tuple[float, float, int]] = []  # min-heap of current top-k
+    encountered: dict[int, np.ndarray] = {}
+    heap: list[HeapEntry] = []
+    node_accesses = 0
+    leaf_accesses = 0
+
+    root = read(tree.root_id)
+    node_accesses += 1
+    leaf_accesses += int(root.is_leaf)
+    for e in root.entries:
+        if root.is_leaf:
+            _consider_record(interim, encountered, e.child_id, points, weights, scorer, k)
+        else:
+            heapq.heappush(
+                heap, make_heap_entry(e.mbb, e.child_id, root.level - 1, weights, scorer)
+            )
+
+    while heap:
+        if len(interim) == k and interim[0][0] >= heap[0].maxscore:
+            break  # k-th interim score dominates everything unexplored
+        entry = heapq.heappop(heap)
+        node = read(entry.node_id)
+        node_accesses += 1
+        if node.is_leaf:
+            leaf_accesses += 1
+            for e in node.entries:
+                _consider_record(
+                    interim, encountered, e.child_id, points, weights, scorer, k
+                )
+        else:
+            for e in node.entries:
+                heapq.heappush(
+                    heap,
+                    make_heap_entry(e.mbb, e.child_id, node.level - 1, weights, scorer),
+                )
+
+    ranked = sorted(interim, reverse=True)
+    ids = tuple(rid for _, _, rid in ranked)
+    scores = tuple(score for score, _, rid in ranked)
+    for rid in ids:
+        encountered.pop(rid, None)  # T excludes the result records
+    result = TopKResult(ids=ids, scores=scores, weights=weights)
+    return BRSRun(
+        result=result,
+        heap=heap,
+        encountered=encountered,
+        leaf_accesses=leaf_accesses,
+        node_accesses=node_accesses,
+    )
+
+
+def _consider_record(
+    interim: list[tuple[float, float, int]],
+    encountered: dict[int, np.ndarray],
+    rid: int,
+    points: np.ndarray,
+    weights: np.ndarray,
+    scorer: ScoringFunction,
+    k: int,
+) -> None:
+    """Update the interim top-k with a record fetched from a leaf."""
+    point = points[rid]
+    encountered[rid] = point
+    score = float(scorer.score(point, weights))
+    item = (score, float(point.sum()), rid)
+    if len(interim) < k:
+        heapq.heappush(interim, item)
+    elif item > interim[0]:
+        heapq.heapreplace(interim, item)

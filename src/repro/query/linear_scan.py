@@ -1,0 +1,58 @@
+"""Brute-force query oracles used in tests and small baselines.
+
+These scan the full point array with numpy and define the *reference
+semantics* the index-based algorithms must match, including the
+deterministic tie-break: records are ranked by
+``(score, coordinate sum, record id)`` descending, the same key BRS uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.query.topk import TopKResult
+from repro.scoring import LinearScoring, ScoringFunction
+
+__all__ = ["scan_topk", "scan_skyline"]
+
+
+def scan_topk(
+    points: np.ndarray,
+    weights: np.ndarray,
+    k: int,
+    scorer: ScoringFunction | None = None,
+) -> TopKResult:
+    """Exact top-k by full scan."""
+    points = np.asarray(points, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    n, d = points.shape
+    if not 0 < k <= n:
+        raise ValueError(f"k must be in [1, {n}]")
+    scorer = scorer or LinearScoring(d)
+    scores = scorer.score(points, weights)
+    sums = points.sum(axis=1)
+    rids = np.arange(n)
+    # Ranked by (score, coord-sum, rid) descending — identical to BRS.
+    order = np.lexsort((-rids, -sums, -scores))[:k]
+    return TopKResult(
+        ids=tuple(int(i) for i in order),
+        scores=tuple(float(scores[i]) for i in order),
+        weights=weights,
+    )
+
+
+def scan_skyline(points: np.ndarray, exclude: set[int] | None = None) -> set[int]:
+    """Exact skyline by pairwise dominance (vectorised per record)."""
+    points = np.asarray(points, dtype=np.float64)
+    exclude = exclude or set()
+    candidates = [i for i in range(points.shape[0]) if i not in exclude]
+    if not candidates:
+        return set()
+    pts = points[candidates]
+    result: set[int] = set()
+    for local, rid in enumerate(candidates):
+        p = pts[local]
+        dominated = ((pts >= p).all(axis=1) & (pts > p).any(axis=1)).any()
+        if not dominated:
+            result.add(rid)
+    return result

@@ -1,0 +1,61 @@
+"""Top-k result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TopKResult"]
+
+
+@dataclass(frozen=True)
+class TopKResult:
+    """An ordered top-k answer.
+
+    Attributes
+    ----------
+    ids:
+        Record ids sorted by decreasing score (``ids[0]`` is the top-1).
+    scores:
+        Matching scores, decreasing.
+    weights:
+        The query vector the result was computed for.
+    """
+
+    ids: tuple[int, ...]
+    scores: tuple[float, ...]
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.ids) != len(self.scores):
+            raise ValueError("ids and scores must have equal length")
+        if any(
+            self.scores[i] < self.scores[i + 1] - 1e-12
+            for i in range(len(self.scores) - 1)
+        ):
+            raise ValueError("scores must be non-increasing")
+
+    @property
+    def k(self) -> int:
+        return len(self.ids)
+
+    @property
+    def kth_id(self) -> int:
+        """Id of the k-th (lowest ranked) result record — the paper's p_k."""
+        return self.ids[-1]
+
+    @property
+    def kth_score(self) -> float:
+        return self.scores[-1]
+
+    def __contains__(self, rid: int) -> bool:
+        return rid in self.ids
+
+    def same_composition(self, other: "TopKResult") -> bool:
+        """True if the two results contain the same records (any order)."""
+        return set(self.ids) == set(other.ids)
+
+    def same_ordered(self, other: "TopKResult") -> bool:
+        """True if the two results agree in composition *and* score order."""
+        return self.ids == other.ids

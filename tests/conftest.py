@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import anticorrelated, correlated, independent
+from repro.index.bulkload import bulk_load_str
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20140622)  # SIGMOD'14 started June 22
+
+
+@pytest.fixture(scope="session")
+def small_ind_2d():
+    """A small independent 2-d dataset with its bulk-loaded tree."""
+    data = independent(400, 2, seed=7)
+    return data, bulk_load_str(data)
+
+
+@pytest.fixture(scope="session")
+def small_ind_4d():
+    data = independent(1200, 4, seed=11)
+    return data, bulk_load_str(data)
+
+
+@pytest.fixture(scope="session")
+def small_anti_3d():
+    data = anticorrelated(800, 3, seed=13)
+    return data, bulk_load_str(data)
+
+
+@pytest.fixture(scope="session")
+def small_cor_3d():
+    data = correlated(800, 3, seed=17)
+    return data, bulk_load_str(data)
+
+
+def random_query(rng: np.random.Generator, d: int) -> np.ndarray:
+    """A strictly positive query vector away from the space boundary."""
+    return rng.random(d) * 0.8 + 0.1

@@ -1,0 +1,141 @@
+"""Tests for the Monte-Carlo sensitivity module (general scoring functions)
+and the Monte-Carlo polytope volume fallback."""
+
+import numpy as np
+import pytest
+
+from repro.core.approximate import (
+    GeneralMonotoneScoring,
+    immutability_probability,
+    immutable_ball_radius,
+)
+from repro.core.gir import compute_gir
+from repro.data.synthetic import independent
+from repro.geometry.polytope import Polytope
+from repro.index.bulkload import bulk_load_str
+from repro.query.brs import brs_topk
+from repro.query.linear_scan import scan_topk
+from repro.scoring import LinearScoring
+from tests.conftest import random_query
+
+
+def chebyshev_like(points: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """A genuinely non-separable monotone function: soft-max of weighted
+    attributes (not expressible as Σ w_i g_i(p))."""
+    z = points * weights  # (m, d)
+    return np.log(np.exp(4 * z).sum(axis=1)) / 4
+
+
+class TestGeneralMonotoneScoring:
+    def test_score_shape(self, rng):
+        scorer = GeneralMonotoneScoring(chebyshev_like, 3, name="softmax")
+        pts = rng.random((10, 3))
+        out = scorer.score(pts, rng.random(3))
+        assert out.shape == (10,)
+
+    def test_single_point(self, rng):
+        scorer = GeneralMonotoneScoring(chebyshev_like, 3)
+        assert isinstance(scorer.score(rng.random(3), rng.random(3)), float)
+
+    def test_transform_raises(self):
+        scorer = GeneralMonotoneScoring(chebyshev_like, 3)
+        with pytest.raises(TypeError, match="g-space"):
+            scorer.transform(np.zeros((2, 3)))
+
+    def test_rejects_bad_callable(self, rng):
+        scorer = GeneralMonotoneScoring(lambda p, w: np.zeros(3), 2)
+        with pytest.raises(ValueError, match="one score per point"):
+            scorer.score(rng.random((5, 2)), rng.random(2))
+
+    def test_brs_works_with_general_scorer(self, rng):
+        """Index-based top-k stays correct for black-box monotone scoring."""
+        data = independent(400, 3, seed=91)
+        tree = bulk_load_str(data)
+        scorer = GeneralMonotoneScoring(chebyshev_like, 3)
+        q = random_query(rng, 3)
+        run = brs_topk(tree, data.points, q, 5, scorer=scorer)
+        assert run.result.ids == scan_topk(data.points, q, 5, scorer=scorer).ids
+
+
+class TestImmutabilityProbability:
+    def test_matches_exact_volume_for_linear(self, rng):
+        """For linear scoring the MC probability estimates the GIR ratio."""
+        data = independent(300, 2, seed=92)
+        tree = bulk_load_str(data)
+        q = random_query(rng, 2)
+        gir = compute_gir(tree, data, q, 3)
+        exact = gir.volume_ratio()
+        mc = immutability_probability(
+            data, q, 3, LinearScoring(2), samples=3_000, rng=rng
+        )
+        assert mc == pytest.approx(exact, abs=max(3 * np.sqrt(exact / 3_000), 0.02))
+
+    def test_order_insensitive_at_least_sensitive(self, rng):
+        data = independent(200, 2, seed=93)
+        q = random_query(rng, 2)
+        rng1, rng2 = np.random.default_rng(5), np.random.default_rng(5)
+        strict = immutability_probability(
+            data, q, 4, LinearScoring(2), samples=800, rng=rng1
+        )
+        loose = immutability_probability(
+            data, q, 4, LinearScoring(2), samples=800, rng=rng2, order_sensitive=False
+        )
+        assert loose >= strict
+
+    def test_general_function_runs(self, rng):
+        data = independent(150, 3, seed=94)
+        q = random_query(rng, 3)
+        scorer = GeneralMonotoneScoring(chebyshev_like, 3)
+        p = immutability_probability(data, q, 3, scorer, samples=300, rng=rng)
+        assert 0.0 <= p <= 1.0
+
+
+class TestImmutableBallRadius:
+    def test_ball_preserves_result_linear(self, rng):
+        data = independent(250, 2, seed=95)
+        q = random_query(rng, 2)
+        scorer = LinearScoring(2)
+        r = immutable_ball_radius(data, q, 4, scorer, directions=32, rng=rng)
+        ref = scan_topk(data.points, q, 4).ids
+        for _ in range(40):
+            v = rng.normal(size=2)
+            v /= np.linalg.norm(v)
+            probe = q + v * r * 0.95
+            if ((probe >= 0) & (probe <= 1)).all():
+                assert scan_topk(data.points, probe, 4).ids == ref
+
+    def test_upper_bounds_exact_stb(self, rng):
+        """Direction sampling can only overestimate the true STB radius."""
+        from repro.baselines.stb import stb_radius
+
+        data = independent(250, 2, seed=96)
+        q = random_query(rng, 2)
+        exact = stb_radius(data, q, 4)
+        approx = immutable_ball_radius(
+            data, q, 4, LinearScoring(2), directions=128, rng=rng
+        )
+        assert approx >= exact - 1e-3
+
+
+class TestMonteCarloVolume:
+    def test_matches_exact_on_wedge(self, rng):
+        poly = Polytope.from_unit_box(2).with_constraints(np.array([[1.0, -1.0]]))
+        mc = poly.volume_monte_carlo(samples=100_000, rng=rng)
+        assert mc == pytest.approx(0.5, abs=0.01)
+
+    def test_matches_exact_on_random_cone(self, rng):
+        normals = rng.normal(size=(3, 3))
+        poly = Polytope.from_unit_box(3).with_constraints(normals)
+        exact = poly.volume()
+        mc = poly.volume_monte_carlo(samples=150_000, rng=rng)
+        assert mc == pytest.approx(exact, abs=max(0.02, 0.1 * exact))
+
+    def test_empty_region_zero(self):
+        empty = Polytope.from_unit_box(2).with_constraints(
+            np.array([[1.0, -1.0], [-1.0, 1.0], [0.0, 1.0]])
+        )
+        assert empty.volume_monte_carlo(samples=10_000) == 0.0
+
+    def test_bounding_box_of_unit_box(self):
+        lo, hi = Polytope.from_unit_box(3).bounding_box()
+        assert np.allclose(lo, 0.0) and np.allclose(hi, 1.0)

@@ -1,0 +1,134 @@
+"""Tests for the baselines: exhaustive GIR, STB ball, scanned LIRs."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exhaustive import exhaustive_gir
+from repro.baselines.lir import lir_intervals_scan
+from repro.baselines.stb import stb_radius
+from repro.core.gir import compute_gir
+from repro.data.synthetic import independent
+from repro.index.bulkload import bulk_load_str
+from repro.query.linear_scan import scan_topk
+from tests.conftest import random_query
+
+
+class TestExhaustive:
+    def test_query_inside(self, small_ind_2d, rng):
+        data, tree = small_ind_2d
+        q = random_query(rng, 2)
+        assert exhaustive_gir(data, q, 5).contains(q)
+
+    def test_halfspace_counts(self, small_ind_2d, rng):
+        """Exactly n − 1 conditions: k − 1 order + (n − k) separation."""
+        data, tree = small_ind_2d
+        q = random_query(rng, 2)
+        ex = exhaustive_gir(data, q, 5)
+        kinds = [h.kind for h in ex.halfspaces]
+        assert kinds.count("order") == 4
+        assert kinds.count("separation") == data.n - 5
+        assert len(ex.halfspaces) == data.n - 1
+
+    def test_order_insensitive_counts(self, small_ind_2d, rng):
+        data, tree = small_ind_2d
+        q = random_query(rng, 2)
+        ex = exhaustive_gir(data, q, 5, order_sensitive=False)
+        kinds = [h.kind for h in ex.halfspaces]
+        assert kinds.count("order") == 0
+        assert kinds.count("separation") == 5 * (data.n - 5)
+
+    def test_sampled_vectors_preserve_result(self, small_ind_2d, rng):
+        data, tree = small_ind_2d
+        q = random_query(rng, 2)
+        ex = exhaustive_gir(data, q, 5)
+        for q2 in ex.polytope.sample(20, rng):
+            if (q2 <= 1e-9).all():
+                continue
+            assert scan_topk(data.points, q2, 5).ids == ex.topk.ids
+
+
+class TestSTB:
+    def test_ball_inside_gir(self, small_ind_2d, rng):
+        """STB ⊆ GIR: every point within the radius preserves the result."""
+        data, tree = small_ind_2d
+        q = random_query(rng, 2)
+        r = stb_radius(data, q, 5)
+        assert r > 0
+        ref = scan_topk(data.points, q, 5).ids
+        for _ in range(50):
+            direction = rng.normal(size=2)
+            direction /= np.linalg.norm(direction)
+            probe = q + direction * r * 0.999
+            if (probe < 0).any() or (probe > 1).any():
+                continue
+            assert scan_topk(data.points, probe, 5).ids == ref
+
+    def test_radius_is_tight(self, small_ind_2d, rng):
+        """Some direction at (1+ε)·r changes the result or exits the space."""
+        data, tree = small_ind_2d
+        q = random_query(rng, 2)
+        k = 5
+        r = stb_radius(data, q, k)
+        ref = scan_topk(data.points, q, k).ids
+        changed = False
+        for angle in np.linspace(0, 2 * np.pi, 720, endpoint=False):
+            probe = q + np.array([np.cos(angle), np.sin(angle)]) * r * 1.01
+            if (probe < 0).any() or (probe > 1).any():
+                changed = True  # ball clipped by the query-space wall
+                break
+            if scan_topk(data.points, probe, k).ids != ref:
+                changed = True
+                break
+        assert changed
+
+    def test_radius_at_most_chebyshev_diameter(self, small_ind_4d, rng):
+        """The q-centred ball cannot beat the largest inscribed ball."""
+        data, tree = small_ind_4d
+        q = random_query(rng, 4)
+        gir = compute_gir(tree, data, q, 6)
+        _, cheb_r = gir.polytope.chebyshev_center()
+        assert stb_radius(data, q, 6) <= cheb_r + 1e-9
+
+    def test_matches_min_slack_of_gir(self, small_ind_2d, rng):
+        """STB radius == min normalised slack over the GIR's constraints."""
+        data, tree = small_ind_2d
+        q = random_query(rng, 2)
+        gir = compute_gir(tree, data, q, 5, method="sp")
+        r = stb_radius(data, q, 5)
+        norms = np.linalg.norm(gir.polytope.A, axis=1)
+        slack = (gir.polytope.b - gir.polytope.A @ q) / norms
+        assert r == pytest.approx(float(slack.min()), abs=1e-9)
+
+
+class TestLIRScan:
+    def test_intervals_bracket_query(self, small_ind_4d, rng):
+        data, tree = small_ind_4d
+        q = random_query(rng, 4)
+        for axis, (lo, hi) in enumerate(lir_intervals_scan(data, q, 6)):
+            assert lo - 1e-9 <= q[axis] <= hi + 1e-9
+
+    def test_interior_preserves_result(self, small_ind_2d, rng):
+        data, tree = small_ind_2d
+        q = random_query(rng, 2)
+        k = 5
+        ref = scan_topk(data.points, q, k).ids
+        for axis, (lo, hi) in enumerate(lir_intervals_scan(data, q, k)):
+            for t in np.linspace(lo + 1e-9, hi - 1e-9, 7):
+                probe = q.copy()
+                probe[axis] = t
+                assert scan_topk(data.points, probe, k).ids == ref
+
+    def test_outside_changes_result(self, small_ind_2d, rng):
+        """Just past a non-trivial LIR edge the result must change."""
+        data, tree = small_ind_2d
+        q = random_query(rng, 2)
+        k = 5
+        ref = scan_topk(data.points, q, k).ids
+        for axis, (lo, hi) in enumerate(lir_intervals_scan(data, q, k)):
+            for edge, step in ((lo, -1e-6), (hi, 1e-6)):
+                probe_val = edge + step
+                if not 0.0 < probe_val < 1.0:
+                    continue  # interval clipped by query space: nothing out there
+                probe = q.copy()
+                probe[axis] = probe_val
+                assert scan_topk(data.points, probe, k).ids != ref

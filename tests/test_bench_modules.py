@@ -1,0 +1,104 @@
+"""Tests for the benchmark harness plumbing (config, reporting, metering)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.config import SCALES, ExperimentScale
+from repro.bench.metering import (
+    MethodAggregate,
+    measure_methods,
+    prepare_tree,
+    random_queries,
+)
+from repro.bench.reporting import fmt, format_table
+from repro.data.synthetic import independent
+
+
+class TestConfig:
+    def test_all_scales_well_formed(self):
+        for name, scale in SCALES.items():
+            assert scale.name == name
+            assert scale.n_default > 0
+            assert len(scale.n_sweep) >= 3
+            assert scale.d_sweep[0] == 2
+            assert scale.k_default in range(1, 101)
+
+    def test_scales_ordered_by_size(self):
+        assert (
+            SCALES["smoke"].n_default
+            < SCALES["bench"].n_default
+            < SCALES["default"].n_default
+            < SCALES["paper"].n_default
+        )
+
+    def test_paper_scale_matches_table2(self):
+        paper = SCALES["paper"]
+        assert paper.n_default == 1_000_000
+        assert paper.d_sweep == (2, 3, 4, 5, 6, 7, 8)
+        assert paper.k_sweep == (5, 10, 20, 50, 100)
+        assert paper.k_default == 20
+        assert paper.queries == 100
+        assert paper.house_n == 315_265
+        assert paper.hotel_n == 418_843
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            ExperimentScale(
+                name="bad", n_default=0, n_sweep=(1,), d_sweep=(2,),
+                d_cap_cp=2, k_sweep=(5,), k_default=5, house_n=1, hotel_n=1,
+                queries=1,
+            )
+
+
+class TestReporting:
+    def test_fmt_scientific_extremes(self):
+        assert fmt(1.5e-7) == "1.500e-07"
+        assert fmt(2.0e9) == "2.000e+09"
+
+    def test_fmt_plain_numbers(self):
+        assert fmt(3.14159) == "3.142"
+        assert fmt(42) == "42"
+        assert fmt(0.0) == "0"
+
+    def test_fmt_nan(self):
+        assert fmt(float("nan")) == "nan"
+
+    def test_table_alignment(self):
+        text = format_table("T", ["a", "bbb"], [[1, 2.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1  # all rows aligned
+
+    def test_empty_rows(self):
+        text = format_table("T", ["x"], [])
+        assert "x" in text
+
+
+class TestMetering:
+    def test_measure_methods_aggregates(self, rng):
+        data = independent(2_000, 3, seed=99)
+        tree = prepare_tree(data)
+        queries = random_queries(rng, 3, 3)
+        agg = measure_methods(data, tree, 5, ("sp", "fp"), queries)
+        assert set(agg) == {"sp", "fp"}
+        for m, a in agg.items():
+            assert isinstance(a, MethodAggregate)
+            assert a.cpu_ms >= 0
+            assert a.io_pages >= 0
+            assert len(a.samples) == 3
+        # FP considers no more candidates than SP.
+        assert agg["fp"].candidates <= agg["sp"].candidates
+
+    def test_random_queries_interior(self, rng):
+        qs = random_queries(rng, 4, 10)
+        for q in qs:
+            assert (q >= 0.1).all() and (q <= 0.9).all()
+
+    def test_star_mode(self, rng):
+        data = independent(1_000, 2, seed=100)
+        tree = prepare_tree(data)
+        agg = measure_methods(
+            data, tree, 5, ("fp",), random_queries(rng, 2, 2), star=True
+        )
+        assert agg["fp"].cpu_ms >= 0

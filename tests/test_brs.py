@@ -1,0 +1,129 @@
+"""Tests for BRS top-k search."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import anticorrelated, independent
+from repro.index.bulkload import bulk_load_str
+from repro.query.brs import brs_topk
+from repro.query.linear_scan import scan_topk
+from repro.scoring import polynomial_scoring
+from tests.conftest import random_query
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_matches_scan_2d(self, small_ind_2d, rng, k):
+        data, tree = small_ind_2d
+        for _ in range(5):
+            q = random_query(rng, 2)
+            run = brs_topk(tree, data.points, q, k)
+            ref = scan_topk(data.points, q, k)
+            assert run.result.ids == ref.ids
+            assert np.allclose(run.result.scores, ref.scores)
+
+    @pytest.mark.parametrize("k", [1, 10, 50])
+    def test_matches_scan_4d(self, small_ind_4d, rng, k):
+        data, tree = small_ind_4d
+        for _ in range(5):
+            q = random_query(rng, 4)
+            run = brs_topk(tree, data.points, q, k)
+            assert run.result.ids == scan_topk(data.points, q, k).ids
+
+    def test_matches_scan_anti(self, small_anti_3d, rng):
+        data, tree = small_anti_3d
+        for _ in range(5):
+            q = random_query(rng, 3)
+            run = brs_topk(tree, data.points, q, 10)
+            assert run.result.ids == scan_topk(data.points, q, 10).ids
+
+    def test_scores_decreasing(self, small_ind_4d, rng):
+        data, tree = small_ind_4d
+        run = brs_topk(tree, data.points, random_query(rng, 4), 25)
+        scores = list(run.result.scores)
+        assert scores == sorted(scores, reverse=True)
+
+    def test_zero_weight_dimension(self, small_ind_2d):
+        """Weights may be zero on some axes (ties broken consistently)."""
+        data, tree = small_ind_2d
+        q = np.array([1.0, 0.0])
+        run = brs_topk(tree, data.points, q, 5)
+        assert run.result.ids == scan_topk(data.points, q, 5).ids
+
+    def test_monotone_scorer(self, small_ind_4d, rng):
+        data, tree = small_ind_4d
+        scorer = polynomial_scoring([4, 3, 2, 1])
+        q = random_query(rng, 4)
+        run = brs_topk(tree, data.points, q, 10, scorer=scorer)
+        assert run.result.ids == scan_topk(data.points, q, 10, scorer=scorer).ids
+
+    def test_k_equals_n(self):
+        data = independent(30, 2, seed=3)
+        tree = bulk_load_str(data)
+        q = np.array([0.5, 0.5])
+        run = brs_topk(tree, data.points, q, 30)
+        assert len(run.result.ids) == 30
+        assert run.encountered == {}
+
+
+class TestValidation:
+    def test_rejects_negative_weights(self, small_ind_2d):
+        data, tree = small_ind_2d
+        with pytest.raises(ValueError, match="non-negative"):
+            brs_topk(tree, data.points, np.array([-0.1, 0.5]), 5)
+
+    def test_rejects_k_too_large(self, small_ind_2d):
+        data, tree = small_ind_2d
+        with pytest.raises(ValueError, match="exceeds"):
+            brs_topk(tree, data.points, np.array([0.5, 0.5]), data.n + 1)
+
+    def test_rejects_k_zero(self, small_ind_2d):
+        data, tree = small_ind_2d
+        with pytest.raises(ValueError, match="positive"):
+            brs_topk(tree, data.points, np.array([0.5, 0.5]), 0)
+
+    def test_rejects_wrong_shape(self, small_ind_2d):
+        data, tree = small_ind_2d
+        with pytest.raises(ValueError, match="shape"):
+            brs_topk(tree, data.points, np.array([0.5, 0.5, 0.5]), 5)
+
+
+class TestRetainedState:
+    def test_encountered_excludes_result(self, small_ind_4d, rng):
+        data, tree = small_ind_4d
+        run = brs_topk(tree, data.points, random_query(rng, 4), 10)
+        assert not (set(run.encountered) & set(run.result.ids))
+
+    def test_heap_entries_cover_unseen_records(self, small_ind_2d, rng):
+        """Every record is either in R, in T, or under a retained heap MBB."""
+        data, tree = small_ind_2d
+        q = random_query(rng, 2)
+        run = brs_topk(tree, data.points, q, 5)
+        covered = set(run.result.ids) | set(run.encountered)
+        for rid, p in enumerate(data.points):
+            if rid in covered:
+                continue
+            assert any(e.mbb.contains_point(p) for e in run.heap), rid
+
+    def test_heap_maxscores_below_kth(self, small_ind_4d, rng):
+        """Termination condition: retained entries cannot beat the k-th."""
+        data, tree = small_ind_4d
+        q = random_query(rng, 4)
+        run = brs_topk(tree, data.points, q, 10)
+        for e in run.heap:
+            assert e.maxscore <= run.result.kth_score + 1e-12
+
+    def test_io_optimality_proxy(self, rng):
+        """BRS reads no more leaves than records it put in R ∪ T require."""
+        data = independent(3000, 2, seed=13)
+        tree = bulk_load_str(data)
+        tree.store.reset_meter()
+        run = brs_topk(tree, data.points, random_query(rng, 2), 10)
+        # Every fetched leaf contributed at least one encountered/result rec.
+        assert tree.store.stats.leaf_reads <= len(run.encountered) + 10
+
+    def test_unmetered_run_charges_nothing(self, small_ind_2d, rng):
+        data, tree = small_ind_2d
+        tree.store.reset_meter()
+        brs_topk(tree, data.points, random_query(rng, 2), 5, metered=False)
+        assert tree.store.stats.page_reads == 0

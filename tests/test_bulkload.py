@@ -1,0 +1,68 @@
+"""Tests for STR bulk loading."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import independent
+from repro.index.bulkload import bulk_load_str
+from repro.index.rtree import RStarTree
+
+
+class TestBulkLoad:
+    def test_all_points_present(self):
+        data = independent(777, 3, seed=1)
+        tree = bulk_load_str(data)
+        assert tree.size == 777
+        found = sorted(tree.range_query(np.zeros(3), np.ones(3)))
+        assert found == list(range(777))
+
+    def test_structure_valid(self):
+        data = independent(2000, 2, seed=2)
+        tree = bulk_load_str(data)
+        tree.validate(check_fill=False)
+
+    def test_single_leaf_dataset(self):
+        data = independent(5, 4, seed=3)
+        tree = bulk_load_str(data)
+        assert tree.height == 1
+        assert tree.size == 5
+        tree.validate(check_fill=False)
+
+    def test_fill_factor_controls_leaf_count(self):
+        data = independent(5000, 2, seed=4)
+        loose = bulk_load_str(data, fill_factor=0.5)
+        tight = bulk_load_str(data, fill_factor=1.0)
+        loose_leaves = sum(1 for n in loose.iter_nodes() if n.is_leaf)
+        tight_leaves = sum(1 for n in tight.iter_nodes() if n.is_leaf)
+        assert loose_leaves > tight_leaves
+
+    def test_rejects_bad_fill_factor(self):
+        data = independent(10, 2, seed=5)
+        with pytest.raises(ValueError):
+            bulk_load_str(data, fill_factor=0.0)
+        with pytest.raises(ValueError):
+            bulk_load_str(data, fill_factor=1.5)
+
+    def test_dynamic_insert_after_bulk_load(self):
+        data = independent(1000, 2, seed=6)
+        tree = bulk_load_str(data)
+        tree.insert(np.array([0.123, 0.456]), 1000)
+        assert tree.size == 1001
+        assert 1000 in tree.range_query(np.array([0.12, 0.45]), np.array([0.13, 0.46]))
+
+    def test_matches_insertion_built_semantics(self):
+        """Bulk-loaded and insertion-built trees answer queries identically."""
+        data = independent(400, 2, seed=7)
+        bulk = bulk_load_str(data)
+        dyn = RStarTree(2, leaf_capacity=16, internal_capacity=16)
+        for rid, p in enumerate(data.points):
+            dyn.insert(p, rid)
+        lo, hi = np.array([0.1, 0.2]), np.array([0.5, 0.9])
+        assert set(bulk.range_query(lo, hi)) == set(dyn.range_query(lo, hi))
+
+    def test_leaf_level_zero_everywhere(self):
+        data = independent(3000, 3, seed=8)
+        tree = bulk_load_str(data)
+        for node in tree.iter_nodes():
+            if node.is_leaf:
+                assert node.level == 0

@@ -1,0 +1,107 @@
+"""Ablation tests for FP's tuning knobs (FPOptions).
+
+Every knob must preserve correctness — same GIR as the oracle — while
+changing only cost characteristics (I/O, fan size).
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.baselines.exhaustive import exhaustive_gir
+from repro.core.gir import compute_gir
+from repro.core.phase2_fp import FPOptions, phase1_vertex_directions
+from repro.data.synthetic import anticorrelated, independent
+from repro.index.bulkload import bulk_load_str
+from repro.query.brs import brs_topk
+from repro.scoring import polynomial_scoring
+from tests.conftest import random_query
+
+ALL_OPTION_COMBOS = [
+    FPOptions(use_virtual_seeds=s, prune_dominated_nodes=p, tighten_with_phase1=t)
+    for s, p, t in itertools.product([False, True], repeat=3)
+]
+
+
+class TestCorrectnessUnderAllOptions:
+    @pytest.mark.parametrize("opts", ALL_OPTION_COMBOS)
+    def test_matches_oracle_2d(self, small_ind_2d, rng, opts):
+        data, tree = small_ind_2d
+        q = random_query(rng, 2)
+        gir = compute_gir(tree, data, q, 5, method="fp", fp_options=opts)
+        oracle = exhaustive_gir(data, q, 5)
+        assert gir.polytope.contains_polytope(oracle.polytope)
+        assert oracle.polytope.contains_polytope(gir.polytope)
+
+    @pytest.mark.parametrize("opts", ALL_OPTION_COMBOS)
+    def test_matches_oracle_4d(self, small_ind_4d, rng, opts):
+        data, tree = small_ind_4d
+        q = random_query(rng, 4)
+        gir = compute_gir(tree, data, q, 6, method="fp", fp_options=opts)
+        oracle = exhaustive_gir(data, q, 6)
+        assert gir.volume() == pytest.approx(oracle.volume(), rel=1e-6, abs=1e-15)
+
+    def test_anti_with_tightening(self, small_anti_3d, rng):
+        data, tree = small_anti_3d
+        opts = FPOptions(tighten_with_phase1=True)
+        q = random_query(rng, 3)
+        gir = compute_gir(tree, data, q, 8, method="fp", fp_options=opts)
+        oracle = exhaustive_gir(data, q, 8)
+        assert gir.volume() == pytest.approx(oracle.volume(), rel=1e-6, abs=1e-15)
+
+    def test_nonlinear_with_tightening(self, rng):
+        data = independent(600, 4, seed=120)
+        tree = bulk_load_str(data)
+        scorer = polynomial_scoring([4, 3, 2, 1])
+        opts = FPOptions(tighten_with_phase1=True)
+        q = random_query(rng, 4)
+        gir = compute_gir(tree, data, q, 5, method="fp", scorer=scorer, fp_options=opts)
+        oracle = exhaustive_gir(data, q, 5, scorer=scorer)
+        assert gir.volume() == pytest.approx(oracle.volume(), rel=1e-6, abs=1e-15)
+
+
+class TestCostEffects:
+    def test_tightening_never_increases_io(self, rng):
+        data = independent(6_000, 4, seed=121)
+        tree = bulk_load_str(data)
+        for _ in range(3):
+            q = random_query(rng, 4)
+            base = compute_gir(tree, data, q, 15, method="fp")
+            tight = compute_gir(
+                tree, data, q, 15, method="fp",
+                fp_options=FPOptions(tighten_with_phase1=True),
+            )
+            assert tight.stats.io_pages_phase2 <= base.stats.io_pages_phase2
+
+    def test_dominance_pruning_never_increases_io(self, rng):
+        data = independent(6_000, 3, seed=122)
+        tree = bulk_load_str(data)
+        q = random_query(rng, 3)
+        with_dom = compute_gir(tree, data, q, 10, method="fp")
+        without = compute_gir(
+            tree, data, q, 10, method="fp",
+            fp_options=FPOptions(prune_dominated_nodes=False),
+        )
+        assert with_dom.stats.io_pages_phase2 <= without.stats.io_pages_phase2
+
+
+class TestPhase1Directions:
+    def test_contains_query_region_vertices(self, small_ind_2d, rng):
+        data, tree = small_ind_2d
+        q = random_query(rng, 2)
+        run = brs_topk(tree, data.points, q, 5, metered=False)
+        verts = phase1_vertex_directions(run, data.points, 2)
+        assert verts is not None
+        # The origin is a vertex of the interim cone ∩ box.
+        assert (np.linalg.norm(verts, axis=1) < 1e-9).any()
+
+    def test_apex_beats_nonresult_at_interior(self, small_ind_2d, rng):
+        """At q itself (inside the interim region) the apex beats all
+        non-result records — the tightening criterion is consistent."""
+        data, tree = small_ind_2d
+        q = random_query(rng, 2)
+        run = brs_topk(tree, data.points, q, 5, metered=False)
+        pk = run.result.kth_id
+        others = [i for i in range(data.n) if i not in run.result.ids]
+        assert (data.points[others] @ q <= data.points[pk] @ q + 1e-12).all()

@@ -1,0 +1,85 @@
+"""Semantic tests: the GIR actually means what Definition 1 says.
+
+Sampled query vectors inside the region must reproduce the exact ordered
+top-k; vectors just outside a bounding facet must change the result in
+exactly the way the facet's perturbation record predicts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.gir import compute_gir
+from repro.data.synthetic import anticorrelated, independent
+from repro.index.bulkload import bulk_load_str
+from repro.query.linear_scan import scan_topk
+from tests.conftest import random_query
+
+
+class TestInsideRegion:
+    @pytest.mark.parametrize("method", ["sp", "cp", "fp"])
+    def test_sampled_vectors_preserve_ordered_result(self, small_ind_4d, rng, method):
+        data, tree = small_ind_4d
+        q = random_query(rng, 4)
+        gir = compute_gir(tree, data, q, 8, method=method)
+        for q2 in gir.polytope.sample(40, rng):
+            if (q2 <= 1e-9).all():
+                continue  # origin vertex: all-zero weights rank nothing
+            ref = scan_topk(data.points, q2, 8)
+            assert ref.ids == gir.topk.ids, q2
+
+    def test_inside_anti(self, small_anti_3d, rng):
+        data, tree = small_anti_3d
+        q = random_query(rng, 3)
+        gir = compute_gir(tree, data, q, 5)
+        for q2 in gir.polytope.sample(40, rng):
+            if (q2 <= 1e-9).all():
+                continue
+            assert scan_topk(data.points, q2, 5).ids == gir.topk.ids
+
+    def test_membership_check_equals_result_equality(self, small_ind_2d, rng):
+        """contains(q') == (top-k at q' is identical) for random probes."""
+        data, tree = small_ind_2d
+        q = random_query(rng, 2)
+        k = 5
+        gir = compute_gir(tree, data, q, k)
+        agree = 0
+        for _ in range(300):
+            probe = rng.random(2)
+            if probe.max() <= 1e-9:
+                continue
+            same = scan_topk(data.points, probe, k).ids == gir.topk.ids
+            inside = gir.contains(probe, tol=1e-12)
+            # Probes on the boundary (within fp tolerance) may disagree;
+            # require agreement for clearly interior/exterior probes.
+            slack = gir.polytope.slacks(probe).min()
+            if abs(slack) > 1e-9:
+                assert same == inside, (probe, slack)
+                agree += 1
+        assert agree > 200  # the probe set was not degenerate
+
+
+class TestMaximality:
+    """The GIR is the *maximal* preserving locus: stepping just outside any
+    bounding facet must change the result."""
+
+    @pytest.mark.parametrize("method", ["sp", "cp", "fp"])
+    def test_crossing_facets_changes_result(self, small_ind_2d, rng, method):
+        data, tree = small_ind_2d
+        q = random_query(rng, 2)
+        k = 5
+        gir = compute_gir(tree, data, q, k, method=method)
+        centre, radius = gir.polytope.chebyshev_center()
+        assert radius > 0
+        mask = gir.polytope.facet_mask()
+        for row, hs in gir.halfspace_rows():
+            if not mask[row]:
+                continue
+            # Walk from the centre through the facet to just outside it.
+            a, b = gir.polytope.A[row], gir.polytope.b[row]
+            direction = a / np.linalg.norm(a) ** 2
+            t_hit = (b - a @ centre) / (a @ direction)
+            outside = centre + direction * t_hit * (1 + 1e-6)
+            if (outside < 0).any() or (outside > 1).any():
+                continue
+            got = scan_topk(data.points, outside, k).ids
+            assert got != gir.topk.ids, f"facet {hs.describe()} not binding"

@@ -1,0 +1,120 @@
+"""Tests for half-space provenance and scoring functions."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.halfspace import Halfspace, order_halfspace, separation_halfspace
+from repro.scoring import (
+    LinearScoring,
+    MonotoneScoring,
+    mixed_scoring,
+    polynomial_scoring,
+)
+
+
+class TestHalfspace:
+    def test_order_halfspace_normal(self):
+        hs = order_halfspace(np.array([0.6, 0.5]), np.array([0.5, 0.48]), 1, 2)
+        assert np.allclose(hs.normal, [0.1, 0.02])
+        assert hs.kind == "order"
+        assert (hs.upper, hs.lower) == (1, 2)
+
+    def test_separation_halfspace(self):
+        hs = separation_halfspace(np.array([0.6, 0.5]), np.array([0.7, 0.1]), 4, 9)
+        assert np.allclose(hs.normal, [-0.1, 0.4])
+        assert hs.kind == "separation"
+
+    def test_virtual_flag(self):
+        hs = separation_halfspace(
+            np.array([0.6, 0.5]), np.array([0.6, 0.0]), 4, None, virtual=True
+        )
+        assert hs.kind == "virtual"
+        assert "boundary" in hs.describe()
+
+    def test_satisfied_and_slack(self):
+        hs = order_halfspace(np.array([1.0, 0.0]), np.array([0.0, 1.0]), 0, 1)
+        assert hs.satisfied(np.array([0.7, 0.3]))
+        assert not hs.satisfied(np.array([0.3, 0.7]))
+        assert hs.slack(np.array([0.7, 0.3])) == pytest.approx(0.4)
+
+    def test_paper_example_figure3(self):
+        """The running example of Figure 3: half-plane coefficients."""
+        p1, p2 = np.array([0.54, 0.5]), np.array([0.5, 0.48])
+        p3, p4 = np.array([0.52, 0.35]), np.array([0.4, 0.4])
+        assert np.allclose(order_halfspace(p1, p2, 1, 2).normal, [0.04, 0.02])
+        assert np.allclose(order_halfspace(p2, p3, 2, 3).normal, [-0.02, 0.13])
+        assert np.allclose(order_halfspace(p3, p4, 3, 4).normal, [0.12, -0.05])
+
+    def test_describe_kinds(self):
+        o = order_halfspace(np.array([1.0, 0.0]), np.array([0.0, 1.0]), 3, 7)
+        s = separation_halfspace(np.array([1.0, 0.0]), np.array([0.0, 1.0]), 3, 7)
+        assert "reorder" in o.describe()
+        assert "replaces" in s.describe()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Halfspace(normal=np.array([1.0]), kind="nonsense", upper=0, lower=1)
+
+    def test_normal_immutable(self):
+        hs = order_halfspace(np.array([1.0, 0.0]), np.array([0.0, 1.0]), 0, 1)
+        with pytest.raises(ValueError):
+            hs.normal[0] = 5.0
+
+
+class TestLinearScoring:
+    def test_identity_transform(self, rng):
+        pts = rng.random((10, 3))
+        scorer = LinearScoring(3)
+        assert np.array_equal(scorer.transform(pts), pts)
+
+    def test_score_matches_dot(self, rng):
+        pts = rng.random((10, 3))
+        w = rng.random(3)
+        assert np.allclose(LinearScoring(3).score(pts, w), pts @ w)
+
+    def test_single_point_score(self):
+        assert LinearScoring(2).score(np.array([0.5, 0.5]), np.array([1.0, 1.0])) == 1.0
+
+
+class TestMonotoneScoring:
+    def test_polynomial_paper_function(self):
+        """Figure 19's polynomial: w1x1^4 + w2x2^3 + w3x3^2 + w4x4."""
+        scorer = polynomial_scoring([4, 3, 2, 1])
+        p = np.array([0.5, 0.5, 0.5, 0.5])
+        w = np.ones(4)
+        expected = 0.5**4 + 0.5**3 + 0.5**2 + 0.5
+        assert scorer.score(p, w) == pytest.approx(expected)
+
+    def test_mixed_function(self):
+        scorer = mixed_scoring()
+        p = np.array([0.5, 0.5, 0.5, 0.5])
+        w = np.ones(4)
+        expected = 0.25 + np.exp(0.5) + np.log1p(0.5) + np.sqrt(0.5)
+        assert scorer.score(p, w) == pytest.approx(expected)
+
+    def test_rejects_decreasing_component(self):
+        with pytest.raises(ValueError, match="monotone"):
+            MonotoneScoring([lambda x: -x, lambda x: x])
+
+    def test_rejects_nonelementwise_component(self):
+        with pytest.raises(ValueError, match="elementwise"):
+            MonotoneScoring([lambda x: np.array([1.0]), lambda x: x])
+
+    def test_rejects_nonpositive_exponent(self):
+        with pytest.raises(ValueError):
+            polynomial_scoring([2, 0])
+
+    def test_monotonicity_preserves_dominance_order(self, rng):
+        """p dominates p' ⇒ g(p) dominates-or-equals g(p')."""
+        scorer = mixed_scoring()
+        p = rng.random(4)
+        q = np.clip(p - rng.random(4) * 0.3, 0, 1)
+        gp, gq = scorer.transform_one(p), scorer.transform_one(q)
+        assert (gp >= gq - 1e-12).all()
+
+    def test_score_linear_in_weights(self, rng):
+        """S(p, q) = w · g(p): doubling weights doubles scores."""
+        scorer = polynomial_scoring([2, 3])
+        pts = rng.random((5, 2))
+        w = rng.random(2)
+        assert np.allclose(scorer.score(pts, 2 * w), 2 * scorer.score(pts, w))

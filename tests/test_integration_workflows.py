@@ -1,0 +1,126 @@
+"""End-to-end integration tests combining several subsystems,
+mirroring how the examples (and a real service) would use the library."""
+
+import numpy as np
+import pytest
+
+from repro.core.caching import GIRCache
+from repro.core.gir import compute_gir
+from repro.core.gir_star import compute_gir_star
+from repro.core.visualization import interactive_projection, maximal_axis_rectangle
+from repro.data.real import hotel_surrogate, house_surrogate
+from repro.data.synthetic import anticorrelated, correlated, independent
+from repro.index.bulkload import bulk_load_str
+from repro.index.rtree import RStarTree
+from repro.query.brs import brs_topk
+from repro.query.linear_scan import scan_topk
+from repro.scoring import polynomial_scoring
+from tests.conftest import random_query
+
+
+class TestServiceWorkflow:
+    """A recommendation service: query → GIR → UI bounds → cache → reuse."""
+
+    def test_full_pipeline_hotel(self, rng):
+        data = hotel_surrogate(n=5_000, seed=4)
+        tree = bulk_load_str(data)
+        cache = GIRCache()
+        q = random_query(rng, 4)
+        k = 10
+
+        gir = compute_gir(tree, data, q, k, method="fp")
+        assert gir.contains(q)
+
+        # UI bounds are consistent: MAH ⊆ per-axis projections.
+        mah = maximal_axis_rectangle(gir)
+        proj = interactive_projection(gir)
+        for (mlo, mhi), (plo, phi) in zip(mah.intervals(), proj):
+            assert plo - 1e-7 <= mlo and mhi <= phi + 1e-7
+
+        # Cache round-trip.
+        cache.insert(gir)
+        hit = cache.lookup(q, k)
+        assert hit is not None and hit.ids == gir.topk.ids
+
+        # Perturbation previews are consistent with reality.
+        perts = gir.boundary_perturbations()
+        assert all(len(p.new_order) == k for p in perts)
+
+    def test_dynamic_index_workflow(self, rng):
+        """Insert-built tree + deletions: the GIR machinery is agnostic."""
+        pts = independent(600, 3, seed=6).points
+        tree = RStarTree(3, leaf_capacity=16, internal_capacity=16)
+        for rid, p in enumerate(pts):
+            tree.insert(p, rid)
+        q = random_query(rng, 3)
+        gir = compute_gir(tree, pts, q, 5, method="fp")
+        ref = scan_topk(pts, q, 5)
+        assert gir.topk.ids == ref.ids
+        for q2 in gir.polytope.sample(10, rng):
+            if (q2 <= 1e-9).all():
+                continue
+            assert scan_topk(pts, q2, 5).ids == gir.topk.ids
+
+    def test_gir_invalidation_after_update(self, rng):
+        """After inserting a strong record, recomputation must reflect it.
+
+        (The paper treats the dataset as static; this documents the
+        recompute-on-update contract.)"""
+        data = independent(500, 2, seed=8)
+        tree = bulk_load_str(data)
+        q = np.array([0.7, 0.6])
+        gir_before = compute_gir(tree, data, q, 5)
+
+        # Insert a record that immediately becomes the top-1.
+        new_point = np.array([0.99, 0.99])
+        tree.insert(new_point, 500)
+        pts = np.vstack([data.points, new_point[None, :]])
+        gir_after = compute_gir(tree, pts, q, 5)
+        assert 500 in gir_after.topk.ids
+        assert gir_after.topk.ids != gir_before.topk.ids
+
+
+class TestCrossFamilyConsistency:
+    @pytest.mark.parametrize("gen", [independent, correlated, anticorrelated])
+    def test_volume_monotone_in_k(self, gen, rng):
+        """More result records ⇒ more constraints ⇒ (weakly) smaller GIR."""
+        data = gen(1_500, 3, seed=10)
+        tree = bulk_load_str(data)
+        q = random_query(rng, 3)
+        vol_small = compute_gir(tree, data, q, 3).volume()
+        vol_large = compute_gir(tree, data, q, 12).volume()
+        assert vol_large <= vol_small + 1e-12
+
+    def test_star_volume_monotone_in_k_house(self, rng):
+        data = house_surrogate(n=3_000, seed=12)
+        tree = bulk_load_str(data)
+        q = random_query(rng, 6)
+        v1 = compute_gir_star(tree, data, q, 3).volume()
+        v2 = compute_gir_star(tree, data, q, 10).volume()
+        assert v2 <= v1 + 1e-12
+
+    def test_shared_brs_run_across_methods(self, rng):
+        """One BRS run can back all three methods plus GIR*."""
+        data = independent(1_200, 3, seed=14)
+        tree = bulk_load_str(data)
+        q = random_query(rng, 3)
+        run = brs_topk(tree, data.points, q, 8)
+        vols = set()
+        for m in ("sp", "cp", "fp"):
+            vols.add(round(compute_gir(tree, data, q, 8, method=m, run=run).volume(), 12))
+        assert len(vols) == 1
+        star = compute_gir_star(tree, data, q, 8, run=run)
+        assert star.volume() >= vols.pop() - 1e-12
+
+    def test_nonlinear_end_to_end_cache(self, rng):
+        """Caching works for non-linear scoring too (same contains test)."""
+        data = hotel_surrogate(n=3_000, seed=16)
+        tree = bulk_load_str(data)
+        scorer = polynomial_scoring([4, 3, 2, 1])
+        q = random_query(rng, 4)
+        gir = compute_gir(tree, data, q, 5, method="sp", scorer=scorer)
+        cache = GIRCache()
+        cache.insert(gir)
+        hit = cache.lookup(q, 5)
+        assert hit is not None
+        assert hit.ids == scan_topk(data.points, q, 5, scorer=scorer).ids

@@ -1,0 +1,122 @@
+"""Tests for minimum bounding boxes."""
+
+import numpy as np
+import pytest
+
+from repro.index.mbb import MBB
+
+
+class TestConstruction:
+    def test_of_point_degenerate(self):
+        m = MBB.of_point(np.array([0.3, 0.7]))
+        assert m.area() == 0.0
+        assert m.contains_point(np.array([0.3, 0.7]))
+
+    def test_of_points(self):
+        m = MBB.of_points(np.array([[0.1, 0.9], [0.5, 0.2]]))
+        assert np.allclose(m.lo, [0.1, 0.2])
+        assert np.allclose(m.hi, [0.5, 0.9])
+
+    def test_of_points_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MBB.of_points(np.empty((0, 2)))
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError, match="lo <= hi"):
+            MBB(np.array([0.5, 0.5]), np.array([0.4, 0.6]))
+
+    def test_union_of_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MBB.union_of([])
+
+
+class TestGeometry:
+    def test_union(self):
+        a = MBB(np.array([0.0, 0.0]), np.array([0.5, 0.5]))
+        b = MBB(np.array([0.4, 0.2]), np.array([0.9, 0.3]))
+        u = a.union(b)
+        assert np.allclose(u.lo, [0.0, 0.0])
+        assert np.allclose(u.hi, [0.9, 0.5])
+
+    def test_area_margin(self):
+        m = MBB(np.array([0.0, 0.0]), np.array([0.5, 0.2]))
+        assert m.area() == pytest.approx(0.1)
+        assert m.margin() == pytest.approx(0.7)
+
+    def test_overlap_positive(self):
+        a = MBB(np.array([0.0, 0.0]), np.array([0.5, 0.5]))
+        b = MBB(np.array([0.25, 0.25]), np.array([0.75, 0.75]))
+        assert a.overlap(b) == pytest.approx(0.0625)
+        assert b.overlap(a) == pytest.approx(0.0625)
+
+    def test_overlap_disjoint(self):
+        a = MBB(np.array([0.0, 0.0]), np.array([0.2, 0.2]))
+        b = MBB(np.array([0.5, 0.5]), np.array([0.9, 0.9]))
+        assert a.overlap(b) == 0.0
+
+    def test_overlap_touching_is_zero(self):
+        a = MBB(np.array([0.0, 0.0]), np.array([0.5, 0.5]))
+        b = MBB(np.array([0.5, 0.0]), np.array([1.0, 0.5]))
+        assert a.overlap(b) == 0.0
+
+    def test_enlargement_point(self):
+        m = MBB(np.array([0.0, 0.0]), np.array([0.5, 0.5]))
+        assert m.enlargement(np.array([1.0, 0.5])) == pytest.approx(0.25)
+
+    def test_enlargement_contained_is_zero(self):
+        m = MBB(np.array([0.0, 0.0]), np.array([0.5, 0.5]))
+        assert m.enlargement(np.array([0.25, 0.25])) == 0.0
+
+    def test_center(self):
+        m = MBB(np.array([0.0, 0.2]), np.array([0.4, 0.8]))
+        assert np.allclose(m.center(), [0.2, 0.5])
+
+
+class TestScoreBounds:
+    def test_maxscore_nonnegative_weights(self):
+        m = MBB(np.array([0.1, 0.2]), np.array([0.5, 0.9]))
+        w = np.array([1.0, 2.0])
+        assert m.maxscore(w) == pytest.approx(0.5 + 1.8)
+
+    def test_minscore(self):
+        m = MBB(np.array([0.1, 0.2]), np.array([0.5, 0.9]))
+        w = np.array([1.0, 2.0])
+        assert m.minscore(w) == pytest.approx(0.1 + 0.4)
+
+    def test_maxscore_negative_weight_uses_lo(self):
+        m = MBB(np.array([0.1, 0.2]), np.array([0.5, 0.9]))
+        w = np.array([-1.0, 1.0])
+        assert m.maxscore(w) == pytest.approx(-0.1 + 0.9)
+
+    def test_maxscore_bounds_every_contained_point(self):
+        rng = np.random.default_rng(3)
+        m = MBB(np.array([0.2, 0.3, 0.1]), np.array([0.6, 0.8, 0.5]))
+        w = rng.random(3)
+        pts = m.lo + rng.random((100, 3)) * (m.hi - m.lo)
+        assert (pts @ w <= m.maxscore(w) + 1e-12).all()
+
+
+class TestDominance:
+    def test_dominated_by_point_above(self):
+        m = MBB(np.array([0.1, 0.1]), np.array([0.4, 0.4]))
+        assert m.dominated_by(np.array([0.5, 0.5]))
+
+    def test_not_dominated_by_equal_corner(self):
+        m = MBB(np.array([0.1, 0.1]), np.array([0.4, 0.4]))
+        assert not m.dominated_by(np.array([0.4, 0.4]))
+
+    def test_not_dominated_partially(self):
+        m = MBB(np.array([0.1, 0.1]), np.array([0.4, 0.4]))
+        assert not m.dominated_by(np.array([0.9, 0.3]))
+
+
+class TestEquality:
+    def test_eq(self):
+        a = MBB(np.array([0.0, 0.0]), np.array([0.5, 0.5]))
+        b = MBB(np.array([0.0, 0.0]), np.array([0.5, 0.5]))
+        assert a == b
+
+    def test_neq(self):
+        a = MBB(np.array([0.0, 0.0]), np.array([0.5, 0.5]))
+        b = MBB(np.array([0.0, 0.0]), np.array([0.5, 0.6]))
+        assert a != b

@@ -1,0 +1,51 @@
+"""Tests for node layout and entry semantics."""
+
+import numpy as np
+import pytest
+
+from repro.index.mbb import MBB
+from repro.index.node import Node, NodeEntry, node_capacities
+
+
+class TestNodeEntry:
+    def test_leaf_entry_point_accessor(self):
+        p = np.array([0.3, 0.7])
+        e = NodeEntry(MBB.of_point(p), 42)
+        assert np.array_equal(e.point, p)
+        assert e.child_id == 42
+
+
+class TestNode:
+    def test_leaf_flag(self):
+        assert Node(0, level=0).is_leaf
+        assert not Node(0, level=1).is_leaf
+
+    def test_mbb_union_of_entries(self):
+        node = Node(0, level=0)
+        node.entries.append(NodeEntry(MBB.of_point(np.array([0.1, 0.8])), 0))
+        node.entries.append(NodeEntry(MBB.of_point(np.array([0.6, 0.2])), 1))
+        box = node.mbb()
+        assert np.allclose(box.lo, [0.1, 0.2])
+        assert np.allclose(box.hi, [0.6, 0.8])
+
+    def test_mbb_of_empty_node_raises(self):
+        with pytest.raises(ValueError, match="no entries"):
+            Node(0, level=0).mbb()
+
+    def test_len(self):
+        node = Node(0, level=0)
+        node.entries.append(NodeEntry(MBB.of_point(np.array([0.1, 0.8])), 0))
+        assert len(node) == 1
+
+
+class TestCapacityArithmetic:
+    def test_internal_capacity_below_leaf(self):
+        """Internal entries store a full MBB, so fan-out is smaller."""
+        for d in range(2, 9):
+            leaf, internal = node_capacities(4096, d)
+            assert internal <= leaf
+
+    def test_scaling_with_page_size(self):
+        small_leaf, _ = node_capacities(2048, 4)
+        big_leaf, _ = node_capacities(8192, 4)
+        assert big_leaf > 2 * small_leaf * 0.9  # roughly proportional

@@ -1,0 +1,100 @@
+"""Worked examples lifted directly from the paper's figures.
+
+These pin the implementation to the paper's own numbers: the Figure 3
+running example (Phase-1 half-planes) and the Figure 2 setting (wedge
+GIRs in 2-d query space).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exhaustive import exhaustive_gir
+from repro.core.gir import compute_gir
+from repro.core.phase1 import phase1_halfspaces
+from repro.data.dataset import Dataset
+from repro.index.bulkload import bulk_load_str
+from repro.query.linear_scan import scan_topk
+
+# Figure 3(a): the four result records of the running example.
+P1, P2, P3, P4 = [0.54, 0.5], [0.5, 0.48], [0.52, 0.35], [0.4, 0.4]
+
+
+@pytest.fixture(scope="module")
+def figure3_dataset():
+    """The paper's four result records plus low-scoring fillers, so that
+    p1..p4 are exactly the top-4 under q = (0.4, 0.6)."""
+    rng = np.random.default_rng(0)
+    fillers = rng.random((60, 2)) * 0.35  # all score below p4's 0.4
+    pts = np.vstack([[P1, P2, P3, P4], fillers])
+    return Dataset(pts, name="figure3")
+
+
+class TestFigure3:
+    Q = np.array([0.4, 0.6])
+
+    def test_scores_match_paper_table(self, figure3_dataset):
+        res = scan_topk(figure3_dataset.points, self.Q, 4)
+        assert res.ids == (0, 1, 2, 3)
+        assert res.scores == pytest.approx((0.516, 0.488, 0.418, 0.4))
+
+    def test_phase1_halfplanes_match_paper(self, figure3_dataset):
+        res = scan_topk(figure3_dataset.points, self.Q, 4)
+        hs = phase1_halfspaces(res, figure3_dataset.points)
+        # 0.04 w1 + 0.02 w2 >= 0 ; -0.02 w1 + 0.13 w2 >= 0 ; 0.12 w1 - 0.05 w2 >= 0
+        assert np.allclose(hs[0].normal, [0.04, 0.02])
+        assert np.allclose(hs[1].normal, [-0.02, 0.13])
+        assert np.allclose(hs[2].normal, [0.12, -0.05])
+
+    def test_interim_region_semantics(self, figure3_dataset):
+        """Any vector satisfying the three half-planes keeps p1..p4 ordered."""
+        res = scan_topk(figure3_dataset.points, self.Q, 4)
+        hs = phase1_halfspaces(res, figure3_dataset.points)
+        rng = np.random.default_rng(1)
+        pts = figure3_dataset.points
+        for _ in range(300):
+            q2 = rng.random(2)
+            if q2.max() <= 1e-9:
+                continue
+            inside = all(h.satisfied(q2, tol=-1e-12) and h.slack(q2) > 1e-9 for h in hs)
+            scores = pts[:4] @ q2
+            ordered = bool(
+                scores[0] > scores[1] > scores[2] > scores[3]
+            )
+            if inside:
+                assert ordered, q2
+
+    def test_full_gir_on_figure3_data(self, figure3_dataset):
+        tree = bulk_load_str(figure3_dataset)
+        for method in ("sp", "cp", "fp"):
+            gir = compute_gir(tree, figure3_dataset, self.Q, 4, method=method)
+            assert gir.topk.ids == (0, 1, 2, 3)
+            oracle = exhaustive_gir(figure3_dataset, self.Q, 4)
+            assert gir.volume() == pytest.approx(oracle.volume(), rel=1e-9, abs=1e-15)
+
+
+class TestFigure2Setting:
+    """2-d query space: the GIR is a wedge-like region containing q, and a
+    scaled-down copy of q (same direction) preserves the result — the
+    paper's q' = q/2 observation, which holds because every bounding
+    hyperplane passes through the origin."""
+
+    def test_scaled_query_inside_gir(self, rng):
+        data = Dataset(np.random.default_rng(3).random((400, 2)), name="fig2")
+        tree = bulk_load_str(data)
+        q = np.array([0.6, 0.5])
+        gir = compute_gir(tree, data, q, 10)
+        for scale in (0.5, 0.25, 0.9):
+            assert gir.contains(q * scale), scale
+            assert scan_topk(data.points, q * scale, 10).ids == gir.topk.ids
+
+    def test_gir_is_a_cone_inside_the_box(self, rng):
+        """Membership is scale-invariant for any interior point (until the
+        unit box clips it)."""
+        data = Dataset(np.random.default_rng(5).random((300, 2)), name="cone")
+        tree = bulk_load_str(data)
+        q = np.array([0.55, 0.45])
+        gir = compute_gir(tree, data, q, 5)
+        samples = gir.polytope.sample(15, np.random.default_rng(7))
+        for s in samples:
+            for t in (0.3, 0.7):
+                assert gir.contains(s * t)

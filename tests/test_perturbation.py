@@ -1,0 +1,78 @@
+"""Tests for boundary perturbations (Section 3.2).
+
+Crossing a bounding facet must produce exactly the new top-k the
+perturbation record predicts — verified against a full scan just outside
+each facet.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.gir import compute_gir
+from repro.core.perturbation import boundary_perturbations
+from repro.data.synthetic import independent
+from repro.index.bulkload import bulk_load_str
+from repro.query.linear_scan import scan_topk
+from tests.conftest import random_query
+
+
+class TestClassification:
+    def test_kinds_partition(self, small_ind_4d, rng):
+        data, tree = small_ind_4d
+        q = random_query(rng, 4)
+        gir = compute_gir(tree, data, q, 6)
+        perts = boundary_perturbations(gir)
+        assert perts, "a bounded GIR must have bounding facets"
+        for p in perts:
+            assert p.halfspace.kind in ("order", "separation")
+            assert len(p.new_order) == 6
+
+    def test_order_facet_swaps_neighbours(self, small_ind_4d, rng):
+        data, tree = small_ind_4d
+        q = random_query(rng, 4)
+        gir = compute_gir(tree, data, q, 6)
+        ids = list(gir.topk.ids)
+        for p in boundary_perturbations(gir):
+            if p.halfspace.kind == "order":
+                i = ids.index(p.halfspace.upper)
+                expected = ids.copy()
+                expected[i], expected[i + 1] = expected[i + 1], expected[i]
+                assert list(p.new_order) == expected
+
+    def test_separation_facet_replaces_kth(self, small_ind_4d, rng):
+        data, tree = small_ind_4d
+        q = random_query(rng, 4)
+        gir = compute_gir(tree, data, q, 6)
+        for p in boundary_perturbations(gir):
+            if p.halfspace.kind == "separation":
+                assert p.new_order[:-1] == gir.topk.ids[:-1]
+                assert p.new_order[-1] == p.halfspace.lower
+
+
+class TestPredictionsAreCorrect:
+    @pytest.mark.parametrize("seed", [61, 62, 63])
+    def test_crossing_produces_predicted_result(self, rng, seed):
+        data = independent(500, 2, seed=seed)
+        tree = bulk_load_str(data)
+        q = random_query(rng, 2)
+        k = 5
+        gir = compute_gir(tree, data, q, k)
+        centre, radius = gir.polytope.chebyshev_center()
+        assert radius > 0
+        checked = 0
+        for pert, (row, hs) in zip(
+            boundary_perturbations(gir),
+            [rh for rh in gir.halfspace_rows() if gir.polytope.facet_mask()[rh[0]]],
+        ):
+            a = gir.polytope.A[row]
+            b = gir.polytope.b[row]
+            # Step from the Chebyshev centre straight through this facet.
+            direction = a / np.linalg.norm(a)
+            t_hit = (b - a @ centre) / (a @ direction)
+            just_outside = centre + direction * t_hit * (1 + 1e-7)
+            if (just_outside < 0).any() or (just_outside > 1).any():
+                continue
+            got = scan_topk(data.points, just_outside, k).ids
+            assert got == pert.new_order, pert.description
+            checked += 1
+        assert checked >= 1

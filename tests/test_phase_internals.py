@@ -1,0 +1,135 @@
+"""Tests for Phase-1 construction and FP internals (seeds, 2-d ordering)."""
+
+import numpy as np
+import pytest
+
+from repro.core.phase1 import phase1_halfspaces
+from repro.core.phase2_fp import _order_candidates, build_fan, virtual_seeds
+from repro.query.brs import brs_topk
+from repro.query.linear_scan import scan_topk
+from tests.conftest import random_query
+
+
+class TestPhase1:
+    def test_counts_and_kinds(self, rng):
+        pts = rng.random((50, 3))
+        res = scan_topk(pts, np.array([0.5, 0.3, 0.7]), 6)
+        hs = phase1_halfspaces(res, pts)
+        assert len(hs) == 5
+        assert all(h.kind == "order" for h in hs)
+
+    def test_normals_are_adjacent_differences(self, rng):
+        pts = rng.random((50, 2))
+        q = np.array([0.4, 0.8])
+        res = scan_topk(pts, q, 4)
+        hs = phase1_halfspaces(res, pts)
+        for i, h in enumerate(hs):
+            expected = pts[res.ids[i]] - pts[res.ids[i + 1]]
+            assert np.allclose(h.normal, expected)
+            assert (h.upper, h.lower) == (res.ids[i], res.ids[i + 1])
+
+    def test_original_query_satisfies_all(self, rng):
+        pts = rng.random((80, 4))
+        q = random_query(rng, 4)
+        res = scan_topk(pts, q, 10)
+        for h in phase1_halfspaces(res, pts):
+            assert h.satisfied(q)
+
+    def test_k1_empty(self, rng):
+        pts = rng.random((20, 2))
+        res = scan_topk(pts, np.array([0.5, 0.5]), 1)
+        assert phase1_halfspaces(res, pts) == []
+
+
+class TestVirtualSeeds:
+    def test_linear_seeds_are_axis_projections(self):
+        apex = np.array([0.6, 0.5, 0.9])
+        seeds = virtual_seeds(apex, np.zeros(3))
+        assert len(seeds) == 3
+        for i, (key, s) in enumerate(seeds):
+            assert key == ("virtual", i)
+            expected = np.zeros(3)
+            expected[i] = apex[i]
+            assert np.allclose(s, expected)
+
+    def test_seeds_dominated_by_apex(self):
+        apex = np.array([0.6, 0.5])
+        for _, s in virtual_seeds(apex, np.zeros(2)):
+            assert (apex >= s).all()
+
+    def test_seed_constraints_redundant_in_query_space(self, rng):
+        """(apex - seed)·q' >= 0 for every q' in the positive orthant."""
+        apex = rng.random(4)
+        for _, s in virtual_seeds(apex, np.zeros(4)):
+            normal = apex - s
+            for _ in range(50):
+                q = rng.random(4)
+                assert normal @ q >= -1e-12
+
+    def test_gspace_lower_corner(self):
+        """Seeds drop to the g-space lower corner, not to zero."""
+        apex_g = np.array([1.5, 2.0])
+        lower = np.array([1.0, 1.0])  # e.g. exp-transformed space
+        seeds = virtual_seeds(apex_g, lower)
+        assert np.allclose(seeds[0][1], [1.5, 1.0])
+        assert np.allclose(seeds[1][1], [1.0, 2.0])
+
+
+class TestCandidateOrdering:
+    def test_2d_extreme_angles_first(self):
+        """The paper's 2-d angular sweep: min/max-angle records lead."""
+        apex = np.array([0.9, 0.9])
+        q = np.array([1.0, 1.0])
+        cands = [
+            (0, np.array([0.5, 0.5])),   # middle
+            (1, np.array([0.95, 0.2])),  # clockwise extreme
+            (2, np.array([0.2, 0.95])),  # anticlockwise extreme
+            (3, np.array([0.6, 0.6])),   # middle
+        ]
+        ordered = _order_candidates(cands, apex, q)
+        assert {ordered[0][0], ordered[1][0]} == {1, 2}
+
+    def test_highd_max_per_dimension_first(self):
+        apex = np.ones(3)
+        q = np.ones(3)
+        cands = [
+            (0, np.array([0.2, 0.2, 0.2])),
+            (1, np.array([0.9, 0.1, 0.1])),  # max x1
+            (2, np.array([0.1, 0.9, 0.1])),  # max x2
+            (3, np.array([0.1, 0.1, 0.9])),  # max x3
+        ]
+        ordered = _order_candidates(cands, apex, q)
+        assert [k for k, _ in ordered[:3]] == [1, 2, 3]
+
+    def test_small_input_passthrough(self):
+        cands = [(0, np.array([0.1, 0.2]))]
+        assert _order_candidates(cands, np.ones(2), np.ones(2)) == cands
+
+
+class TestBuildFan:
+    def test_fan_from_brs_leftovers(self, small_ind_4d, rng):
+        data, tree = small_ind_4d
+        q = random_query(rng, 4)
+        run = brs_topk(tree, data.points, q, 10)
+        pk = run.result.kth_id
+        fan = build_fan(pk, data.points, data.points, run.encountered, q, np.zeros(4))
+        assert fan.facet_count() > 0 or fan.degenerate
+        # Criticals never include the apex or result records.
+        crits = fan.critical_keys()
+        assert pk not in crits
+        # Virtual keys are tuples; real criticals must be encountered records.
+        for c in crits:
+            if not isinstance(c, tuple):
+                assert c in run.encountered
+
+    def test_dominated_records_excluded(self, rng):
+        """Records dominated by the apex never become fan points."""
+        pts = np.vstack([
+            rng.random((50, 2)) * 0.5,         # all dominated by apex
+            np.array([[0.95, 0.2], [0.2, 0.95], [0.99, 0.99]]),
+        ])
+        apex_id = 52  # (0.99, 0.99) dominates the first 50
+        encountered = {i: pts[i] for i in range(52)}
+        fan = build_fan(apex_id, pts, pts, encountered, np.ones(2), np.zeros(2))
+        crits = {c for c in fan.critical_keys() if not isinstance(c, tuple)}
+        assert crits <= {50, 51}

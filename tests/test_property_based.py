@@ -1,0 +1,140 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These drive randomly generated datasets and queries through the full
+pipeline and assert the paper's structural invariants hold universally:
+
+* BRS ≡ full-scan top-k; BBS ≡ full-scan skyline;
+* SP ≡ CP ≡ FP ≡ exhaustive (volumes and mutual containment);
+* GIR ⊆ GIR*; STB ball ⊆ GIR; q ∈ GIR;
+* dominance-pruning soundness on the skyline operator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exhaustive import exhaustive_gir
+from repro.baselines.stb import stb_radius
+from repro.core.gir import compute_gir
+from repro.core.gir_star import compute_gir_star
+from repro.data.dataset import Dataset
+from repro.geometry.predicates import dominates
+from repro.index.bulkload import bulk_load_str
+from repro.query.bbs import skyline_of_points
+from repro.query.brs import brs_topk
+from repro.query.linear_scan import scan_skyline, scan_topk
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def dataset_and_query(draw, min_n=30, max_n=150, min_d=2, max_d=4):
+    seed = draw(st.integers(0, 2**31 - 1))
+    n = draw(st.integers(min_n, max_n))
+    d = draw(st.integers(min_d, max_d))
+    k = draw(st.integers(1, min(10, n - 1)))
+    rng = np.random.default_rng(seed)
+    points = rng.random((n, d))
+    weights = rng.random(d) * 0.9 + 0.05
+    return points, weights, k
+
+
+class TestQueryProperties:
+    @given(dataset_and_query())
+    @SETTINGS
+    def test_brs_equals_scan(self, case):
+        points, weights, k = case
+        data = Dataset(points)
+        tree = bulk_load_str(data)
+        run = brs_topk(tree, points, weights, k, metered=False)
+        assert run.result.ids == scan_topk(points, weights, k).ids
+
+    @given(st.integers(0, 2**31 - 1), st.integers(20, 120), st.integers(2, 5))
+    @SETTINGS
+    def test_skyline_sound_and_complete(self, seed, n, d):
+        rng = np.random.default_rng(seed)
+        points = rng.random((n, d))
+        sky = set(skyline_of_points(points, list(range(n))))
+        assert sky == scan_skyline(points)
+        # Soundness: no skyline member dominates another.
+        members = sorted(sky)
+        for i in members:
+            for j in members:
+                if i != j:
+                    assert not dominates(points[i], points[j])
+        # Completeness: every non-member is dominated by some member.
+        for i in range(n):
+            if i not in sky:
+                assert any(dominates(points[m], points[i]) for m in members)
+
+    @given(dataset_and_query(max_n=80))
+    @SETTINGS
+    def test_kth_score_bounds_all_nonresult(self, case):
+        points, weights, k = case
+        res = scan_topk(points, weights, k)
+        others = [i for i in range(len(points)) if i not in res.ids]
+        if others:
+            assert res.kth_score >= (points[others] @ weights).max() - 1e-12
+
+
+class TestGIRProperties:
+    @given(dataset_and_query(max_n=100, max_d=3))
+    @SETTINGS
+    def test_methods_equal_oracle(self, case):
+        points, weights, k = case
+        data = Dataset(points)
+        tree = bulk_load_str(data)
+        oracle = exhaustive_gir(data, weights, k)
+        vol_oracle = oracle.volume()
+        for method in ("sp", "cp", "fp"):
+            gir = compute_gir(tree, data, weights, k, method=method, metered=False)
+            assert gir.topk.ids == oracle.topk.ids
+            vol = gir.volume()
+            assert abs(vol - vol_oracle) <= 1e-12 + 1e-6 * max(vol, vol_oracle)
+            assert gir.contains(weights)
+
+    @given(dataset_and_query(max_n=80, max_d=3))
+    @SETTINGS
+    def test_gir_subset_of_gir_star(self, case):
+        points, weights, k = case
+        data = Dataset(points)
+        tree = bulk_load_str(data)
+        gir = compute_gir(tree, data, weights, k, metered=False)
+        star = compute_gir_star(tree, data, weights, k, metered=False)
+        assert star.polytope.contains_polytope(gir.polytope)
+
+    @given(dataset_and_query(max_n=80, max_d=3))
+    @SETTINGS
+    def test_stb_ball_inside_gir(self, case):
+        points, weights, k = case
+        data = Dataset(points)
+        r = stb_radius(data, weights, k)
+        oracle = exhaustive_gir(data, weights, k)
+        # Points at distance < r from q stay inside the GIR polytope.
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            v = rng.normal(size=points.shape[1])
+            v /= np.linalg.norm(v)
+            probe = weights + v * r * 0.99
+            if ((probe >= 0) & (probe <= 1)).all():
+                assert oracle.polytope.contains(probe, tol=1e-9)
+
+    @given(dataset_and_query(max_n=60, max_d=3))
+    @SETTINGS
+    def test_sampled_interior_preserves_result(self, case):
+        points, weights, k = case
+        data = Dataset(points)
+        tree = bulk_load_str(data)
+        gir = compute_gir(tree, data, weights, k, metered=False)
+        rng = np.random.default_rng(2)
+        for q2 in gir.polytope.sample(5, rng):
+            if (q2 <= 1e-9).all():
+                continue
+            assert scan_topk(points, q2, k).ids == gir.topk.ids

@@ -1,0 +1,154 @@
+"""Property-based tests on the geometric data structures.
+
+Complements test_property_based.py (pipeline invariants) with randomized
+checks on the hull, the facet fan and the polytope machinery themselves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from scipy.spatial import ConvexHull
+
+from repro.geometry.convexhull import IncrementalHull
+from repro.geometry.incident_facets import FacetFan
+from repro.geometry.polytope import Polytope
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def point_cloud(draw, min_n=12, max_n=80, min_d=2, max_d=4):
+    seed = draw(st.integers(0, 2**31 - 1))
+    n = draw(st.integers(min_n, max_n))
+    d = draw(st.integers(min_d, max_d))
+    rng = np.random.default_rng(seed)
+    return rng.random((n, d))
+
+
+class TestHullProperties:
+    @given(point_cloud())
+    @SETTINGS
+    def test_vertices_match_qhull(self, pts):
+        own = IncrementalHull(pts).vertex_ids()
+        ref = set(int(v) for v in ConvexHull(pts).vertices)
+        assert own == ref
+
+    @given(point_cloud())
+    @SETTINGS
+    def test_hull_contains_all_inputs(self, pts):
+        hull = IncrementalHull(pts)
+        for p in pts:
+            assert hull.contains(p, eps=1e-8)
+
+    @given(point_cloud(min_n=20, max_n=60))
+    @SETTINGS
+    def test_convex_combinations_inside(self, pts):
+        hull = IncrementalHull(pts)
+        rng = np.random.default_rng(0)
+        w = rng.dirichlet(np.ones(pts.shape[0]), size=10)
+        for combo in w @ pts:
+            assert hull.contains(combo, eps=1e-8)
+
+
+class TestFanProperties:
+    @given(point_cloud(min_n=15, max_n=60))
+    @SETTINGS
+    def test_fan_equals_qhull_star(self, pts):
+        d = pts.shape[1]
+        apex = np.full(d, 1.2)  # strictly outscores every point under 1-vec
+        fan = FacetFan(apex)
+        fan.bootstrap([(i, p) for i, p in enumerate(pts)])
+        if fan.degenerate:
+            return
+        all_pts = np.vstack([apex[None, :], pts])
+        hull = ConvexHull(all_pts)
+        expected: set[int] = set()
+        for simplex in hull.simplices:
+            if 0 in simplex:
+                expected |= {int(v) - 1 for v in simplex if v != 0}
+        assert fan.critical_keys() == expected
+
+    @given(point_cloud(min_n=15, max_n=50))
+    @SETTINGS
+    def test_non_criticals_below_all_facets(self, pts):
+        d = pts.shape[1]
+        apex = np.full(d, 1.2)
+        fan = FacetFan(apex)
+        fan.bootstrap([(i, p) for i, p in enumerate(pts)])
+        if fan.degenerate:
+            return
+        crits = fan.critical_keys()
+        for i, p in enumerate(pts):
+            if i not in crits:
+                assert not fan.sees(p)
+
+    @given(point_cloud(min_n=15, max_n=50))
+    @SETTINGS
+    def test_normal_cone_constraints_sound(self, pts):
+        """Inside the fan's normal cone the apex beats every point."""
+        d = pts.shape[1]
+        apex = np.full(d, 1.2)
+        fan = FacetFan(apex)
+        fan.bootstrap([(i, p) for i, p in enumerate(pts)])
+        crits = sorted(k for k in fan.critical_keys())
+        if fan.degenerate or not crits:
+            return
+        normals = np.array([apex - pts[c] for c in crits])
+        rng = np.random.default_rng(1)
+        for q in rng.random((100, d)):
+            if (normals @ q >= 0).all():
+                assert (pts @ q <= apex @ q + 1e-9).all()
+
+
+class TestPolytopeProperties:
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 4), st.integers(1, 4))
+    @SETTINGS
+    def test_volume_between_zero_and_one(self, seed, d, m):
+        rng = np.random.default_rng(seed)
+        normals = rng.normal(size=(m, d))
+        poly = Polytope.from_unit_box(d).with_constraints(normals)
+        vol = poly.volume()
+        assert -1e-12 <= vol <= 1.0 + 1e-9
+
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 4))
+    @SETTINGS
+    def test_chebyshev_centre_inside(self, seed, d):
+        rng = np.random.default_rng(seed)
+        normals = rng.normal(size=(2, d))
+        poly = Polytope.from_unit_box(d).with_constraints(normals)
+        centre, radius = poly.chebyshev_center()
+        if radius > 1e-9:
+            assert poly.contains(centre, tol=1e-9)
+
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 4))
+    @SETTINGS
+    def test_vertices_satisfy_constraints(self, seed, d):
+        rng = np.random.default_rng(seed)
+        normals = rng.normal(size=(3, d))
+        poly = Polytope.from_unit_box(d).with_constraints(normals)
+        for v in poly.vertices():
+            assert poly.contains(v, tol=1e-6)
+
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 3))
+    @SETTINGS
+    def test_axis_interval_edges_inside(self, seed, d):
+        rng = np.random.default_rng(seed)
+        normals = rng.normal(size=(2, d))
+        poly = Polytope.from_unit_box(d).with_constraints(normals)
+        centre, radius = poly.chebyshev_center()
+        if radius <= 1e-6:
+            return
+        for axis in range(d):
+            lo, hi = poly.axis_interval(axis, centre)
+            if np.isnan(lo):
+                continue
+            probe = centre.copy()
+            for edge in (lo, hi):
+                probe[axis] = edge
+                assert poly.contains(probe, tol=1e-6)

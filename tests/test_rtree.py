@@ -1,0 +1,139 @@
+"""Tests for the dynamic R*-tree."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import independent
+from repro.index.rtree import RStarTree
+from repro.index.storage import PageStore
+
+
+def build_by_insertion(points: np.ndarray, **kwargs) -> RStarTree:
+    tree = RStarTree(points.shape[1], **kwargs)
+    for rid, p in enumerate(points):
+        tree.insert(p, rid)
+    return tree
+
+
+class TestInsertion:
+    def test_single_insert(self):
+        tree = RStarTree(2)
+        tree.insert(np.array([0.5, 0.5]), 0)
+        assert tree.size == 1
+        tree.validate()
+
+    def test_many_inserts_validate(self):
+        pts = independent(500, 2, seed=1).points
+        tree = build_by_insertion(pts, leaf_capacity=8, internal_capacity=8)
+        assert tree.size == 500
+        assert tree.height >= 3
+        tree.validate()
+
+    def test_inserts_3d(self):
+        pts = independent(300, 3, seed=2).points
+        tree = build_by_insertion(pts, leaf_capacity=6, internal_capacity=6)
+        tree.validate()
+
+    def test_all_points_findable(self):
+        pts = independent(200, 2, seed=3).points
+        tree = build_by_insertion(pts, leaf_capacity=8, internal_capacity=8)
+        found = sorted(tree.range_query(np.zeros(2), np.ones(2)))
+        assert found == list(range(200))
+
+    def test_wrong_dimension_rejected(self):
+        tree = RStarTree(3)
+        with pytest.raises(ValueError):
+            tree.insert(np.array([0.5, 0.5]), 0)
+
+    def test_duplicate_points_allowed(self):
+        tree = RStarTree(2, leaf_capacity=4, internal_capacity=4)
+        for rid in range(20):
+            tree.insert(np.array([0.5, 0.5]), rid)
+        assert tree.size == 20
+        tree.validate()
+
+    def test_capacity_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            RStarTree(2, leaf_capacity=1)
+
+
+class TestRangeQuery:
+    def test_window(self):
+        pts = independent(400, 2, seed=4).points
+        tree = build_by_insertion(pts, leaf_capacity=8, internal_capacity=8)
+        lo, hi = np.array([0.2, 0.3]), np.array([0.6, 0.7])
+        expected = {
+            i for i, p in enumerate(pts) if (p >= lo).all() and (p <= hi).all()
+        }
+        assert set(tree.range_query(lo, hi)) == expected
+
+    def test_empty_window(self):
+        pts = independent(100, 2, seed=5).points
+        tree = build_by_insertion(pts, leaf_capacity=8, internal_capacity=8)
+        got = tree.range_query(np.array([2.0, 2.0]), np.array([3.0, 3.0]))
+        assert got == []
+
+    def test_metered_window_charges_io(self):
+        pts = independent(200, 2, seed=6).points
+        store = PageStore()
+        tree = RStarTree(2, store=store, leaf_capacity=8, internal_capacity=8)
+        for rid, p in enumerate(pts):
+            tree.insert(p, rid)
+        store.reset_meter()
+        tree.range_query(np.zeros(2), np.ones(2), metered=True)
+        assert store.stats.page_reads > 0
+
+
+class TestDeletion:
+    def test_delete_existing(self):
+        pts = independent(150, 2, seed=7).points
+        tree = build_by_insertion(pts, leaf_capacity=6, internal_capacity=6)
+        assert tree.delete(pts[42], 42)
+        assert tree.size == 149
+        assert 42 not in tree.range_query(np.zeros(2), np.ones(2))
+        tree.validate()
+
+    def test_delete_missing_returns_false(self):
+        pts = independent(50, 2, seed=8).points
+        tree = build_by_insertion(pts, leaf_capacity=6, internal_capacity=6)
+        assert not tree.delete(np.array([0.123, 0.456]), 9999)
+        assert tree.size == 50
+
+    def test_delete_all(self):
+        pts = independent(80, 2, seed=9).points
+        tree = build_by_insertion(pts, leaf_capacity=5, internal_capacity=5)
+        for rid, p in enumerate(pts):
+            assert tree.delete(p, rid)
+        assert tree.size == 0
+        assert tree.range_query(np.zeros(2), np.ones(2)) == []
+
+    def test_delete_then_reinsert(self):
+        pts = independent(120, 3, seed=10).points
+        tree = build_by_insertion(pts, leaf_capacity=6, internal_capacity=6)
+        for rid in range(0, 60):
+            tree.delete(pts[rid], rid)
+        for rid in range(0, 60):
+            tree.insert(pts[rid], rid)
+        assert tree.size == 120
+        tree.validate()
+        assert sorted(tree.range_query(np.zeros(3), np.ones(3))) == list(range(120))
+
+
+class TestStructure:
+    def test_parent_mbbs_tight(self):
+        pts = independent(300, 2, seed=11).points
+        tree = build_by_insertion(pts, leaf_capacity=8, internal_capacity=8)
+        tree.validate()  # includes tight-MBB assertion
+
+    def test_height_grows_logarithmically(self):
+        pts = independent(1000, 2, seed=12).points
+        tree = build_by_insertion(pts, leaf_capacity=16, internal_capacity=16)
+        assert tree.height <= 5
+
+    def test_fetch_is_metered(self):
+        store = PageStore()
+        tree = RStarTree(2, store=store)
+        tree.insert(np.array([0.1, 0.2]), 0)
+        store.reset_meter()
+        tree.fetch(tree.root_id)
+        assert store.stats.page_reads == 1

@@ -1,0 +1,103 @@
+"""Tests for the byte-level page layout (node serialisation)."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import independent
+from repro.index.bulkload import bulk_load_str
+from repro.index.mbb import MBB
+from repro.index.node import Node, NodeEntry, node_capacities
+from repro.index.serde import MAGIC, PageOverflowError, decode_node, encode_node
+from repro.index.storage import DEFAULT_PAGE_SIZE
+
+
+def leaf_node(rng, d, count, node_id=7):
+    node = Node(node_id, level=0)
+    for i in range(count):
+        node.entries.append(NodeEntry(MBB.of_point(rng.random(d)), i))
+    return node
+
+
+def internal_node(rng, d, count, node_id=9):
+    node = Node(node_id, level=2)
+    for i in range(count):
+        lo = rng.random(d) * 0.5
+        hi = lo + rng.random(d) * 0.5
+        node.entries.append(NodeEntry(MBB(lo, hi), 100 + i))
+    return node
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("d", [2, 4, 6, 8])
+    def test_leaf(self, rng, d):
+        node = leaf_node(rng, d, 10)
+        page = encode_node(node, DEFAULT_PAGE_SIZE, d)
+        assert len(page) == DEFAULT_PAGE_SIZE
+        back = decode_node(page, d)
+        assert back.node_id == node.node_id
+        assert back.level == 0
+        assert len(back.entries) == 10
+        for a, b in zip(node.entries, back.entries):
+            assert a.child_id == b.child_id
+            assert np.array_equal(a.mbb.lo, b.mbb.lo)
+
+    @pytest.mark.parametrize("d", [2, 4, 6])
+    def test_internal(self, rng, d):
+        node = internal_node(rng, d, 8)
+        back = decode_node(encode_node(node, DEFAULT_PAGE_SIZE, d), d)
+        assert back.level == 2
+        for a, b in zip(node.entries, back.entries):
+            assert a.child_id == b.child_id
+            assert np.array_equal(a.mbb.lo, b.mbb.lo)
+            assert np.array_equal(a.mbb.hi, b.mbb.hi)
+
+    def test_empty_node(self, rng):
+        node = Node(3, level=0)
+        back = decode_node(encode_node(node, DEFAULT_PAGE_SIZE, 4), 4)
+        assert back.entries == []
+
+    def test_magic_validated(self, rng):
+        page = bytearray(encode_node(leaf_node(rng, 2, 1), DEFAULT_PAGE_SIZE, 2))
+        page[:4] = b"XXXX"
+        with pytest.raises(ValueError, match="magic"):
+            decode_node(bytes(page), 2)
+
+    def test_version_validated(self, rng):
+        page = bytearray(encode_node(leaf_node(rng, 2, 1), DEFAULT_PAGE_SIZE, 2))
+        page[4] = 99
+        with pytest.raises(ValueError, match="version"):
+            decode_node(bytes(page), 2)
+
+
+class TestCapacityMathIsReal:
+    """node_capacities() must agree with what actually fits on a page."""
+
+    @pytest.mark.parametrize("d", [2, 3, 4, 5, 6, 7, 8])
+    def test_leaf_capacity_fits(self, rng, d):
+        leaf_cap, _ = node_capacities(DEFAULT_PAGE_SIZE, d)
+        node = leaf_node(rng, d, leaf_cap)
+        encode_node(node, DEFAULT_PAGE_SIZE, d)  # must not raise
+
+    @pytest.mark.parametrize("d", [2, 3, 4, 5, 6, 7, 8])
+    def test_leaf_capacity_tight(self, rng, d):
+        leaf_cap, _ = node_capacities(DEFAULT_PAGE_SIZE, d)
+        node = leaf_node(rng, d, leaf_cap + 1)
+        with pytest.raises(PageOverflowError):
+            encode_node(node, DEFAULT_PAGE_SIZE, d)
+
+    @pytest.mark.parametrize("d", [2, 4, 6, 8])
+    def test_internal_capacity_fits_and_tight(self, rng, d):
+        _, internal_cap = node_capacities(DEFAULT_PAGE_SIZE, d)
+        encode_node(internal_node(rng, d, internal_cap), DEFAULT_PAGE_SIZE, d)
+        with pytest.raises(PageOverflowError):
+            encode_node(internal_node(rng, d, internal_cap + 1), DEFAULT_PAGE_SIZE, d)
+
+
+class TestWholeTreeRoundTrip:
+    def test_every_node_of_a_bulk_loaded_tree_serialises(self, rng):
+        data = independent(3_000, 3, seed=33)
+        tree = bulk_load_str(data)
+        for node in tree.iter_nodes():
+            back = decode_node(encode_node(node, DEFAULT_PAGE_SIZE, 3), 3)
+            assert back.node_id == node.node_id
+            assert len(back.entries) == len(node.entries)

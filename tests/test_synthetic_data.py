@@ -1,0 +1,126 @@
+"""Tests for the synthetic generators and real-data surrogates."""
+
+import numpy as np
+import pytest
+
+from repro.data.real import HOTEL_N, HOUSE_N, hotel_surrogate, house_surrogate
+from repro.data.synthetic import anticorrelated, correlated, independent, make_synthetic
+
+
+class TestIndependent:
+    def test_shape_and_range(self):
+        ds = independent(500, 3, seed=1)
+        assert ds.n == 500 and ds.d == 3
+        assert ds.points.min() >= 0.0 and ds.points.max() <= 1.0
+
+    def test_deterministic(self):
+        assert np.array_equal(independent(50, 2, seed=4).points, independent(50, 2, seed=4).points)
+
+    def test_seeds_differ(self):
+        assert not np.array_equal(independent(50, 2, seed=4).points, independent(50, 2, seed=5).points)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            independent(0, 3)
+        with pytest.raises(ValueError):
+            independent(10, 0)
+
+    def test_roughly_uniform_mean(self):
+        ds = independent(20_000, 2, seed=2)
+        assert abs(ds.points.mean() - 0.5) < 0.02
+
+
+class TestCorrelated:
+    def test_positive_pairwise_correlation(self):
+        ds = correlated(10_000, 3, seed=3)
+        corr = np.corrcoef(ds.points.T)
+        off_diag = corr[np.triu_indices(3, k=1)]
+        assert (off_diag > 0.8).all()
+
+    def test_range(self):
+        ds = correlated(5_000, 4, seed=3)
+        assert ds.points.min() >= 0.0 and ds.points.max() <= 1.0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            correlated(100, 2, spread=-0.1)
+        with pytest.raises(ValueError):
+            correlated(100, 2, level_sigma=0.0)
+
+
+class TestAnticorrelated:
+    def test_negative_pairwise_correlation(self):
+        ds = anticorrelated(10_000, 2, seed=3)
+        corr = np.corrcoef(ds.points.T)[0, 1]
+        assert corr < -0.3
+
+    def test_sum_concentrated(self):
+        """ANTI coordinate sums concentrate far more tightly than IND's."""
+        d = 4
+        anti = anticorrelated(5_000, d, seed=3)
+        ind = independent(5_000, d, seed=3)
+        assert anti.points.sum(axis=1).std() < 0.6 * ind.points.sum(axis=1).std()
+        assert abs(anti.points.sum(axis=1).mean() - d / 2) < 0.15 * d
+
+    def test_one_dimensional_fallback(self):
+        ds = anticorrelated(100, 1, seed=3)
+        assert ds.d == 1
+
+    def test_wide_skyline(self):
+        """ANTI must produce far more skyline records than COR (Figure 6)."""
+        from repro.query.linear_scan import scan_skyline
+
+        anti = anticorrelated(2_000, 3, seed=5)
+        cor = correlated(2_000, 3, seed=5)
+        assert len(scan_skyline(anti.points)) > 5 * len(scan_skyline(cor.points))
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("family", ["IND", "COR", "ANTI", "ind", "AnTi"])
+    def test_known_families(self, family):
+        ds = make_synthetic(family, 100, 2, seed=0)
+        assert ds.n == 100
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown synthetic family"):
+            make_synthetic("ZIPF", 100, 2)
+
+
+class TestRealSurrogates:
+    def test_house_shape(self):
+        ds = house_surrogate(n=2_000, seed=1)
+        assert ds.d == 6
+        assert ds.n == 2_000
+
+    def test_house_default_cardinality_matches_paper(self):
+        assert HOUSE_N == 315_265
+
+    def test_hotel_default_cardinality_matches_paper(self):
+        assert HOTEL_N == 418_843
+
+    def test_hotel_shape(self):
+        ds = hotel_surrogate(n=2_000, seed=1)
+        assert ds.d == 4
+        assert ds.n == 2_000
+
+    def test_house_positive_correlation(self):
+        """Expenditures correlate through household affluence."""
+        ds = house_surrogate(n=20_000, seed=1)
+        corr = np.corrcoef(ds.points.T)
+        off_diag = corr[np.triu_indices(6, k=1)]
+        assert off_diag.mean() > 0.2
+
+    def test_hotel_price_tracks_stars(self):
+        ds = hotel_surrogate(n=20_000, seed=1)
+        stars, price = ds.points[:, 0], ds.points[:, 1]
+        assert np.corrcoef(stars, price)[0, 1] > 0.4
+
+    def test_surrogates_normalised(self):
+        for ds in (house_surrogate(n=500), hotel_surrogate(n=500)):
+            assert ds.points.min() >= 0.0 and ds.points.max() <= 1.0
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            house_surrogate(n=0)
+        with pytest.raises(ValueError):
+            hotel_surrogate(n=-5)

@@ -1,0 +1,116 @@
+"""Tests for GIR visualisation aids (MAH and interactive projection)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lir import lir_intervals_scan
+from repro.core.gir import compute_gir
+from repro.core.visualization import interactive_projection, maximal_axis_rectangle
+from repro.data.synthetic import independent
+from repro.index.bulkload import bulk_load_str
+from repro.query.linear_scan import scan_topk
+from tests.conftest import random_query
+
+
+class TestMAH:
+    def test_contains_query(self, small_ind_2d, rng):
+        data, tree = small_ind_2d
+        q = random_query(rng, 2)
+        gir = compute_gir(tree, data, q, 5)
+        mah = maximal_axis_rectangle(gir)
+        assert mah.contains(q)
+
+    def test_inside_gir(self, small_ind_4d, rng):
+        """Every corner of the MAH must satisfy all GIR constraints."""
+        data, tree = small_ind_4d
+        q = random_query(rng, 4)
+        gir = compute_gir(tree, data, q, 6)
+        mah = maximal_axis_rectangle(gir)
+        d = 4
+        for bits in range(2**d):
+            corner = np.array(
+                [mah.lo[i] if bits & (1 << i) else mah.hi[i] for i in range(d)]
+            )
+            assert gir.contains(corner, tol=1e-7), corner
+
+    def test_positive_volume_for_interior_query(self, small_ind_2d, rng):
+        data, tree = small_ind_2d
+        q = random_query(rng, 2)
+        gir = compute_gir(tree, data, q, 5)
+        if gir.polytope.chebyshev_center()[1] > 1e-6:
+            assert maximal_axis_rectangle(gir).volume() > 0
+
+    def test_result_stable_across_mah(self, small_ind_2d, rng):
+        """Sampled vectors inside the MAH preserve the top-k (MAH ⊆ GIR)."""
+        data, tree = small_ind_2d
+        q = random_query(rng, 2)
+        k = 5
+        gir = compute_gir(tree, data, q, k)
+        mah = maximal_axis_rectangle(gir)
+        for _ in range(30):
+            probe = mah.lo + rng.random(2) * (mah.hi - mah.lo)
+            if probe.max() <= 1e-9:
+                continue
+            assert scan_topk(data.points, probe, k).ids == gir.topk.ids
+
+    def test_intervals_accessor(self, small_ind_2d, rng):
+        data, tree = small_ind_2d
+        gir = compute_gir(tree, data, random_query(rng, 2), 5)
+        ivs = maximal_axis_rectangle(gir).intervals()
+        assert len(ivs) == 2
+        for lo, hi in ivs:
+            assert lo <= hi
+
+
+class TestInteractiveProjection:
+    def test_matches_lir_scan_at_query(self, small_ind_2d, rng):
+        """Section 7.3: the projections at q equal the LIRs of [24]."""
+        data, tree = small_ind_2d
+        for _ in range(3):
+            q = random_query(rng, 2)
+            gir = compute_gir(tree, data, q, 5)
+            proj = interactive_projection(gir)
+            scan = lir_intervals_scan(data, q, 5)
+            for (a, b), (c, d_) in zip(proj, scan):
+                assert a == pytest.approx(c, abs=1e-9)
+                assert b == pytest.approx(d_, abs=1e-9)
+
+    def test_matches_lir_scan_4d(self, small_ind_4d, rng):
+        data, tree = small_ind_4d
+        q = random_query(rng, 4)
+        gir = compute_gir(tree, data, q, 8)
+        proj = interactive_projection(gir)
+        scan = lir_intervals_scan(data, q, 8)
+        for (a, b), (c, d_) in zip(proj, scan):
+            assert a == pytest.approx(c, abs=1e-9)
+            assert b == pytest.approx(d_, abs=1e-9)
+
+    def test_intervals_contain_current_weight(self, small_ind_4d, rng):
+        data, tree = small_ind_4d
+        q = random_query(rng, 4)
+        gir = compute_gir(tree, data, q, 6)
+        for axis, (lo, hi) in enumerate(interactive_projection(gir)):
+            assert lo - 1e-9 <= q[axis] <= hi + 1e-9
+
+    def test_reprojection_after_shift(self, small_ind_2d, rng):
+        """Shift q inside the GIR; new projections still bracket it."""
+        data, tree = small_ind_2d
+        q = random_query(rng, 2)
+        gir = compute_gir(tree, data, q, 5)
+        samples = gir.polytope.sample(5, rng)
+        for q2 in samples:
+            for axis, (lo, hi) in enumerate(interactive_projection(gir, at=q2)):
+                assert lo - 1e-7 <= q2[axis] <= hi + 1e-7
+
+    def test_interval_edges_preserve_result(self, small_ind_2d, rng):
+        """Weights moved to just inside an interval edge keep the result."""
+        data, tree = small_ind_2d
+        q = random_query(rng, 2)
+        k = 5
+        gir = compute_gir(tree, data, q, k)
+        for axis, (lo, hi) in enumerate(interactive_projection(gir)):
+            for edge in (lo, hi):
+                probe = q.copy()
+                probe[axis] = np.clip(edge, 0, 1)
+                probe[axis] = q[axis] + (probe[axis] - q[axis]) * (1 - 1e-9)
+                assert scan_topk(data.points, probe, k).ids == gir.topk.ids
