@@ -1,0 +1,40 @@
+"""Engine throughput: the serving layer under a Zipf-clustered stream.
+
+Not a paper figure — this benchmarks the system of Section 1: a
+``GIREngine`` absorbing query traffic, serving repeats from cached GIRs.
+Emits the JSON report (hit rate, p50/p95 latency, pages per 1k queries)
+next to this file so successive runs can be diffed.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.engine_bench import EngineBenchConfig, run_engine_benchmark
+
+REPORT_PATH = Path(__file__).resolve().parent / "engine_throughput_pytest.json"
+
+
+@pytest.mark.benchmark(group="engine")
+def test_engine_throughput(benchmark):
+    config = EngineBenchConfig(n=4_000, d=3, k=10, queries=150, clusters=6)
+    payload = benchmark.pedantic(
+        run_engine_benchmark,
+        kwargs={"config": config, "out_path": REPORT_PATH},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(json.dumps(payload, indent=2))
+
+    assert payload["queries"] == 150
+    assert 0.0 <= payload["hit_rate"] <= 1.0
+    assert payload["latency_p50_ms"] <= payload["latency_p95_ms"]
+    assert payload["pages_per_1k_queries"] >= 0
+    # Zipf-clustered traffic must actually exercise the cache.
+    assert payload["full_hits"] > 0
+
+    saved = json.loads(REPORT_PATH.read_text())
+    assert saved["hit_rate"] == payload["hit_rate"]
+    assert saved["config"]["queries"] == 150

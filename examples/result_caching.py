@@ -5,8 +5,12 @@ together with its GIR. A new query whose weight vector falls inside a
 cached GIR is served instantly — no index access at all. Users with
 similar preferences thus share work.
 
-This example simulates a query workload of "preference clusters" (groups
-of users with similar taste) and reports hit rates and saved I/O.
+The modern path is :class:`repro.GIREngine`: it owns the tree, dataset,
+scorer and GIR cache, answers every request cache-first (partial hits are
+*completed* by resuming computation, never returned half-done) and
+accounts latency and I/O per request. For comparison, the second half of
+this example replays the same workload through the original manual
+cache-then-compute loop.
 
 Run with:  python examples/result_caching.py
 """
@@ -16,61 +20,69 @@ import numpy as np
 import repro
 
 
-def main(n: int = 30_000, workload: int = 400) -> None:
+def main(n: int = 30_000, workload_len: int = 400) -> None:
     rng = np.random.default_rng(9)
     data = repro.hotel_surrogate(n=n, seed=2)
     tree = repro.bulk_load_str(data)
     k = 10
 
+    # Workload: 8 preference archetypes with Zipf-distributed popularity;
+    # each user is an archetype plus a small personal tweak — the
+    # situation result caching exploits.
+    workload = repro.zipf_clustered_workload(
+        d=4, count=workload_len, k=k, clusters=8, zipf_s=1.1, spread=0.01,
+        rng=rng,
+    )
+
+    # ---- engine path: cache-first serving with built-in accounting --------
+    engine = repro.GIREngine(data, tree, cache_capacity=64)
+    report = engine.run(workload)
+    print("GIREngine serving the workload")
+    print(report.summary())
+    print(f"cache entries     : {len(engine.cache)}")
+    print()
+
+    # Sanity: spot-check that served answers are exact.
+    checked = 0
+    for req in list(rng.permutation(workload.requests))[:25]:
+        resp = engine.topk(req.weights, k)
+        assert resp.ids == repro.scan_topk(data.points, req.weights, k).ids
+        checked += 1
+    print(f"verified {checked} served answers against a full scan — all exact")
+    print()
+
+    # A user of a cached entry asks for MORE results: the engine completes
+    # the answer by resuming computation (no half-done prefixes).
+    deep = engine.topk(workload.requests[0].weights, 25)
+    print(f"k=25 request after k={k} traffic: source={deep.source!r}, "
+          f"{len(deep.ids)} records, {deep.pages_read} pages read")
+    print()
+
+    # ---- comparison: the original manual cache-then-compute loop ----------
+    tree2 = repro.bulk_load_str(data)
     cache = repro.GIRCache(capacity=64)
-
-    # Workload: 8 preference archetypes; each user is an archetype plus a
-    # small personal tweak — the situation result caching exploits.
-    archetypes = [rng.random(4) * 0.7 + 0.15 for _ in range(8)]
-    queries = []
-    for _ in range(workload):
-        base = archetypes[rng.integers(len(archetypes))]
-        queries.append(np.clip(base + rng.normal(0, 0.01, 4), 0.01, 1.0))
-
     served_from_cache = 0
     computed = 0
     io_pages_spent = 0
-    for q in queries:
-        hit = cache.lookup(q, k)
-        if hit is not None:
+    for req in workload:
+        hit = cache.lookup(req.weights, k)
+        if hit is not None and not hit.partial:
             served_from_cache += 1
             continue
-        tree.store.reset_meter()
-        gir = repro.compute_gir(tree, data, q, k, method="fp")
-        io_pages_spent += tree.store.stats.page_reads
+        tree2.store.reset_meter()
+        gir = repro.compute_gir(tree2, data, req.weights, k, method="fp")
+        io_pages_spent += tree2.store.stats.page_reads
         computed += 1
         cache.insert(gir)
 
-    print(f"queries           : {len(queries)}")
+    print("Manual cache loop on the same workload (for comparison)")
+    print(f"queries           : {len(workload)}")
     print(f"computed fresh    : {computed}")
     print(f"served from cache : {served_from_cache} "
-          f"({100 * served_from_cache / len(queries):.1f}%)")
+          f"({100 * served_from_cache / len(workload):.1f}%)")
     print(f"I/O spent         : {io_pages_spent} pages "
           f"(~{io_pages_spent * 10 / 1000:.1f}s of disk time at 10ms/page)")
     print(f"cache entries     : {len(cache)}")
-    print()
-
-    # Sanity: spot-check that cached answers are exact.
-    checked = 0
-    for q in rng.permutation(queries)[:25]:
-        hit = cache.lookup(q, k)
-        if hit is not None and not hit.partial:
-            assert hit.ids == repro.scan_topk(data.points, q, k).ids
-            checked += 1
-    print(f"verified {checked} cached answers against a full scan — all exact")
-
-    # Progressive answering: a user of a cached entry asks for MORE results.
-    q = queries[0]
-    hit = cache.lookup(q, 25)
-    if hit is not None and hit.partial:
-        print(f"\nk=25 request served progressively: first {len(hit.ids)} "
-              "records returned immediately from cache, remainder computed "
-              "in the background (paper's progressive-reporting use case).")
 
 
 if __name__ == "__main__":

@@ -35,6 +35,13 @@ from repro.core import (
     interactive_projection,
     maximal_axis_rectangle,
 )
+from repro.engine import (
+    GIREngine,
+    Workload,
+    WorkloadReport,
+    uniform_workload,
+    zipf_clustered_workload,
+)
 from repro.data import (
     Dataset,
     anticorrelated,
@@ -71,6 +78,12 @@ __all__ = [
     "boundary_perturbations",
     "maximal_axis_rectangle",
     "interactive_projection",
+    # engine
+    "GIREngine",
+    "Workload",
+    "WorkloadReport",
+    "uniform_workload",
+    "zipf_clustered_workload",
     # data
     "Dataset",
     "independent",

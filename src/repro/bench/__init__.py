@@ -11,7 +11,15 @@ the harness shrinks cardinalities while preserving the comparative shapes
 """
 
 from repro.bench.config import SCALES, ExperimentScale
+from repro.bench.engine_bench import EngineBenchConfig, run_engine_benchmark
 from repro.bench.figures import FIGURES
 from repro.bench.harness import run_figure
 
-__all__ = ["SCALES", "ExperimentScale", "FIGURES", "run_figure"]
+__all__ = [
+    "SCALES",
+    "ExperimentScale",
+    "FIGURES",
+    "run_figure",
+    "EngineBenchConfig",
+    "run_engine_benchmark",
+]

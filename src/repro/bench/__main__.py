@@ -1,8 +1,14 @@
-"""CLI: ``python -m repro.bench --figure 15 --scale default``."""
+"""CLI: ``python -m repro.bench --figure 15 --scale default``.
+
+``python -m repro.bench --engine`` runs the serving-layer throughput
+benchmark instead and writes its JSON report (default: ``benchmarks/``).
+"""
 
 from __future__ import annotations
 
 import argparse
+import json
+from pathlib import Path
 
 from repro.bench.config import SCALES
 from repro.bench.figures import FIGURES
@@ -19,7 +25,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--figure",
-        default="all",
+        default=None,
         choices=[*FIGURES.keys(), "all"],
         help="which paper figure to regenerate (default: all)",
     )
@@ -34,11 +40,37 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="directory to write the result tables into (optional)",
     )
+    parser.add_argument(
+        "--engine",
+        action="store_true",
+        help=(
+            "run the serving-layer throughput benchmark instead of the "
+            "paper figures; writes a JSON report (see repro.bench.engine_bench)"
+        ),
+    )
     args = parser.parse_args(argv)
-    if args.figure == "all":
+    if args.engine:
+        if args.figure is not None:
+            parser.error("--engine and --figure are mutually exclusive")
+        from repro.bench.engine_bench import EngineBenchConfig, run_engine_benchmark
+
+        scale = SCALES[args.scale]
+        config = EngineBenchConfig(
+            n=scale.n_default,
+            k=scale.k_default,
+            queries=scale.engine_queries,
+        )
+        out_dir = Path(args.out_dir) if args.out_dir else Path("benchmarks")
+        out_path = out_dir / f"engine_throughput_{args.scale}.json"
+        payload = run_engine_benchmark(config, out_path)
+        print(json.dumps(payload, indent=2))
+        print(f"\n[engine benchmark report written to {out_path}]")
+        return 0
+    figure = args.figure or "all"
+    if figure == "all":
         run_all(args.scale, args.out_dir)
     else:
-        run_figure(args.figure, args.scale, args.out_dir)
+        run_figure(figure, args.scale, args.out_dir)
     return 0
 
 

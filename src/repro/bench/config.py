@@ -45,6 +45,8 @@ class ExperimentScale:
     hotel_n: int
     #: random queries averaged per cell (paper: 100)
     queries: int
+    #: workload length of the serving-engine throughput benchmark
+    engine_queries: int = 400
 
     def __post_init__(self) -> None:
         if self.n_default <= 0 or self.queries <= 0:
@@ -54,6 +56,7 @@ class ExperimentScale:
 SCALES: dict[str, ExperimentScale] = {
     "smoke": ExperimentScale(
         name="smoke",
+        engine_queries=150,
         n_default=4_000,
         n_sweep=(2_000, 4_000, 8_000),
         d_sweep=(2, 3, 4),
@@ -66,6 +69,7 @@ SCALES: dict[str, ExperimentScale] = {
     ),
     "bench": ExperimentScale(
         name="bench",
+        engine_queries=400,
         n_default=15_000,
         n_sweep=(5_000, 10_000, 20_000, 40_000),
         d_sweep=(2, 3, 4, 5),
@@ -78,6 +82,7 @@ SCALES: dict[str, ExperimentScale] = {
     ),
     "default": ExperimentScale(
         name="default",
+        engine_queries=1_000,
         n_default=40_000,
         n_sweep=(15_000, 30_000, 60_000, 120_000, 240_000),
         d_sweep=(2, 3, 4, 5, 6),
@@ -90,6 +95,7 @@ SCALES: dict[str, ExperimentScale] = {
     ),
     "paper": ExperimentScale(
         name="paper",
+        engine_queries=5_000,
         n_default=1_000_000,
         n_sweep=(500_000, 1_000_000, 5_000_000, 10_000_000, 20_000_000),
         d_sweep=(2, 3, 4, 5, 6, 7, 8),

@@ -1,0 +1,97 @@
+"""Engine-throughput benchmark: the serving layer under a query stream.
+
+Unlike the figure generators (which reproduce the paper's per-computation
+charts), this benchmark measures the *system* the paper motivates in
+Section 1: a :class:`~repro.engine.GIREngine` absorbing a workload of
+user queries, serving repeats from cached GIRs. It reports cache hit
+rate, p50/p95 request latency and page reads per 1k queries, and writes
+the numbers as a JSON report for tracking across commits.
+
+Run it with ``python -m repro.bench --engine`` (add ``--out-dir`` to
+choose where the JSON lands) or through
+``benchmarks/test_engine_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.synthetic import independent
+from repro.engine import GIREngine, uniform_workload, zipf_clustered_workload
+from repro.index.bulkload import bulk_load_str
+
+__all__ = ["EngineBenchConfig", "run_engine_benchmark"]
+
+
+@dataclass(frozen=True)
+class EngineBenchConfig:
+    """Knobs of one engine-throughput run."""
+
+    n: int = 15_000
+    d: int = 4
+    k: int = 10
+    queries: int = 400
+    workload: str = "zipf_clustered"  # or "uniform"
+    clusters: int = 8
+    zipf_s: float = 1.1
+    spread: float = 0.01
+    cache_capacity: int = 64
+    method: str = "fp"
+    seed: int = 9
+
+
+def run_engine_benchmark(
+    config: EngineBenchConfig = EngineBenchConfig(),
+    out_path: str | Path | None = None,
+) -> dict:
+    """Build engine + workload, serve the stream, return (and save) the report.
+
+    The JSON payload combines the :class:`~repro.engine.WorkloadReport`
+    aggregates (hit rate, p50/p95 latency, pages per 1k queries,
+    throughput) with the engine/cache counters and the run configuration.
+    """
+    rng = np.random.default_rng(config.seed)
+    data = independent(n=config.n, d=config.d, seed=config.seed)
+    tree = bulk_load_str(data)
+    engine = GIREngine(
+        data,
+        tree,
+        method=config.method,
+        cache_capacity=config.cache_capacity,
+    )
+    if config.workload == "uniform":
+        workload = uniform_workload(
+            config.d, config.queries, k=config.k, rng=rng
+        )
+    elif config.workload == "zipf_clustered":
+        workload = zipf_clustered_workload(
+            config.d,
+            config.queries,
+            k=config.k,
+            clusters=config.clusters,
+            zipf_s=config.zipf_s,
+            spread=config.spread,
+            rng=rng,
+        )
+    else:
+        raise ValueError(
+            f"unknown workload {config.workload!r}; "
+            "expected 'uniform' or 'zipf_clustered'"
+        )
+
+    report = engine.run(workload)
+    payload = {
+        "benchmark": "engine_throughput",
+        "config": asdict(config),
+        **report.to_dict(),
+        "engine": engine.stats(),
+    }
+    if out_path is not None:
+        out_path = Path(out_path)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload

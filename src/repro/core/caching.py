@@ -10,7 +10,12 @@ touching the database:
 * larger ``k`` — the cached records are still the correct highest-scoring
   prefix, which the cache returns immediately flagged *partial* (the paper
   cites progressive reporting [31] for this case), leaving the caller to
-  compute the remaining records.
+  compute the remaining records. :class:`repro.engine.GIREngine` does
+  exactly that: it resumes the compute pipeline and serves a complete
+  answer instead of handing the prefix back to the user.
+
+Hit accounting is non-overlapping: every lookup is exactly one of
+``full_hits``, ``partial_hits`` or ``misses``.
 """
 
 from __future__ import annotations
@@ -46,15 +51,44 @@ class GIRCache:
         self.capacity = capacity
         self._entries: OrderedDict[int, GIRResult] = OrderedDict()
         self._next_key = 0
-        self.hits = 0
+        self.full_hits = 0
         self.partial_hits = 0
         self.misses = 0
+        self.subsumption_evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    @property
+    def hits(self) -> int:
+        """Total lookups served from cache (full + partial)."""
+        return self.full_hits + self.partial_hits
+
     def insert(self, gir: GIRResult) -> int:
-        """Cache a computed GIR; returns its entry key."""
+        """Cache a computed GIR; returns its entry key.
+
+        An existing same-``k`` entry whose own query vector lies inside the
+        new GIR is strictly subsumed: the GIR is the *maximal* region of
+        the ordered result, and containing the old query vector at equal
+        ``k`` means both entries certify the same ordered result — i.e. the
+        same maximal region. The old entry is evicted rather than left to
+        crowd the LRU with a redundant region. Entries cached for a
+        *different* ``k`` are kept either way: a deeper entry serves
+        requests the new one cannot, and a shallower entry's region is
+        typically *wider* (fewer constraints) and still serves traffic the
+        new, tighter region misses.
+        """
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if entry.topk.k == gir.topk.k
+            and entry.weights.shape == gir.weights.shape
+            and gir.contains(entry.weights)
+        ]
+        for key in stale:
+            del self._entries[key]
+        self.subsumption_evictions += len(stale)
+
         key = self._next_key
         self._next_key += 1
         self._entries[key] = gir
@@ -66,30 +100,47 @@ class GIRCache:
         """Serve a query from cache if its vector lies in some cached GIR.
 
         Scans entries most-recently-used first; a hit refreshes the entry's
-        recency. Returns ``None`` on a miss.
+        recency. A containing entry cached for a smaller ``k`` only serves
+        a *partial* prefix, so the scan keeps going in case a deeper entry
+        can serve the request fully, and falls back to the best partial
+        prefix found. Returns ``None`` on a miss.
         """
         weights = np.asarray(weights, dtype=np.float64)
-        for key in reversed(list(self._entries.keys())):
+        partial_key = None
+        partial_ids: tuple[int, ...] = ()
+        # OrderedDict supports reversed iteration natively; no key-list
+        # materialisation. The in-loop move_to_end is safe because the
+        # scan returns immediately after it.
+        for key in reversed(self._entries):
             gir = self._entries[key]
             if gir.weights.shape != weights.shape:
                 continue
             if not gir.contains(weights):
                 continue
             cached_ids = gir.topk.ids
-            self._entries.move_to_end(key)
             if k <= len(cached_ids):
-                self.hits += 1
+                self._entries.move_to_end(key)
+                self.full_hits += 1
                 return CacheHit(ids=cached_ids[:k], partial=False, entry_key=key)
-            self.hits += 1
+            if partial_key is None or len(cached_ids) > len(partial_ids):
+                partial_key, partial_ids = key, cached_ids
+        if partial_key is not None:
+            self._entries.move_to_end(partial_key)
             self.partial_hits += 1
-            return CacheHit(ids=cached_ids, partial=True, entry_key=key)
+            return CacheHit(ids=partial_ids, partial=True, entry_key=partial_key)
         self.misses += 1
         return None
+
+    def entry_keys(self) -> list[int]:
+        """Keys of the currently cached entries (LRU order, oldest first)."""
+        return list(self._entries)
 
     def stats(self) -> dict[str, int]:
         return {
             "hits": self.hits,
+            "full_hits": self.full_hits,
             "partial_hits": self.partial_hits,
             "misses": self.misses,
+            "subsumption_evictions": self.subsumption_evictions,
             "entries": len(self._entries),
         }

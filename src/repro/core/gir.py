@@ -1,4 +1,4 @@
-"""GIR computation: the orchestrator tying BRS, Phase 1 and Phase 2 together.
+"""GIR computation: the public entry point over the staged pipeline.
 
 Usage::
 
@@ -11,135 +11,33 @@ Usage::
     gir.contains([0.5, 0.5, 0.62, 0.71])
     gir.boundary_perturbations()  # what changes at each GIR facet
 
-The result object carries per-phase CPU times and simulated I/O so the
-benchmark harness can print the paper's charts directly.
+The heavy lifting lives in :mod:`repro.core.pipeline`, which stages the
+computation as ``retrieve → phase1 → phase2 → assemble`` over a shared
+:class:`~repro.core.pipeline.ExecutionContext`; :func:`compute_gir` is a
+thin wrapper that builds the context and runs the chain. The result object
+carries per-stage CPU times and simulated I/O so the benchmark harness can
+print the paper's charts directly, and the serving layer
+(:mod:`repro.engine`) can charge each request precisely.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-
 import numpy as np
 
-from repro.core.phase1 import phase1_halfspaces
-from repro.core.phase2 import Phase2Output
-from repro.core.phase2_cp import phase2_cp
-from repro.core.phase2_fp import FPOptions, phase2_fp
-from repro.core.phase2_sp import phase2_sp
+from repro.core.phase2_fp import FPOptions
+from repro.core.pipeline import (
+    PHASE2_METHODS,
+    ExecutionContext,
+    GIRResult,
+    GIRStats,
+    run_pipeline,
+)
 from repro.data.dataset import Dataset
-from repro.geometry.halfspace import Halfspace
-from repro.geometry.polytope import Polytope
 from repro.index.rtree import RStarTree
-from repro.query.brs import BRSRun, brs_topk
-from repro.query.topk import TopKResult
-from repro.scoring import LinearScoring, ScoringFunction
+from repro.query.brs import BRSRun
+from repro.scoring import ScoringFunction
 
 __all__ = ["GIRStats", "GIRResult", "compute_gir", "PHASE2_METHODS"]
-
-PHASE2_METHODS = {"sp": phase2_sp, "cp": phase2_cp, "fp": phase2_fp}
-
-
-@dataclass
-class GIRStats:
-    """Cost breakdown of one GIR computation."""
-
-    cpu_ms_topk: float = 0.0
-    cpu_ms_phase1: float = 0.0
-    cpu_ms_phase2: float = 0.0
-    io_pages_topk: int = 0
-    io_pages_phase2: int = 0
-    io_ms_per_page: float = 0.0
-    phase2_candidates: int = 0
-    extras: dict[str, float] = field(default_factory=dict)
-
-    @property
-    def cpu_ms_total(self) -> float:
-        """CPU time of GIR computation proper (Phases 1+2, as the paper
-        reports; top-k retrieval is a prerequisite common to all methods)."""
-        return self.cpu_ms_phase1 + self.cpu_ms_phase2
-
-    @property
-    def io_pages_total(self) -> int:
-        return self.io_pages_topk + self.io_pages_phase2
-
-    @property
-    def io_ms_phase2(self) -> float:
-        """Simulated Phase-2 I/O time — the paper's I/O metric."""
-        return self.io_pages_phase2 * self.io_ms_per_page
-
-
-@dataclass
-class GIRResult:
-    """The global immutable region of a top-k query (Definition 1)."""
-
-    weights: np.ndarray
-    topk: TopKResult
-    halfspaces: list[Halfspace]
-    polytope: Polytope
-    method: str
-    stats: GIRStats
-    #: Row index in ``polytope`` of the first half-space row (after the box).
-    _hs_row_offset: int = 0
-
-    # -- semantics ------------------------------------------------------------
-
-    def contains(self, q: np.ndarray, tol: float = 1e-9) -> bool:
-        """Does query vector ``q`` preserve the (ordered) top-k result?"""
-        return self.polytope.contains(q, tol=tol)
-
-    def volume(self) -> float:
-        return self.polytope.volume()
-
-    def volume_ratio(self) -> float:
-        """``vol(GIR) / vol(query space)`` — the robustness probability of a
-        uniformly random query vector preserving the result (Section 1; the
-        LIK measure of [30]). The query space is the unit box, so the ratio
-        equals the volume."""
-        return self.volume()
-
-    def boundary_perturbations(self, tol: float = 1e-9):
-        """Result changes at each bounding facet — see
-        :func:`repro.core.perturbation.boundary_perturbations`."""
-        from repro.core.perturbation import boundary_perturbations
-
-        return boundary_perturbations(self, tol=tol)
-
-    def lir_intervals(self) -> list[tuple[float, float]]:
-        """Per-weight immutable intervals through the original query — the
-        interactive projection of Section 7.3 (equals the LIRs of [24])."""
-        return [
-            self.polytope.axis_interval(axis, self.weights)
-            for axis in range(self.polytope.d)
-        ]
-
-    @property
-    def d(self) -> int:
-        return int(self.weights.shape[0])
-
-    def halfspace_rows(self) -> list[tuple[int, Halfspace]]:
-        """(polytope row index, half-space) pairs for the GIR conditions."""
-        return [
-            (self._hs_row_offset + i, hs) for i, hs in enumerate(self.halfspaces)
-        ]
-
-    def summary(self) -> str:
-        """Human-readable report of the region and its cost breakdown."""
-        s = self.stats
-        lines = [
-            f"GIR of a top-{self.topk.k} query ({self.method.upper()}, d={self.d})",
-            f"  result ids     : {list(self.topk.ids)}",
-            f"  half-spaces    : {len(self.halfspaces)} "
-            f"({sum(h.kind == 'order' for h in self.halfspaces)} order, "
-            f"{sum(h.kind == 'separation' for h in self.halfspaces)} separation)",
-            f"  volume ratio   : {self.volume_ratio():.3e}",
-            f"  cpu            : topk {s.cpu_ms_topk:.1f} ms, "
-            f"phase1+2 {s.cpu_ms_total:.1f} ms",
-            f"  phase-2 I/O    : {s.io_pages_phase2} pages "
-            f"(~{s.io_ms_phase2:.0f} ms at {s.io_ms_per_page:.0f} ms/page)",
-            f"  candidates     : {s.phase2_candidates}",
-        ]
-        return "\n".join(lines)
 
 
 def compute_gir(
@@ -181,55 +79,8 @@ def compute_gir(
         :class:`~repro.core.phase2_fp.FPOptions` tuning knobs (FP only);
         all settings are correctness-preserving.
     """
-    if method not in PHASE2_METHODS:
-        raise ValueError(f"unknown method {method!r}; expected one of {sorted(PHASE2_METHODS)}")
-    points = data.points if isinstance(data, Dataset) else np.asarray(data, float)
-    weights = np.asarray(weights, dtype=np.float64)
-    scorer = scorer or LinearScoring(tree.d)
-    points_g = scorer.transform(points)
-
-    io_before = tree.store.stats.page_reads
-    t0 = time.perf_counter()
-    if run is None:
-        run = brs_topk(tree, points, weights, k, scorer=scorer, metered=metered)
-    t1 = time.perf_counter()
-    io_after_topk = tree.store.stats.page_reads
-
-    hs_order = phase1_halfspaces(run.result, points_g)
-    t2 = time.perf_counter()
-
-    method_kwargs = {}
-    if method == "fp" and fp_options is not None:
-        method_kwargs["options"] = fp_options
-    phase2: Phase2Output = PHASE2_METHODS[method](
-        tree, points, points_g, run, scorer, metered=metered, **method_kwargs
+    ctx = ExecutionContext.create(
+        tree, data, weights, k,
+        method=method, scorer=scorer, metered=metered, fp_options=fp_options,
     )
-    t3 = time.perf_counter()
-    io_after_phase2 = tree.store.stats.page_reads
-
-    halfspaces = hs_order + phase2.halfspaces
-    box = Polytope.from_unit_box(tree.d)
-    polytope = box.with_constraints(
-        np.asarray([hs.normal for hs in halfspaces])
-        if halfspaces
-        else np.empty((0, tree.d))
-    )
-    stats = GIRStats(
-        cpu_ms_topk=(t1 - t0) * 1e3,
-        cpu_ms_phase1=(t2 - t1) * 1e3,
-        cpu_ms_phase2=(t3 - t2) * 1e3,
-        io_pages_topk=io_after_topk - io_before,
-        io_pages_phase2=io_after_phase2 - io_after_topk,
-        io_ms_per_page=tree.store.stats.latency_ms_per_page,
-        phase2_candidates=len(phase2.candidate_ids),
-        extras=dict(phase2.extras),
-    )
-    return GIRResult(
-        weights=weights,
-        topk=run.result,
-        halfspaces=halfspaces,
-        polytope=polytope,
-        method=method,
-        stats=stats,
-        _hs_row_offset=2 * tree.d,
-    )
+    return run_pipeline(ctx, run)

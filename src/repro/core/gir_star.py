@@ -17,12 +17,18 @@ Processing (per the paper):
   and reuse it for every ``GIR_i``; FP maintains all the facet fans
   **concurrently** during a single drain of the retained BRS heap, pruning
   a node only when it is below every facet of every fan.
+
+Like :func:`repro.core.gir.compute_gir`, the computation is staged over the
+shared :class:`~repro.core.pipeline.ExecutionContext`: the standard
+``retrieve`` stage, then the star-specific ``prune`` and ``phase2``
+stages below, then assembly. GIR* has no Phase 1 — the ordering conditions
+are deliberately dropped — so ``cpu_ms_phase1`` stays zero.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -30,14 +36,19 @@ from repro.core.gir import GIRStats
 from repro.core.phase2_cp import hull_of_skyline
 from repro.core.phase2_fp import build_fan, refine_fans
 from repro.core.phase2_sp import skyline_candidates
+from repro.core.pipeline import (
+    ExecutionContext,
+    assemble_polytope,
+    stage_retrieve,
+)
 from repro.data.dataset import Dataset
 from repro.geometry.convexhull import hull_vertex_ids
 from repro.geometry.halfspace import Halfspace, separation_halfspace
 from repro.geometry.polytope import Polytope
 from repro.index.rtree import RStarTree
-from repro.query.brs import BRSRun, brs_topk
+from repro.query.brs import BRSRun
 from repro.query.topk import TopKResult
-from repro.scoring import LinearScoring, ScoringFunction
+from repro.scoring import ScoringFunction
 
 __all__ = ["GIRStarResult", "compute_gir_star", "prune_result_records"]
 
@@ -100,6 +111,66 @@ def prune_result_records(
     return survivors
 
 
+def stage_star_prune(ctx: ExecutionContext, run: BRSRun) -> list[int]:
+    """Result pruning: the R⁻ of records that can bound GIR*."""
+    active = prune_result_records(run.result.ids, ctx.points, ctx.points_g)
+    ctx.stats.extras["active_result_records"] = float(len(active))
+    return active
+
+
+def stage_star_phase2(
+    ctx: ExecutionContext, run: BRSRun, active: list[int]
+) -> list[Halfspace]:
+    """Separation half-spaces of ``∩ GIR_i`` over every ``p_i ∈ R⁻``."""
+    halfspaces: list[Halfspace] = []
+    extras = ctx.stats.extras
+    if ctx.method in ("sp", "cp"):
+        skyline = skyline_candidates(
+            ctx.tree, ctx.points, run, ctx.scorer, metered=ctx.metered
+        )
+        if ctx.method == "cp":
+            candidates = hull_of_skyline(ctx.points_g, skyline)
+            extras["hull_size"] = float(len(candidates))
+        else:
+            candidates = skyline
+        extras["skyline_size"] = float(len(skyline))
+        for pi in active:
+            pi_g = ctx.points_g[pi]
+            halfspaces.extend(
+                separation_halfspace(pi_g, ctx.points_g[rid], pi, rid)
+                for rid in candidates
+            )
+        ctx.stats.phase2_candidates = len(candidates)
+    else:
+        lower_corner_g = ctx.scorer.transform_one(np.zeros(ctx.d))
+        fans = {
+            pi: build_fan(
+                pi, ctx.points, ctx.points_g, run.encountered, ctx.weights,
+                lower_corner_g,
+            )
+            for pi in active
+        }
+        fetched = refine_fans(
+            ctx.tree, ctx.points, ctx.points_g, run, fans, ctx.scorer,
+            metered=ctx.metered,
+        )
+        extras["nodes_fetched_phase2"] = float(fetched)
+        criticals_union: set[int] = set()
+        for pi, fan in fans.items():
+            pi_g = ctx.points_g[pi]
+            crits = sorted(
+                key for key in fan.critical_keys() if not isinstance(key, tuple)
+            )
+            criticals_union.update(crits)
+            halfspaces.extend(
+                separation_halfspace(pi_g, ctx.points_g[rid], pi, rid)
+                for rid in crits
+            )
+        extras["fan_facets"] = float(sum(f.facet_count() for f in fans.values()))
+        ctx.stats.phase2_candidates = len(criticals_union)
+    return halfspaces
+
+
 def compute_gir_star(
     tree: RStarTree,
     data: Dataset | np.ndarray,
@@ -111,89 +182,25 @@ def compute_gir_star(
     run: BRSRun | None = None,
 ) -> GIRStarResult:
     """Compute the order-insensitive GIR* (Definition 2)."""
-    if method not in ("sp", "cp", "fp"):
-        raise ValueError(f"unknown method {method!r}")
-    points = data.points if isinstance(data, Dataset) else np.asarray(data, float)
-    weights = np.asarray(weights, dtype=np.float64)
-    scorer = scorer or LinearScoring(tree.d)
-    points_g = scorer.transform(points)
+    ctx = ExecutionContext.create(
+        tree, data, weights, k, method=method, scorer=scorer, metered=metered
+    )
+    run = stage_retrieve(ctx, run)
 
     io_before = tree.store.stats.page_reads
     t0 = time.perf_counter()
-    if run is None:
-        run = brs_topk(tree, points, weights, k, scorer=scorer, metered=metered)
-    t1 = time.perf_counter()
-    io_after_topk = tree.store.stats.page_reads
+    active = stage_star_prune(ctx, run)
+    halfspaces = stage_star_phase2(ctx, run, active)
+    ctx.stats.cpu_ms_phase2 = (time.perf_counter() - t0) * 1e3
+    ctx.stats.io_pages_phase2 = tree.store.stats.page_reads - io_before
+    ctx.stats.io_ms_per_page = tree.store.stats.latency_ms_per_page
 
-    active = prune_result_records(run.result.ids, points, points_g)
-    halfspaces: list[Halfspace] = []
-    extras: dict[str, float] = {"active_result_records": float(len(active))}
-
-    if method in ("sp", "cp"):
-        skyline = skyline_candidates(tree, points, run, scorer, metered=metered)
-        if method == "cp":
-            candidates = hull_of_skyline(points_g, skyline)
-            extras["hull_size"] = float(len(candidates))
-        else:
-            candidates = skyline
-        extras["skyline_size"] = float(len(skyline))
-        for pi in active:
-            pi_g = points_g[pi]
-            halfspaces.extend(
-                separation_halfspace(pi_g, points_g[rid], pi, rid)
-                for rid in candidates
-            )
-        total_candidates = len(candidates)
-    else:
-        lower_corner_g = scorer.transform_one(np.zeros(tree.d))
-        fans = {
-            pi: build_fan(
-                pi, points, points_g, run.encountered, weights, lower_corner_g
-            )
-            for pi in active
-        }
-        fetched = refine_fans(
-            tree, points, points_g, run, fans, scorer, metered=metered
-        )
-        extras["nodes_fetched_phase2"] = float(fetched)
-        criticals_union: set[int] = set()
-        for pi, fan in fans.items():
-            pi_g = points_g[pi]
-            crits = sorted(
-                key for key in fan.critical_keys() if not isinstance(key, tuple)
-            )
-            criticals_union.update(crits)
-            halfspaces.extend(
-                separation_halfspace(pi_g, points_g[rid], pi, rid) for rid in crits
-            )
-        extras["fan_facets"] = float(sum(f.facet_count() for f in fans.values()))
-        total_candidates = len(criticals_union)
-
-    t2 = time.perf_counter()
-    io_after_phase2 = tree.store.stats.page_reads
-
-    box = Polytope.from_unit_box(tree.d)
-    polytope = box.with_constraints(
-        np.asarray([hs.normal for hs in halfspaces])
-        if halfspaces
-        else np.empty((0, tree.d))
-    )
-    stats = GIRStats(
-        cpu_ms_topk=(t1 - t0) * 1e3,
-        cpu_ms_phase1=0.0,
-        cpu_ms_phase2=(t2 - t1) * 1e3,
-        io_pages_topk=io_after_topk - io_before,
-        io_pages_phase2=io_after_phase2 - io_after_topk,
-        io_ms_per_page=tree.store.stats.latency_ms_per_page,
-        phase2_candidates=total_candidates,
-        extras=extras,
-    )
     return GIRStarResult(
-        weights=weights,
+        weights=ctx.weights,
         topk=run.result,
         halfspaces=halfspaces,
-        polytope=polytope,
-        method=method,
-        stats=stats,
+        polytope=assemble_polytope(ctx.d, halfspaces),
+        method=ctx.method,
+        stats=ctx.stats,
         active_result_ids=tuple(active),
     )

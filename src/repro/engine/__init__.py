@@ -1,0 +1,28 @@
+"""The serving layer: a cache-first top-k engine over the GIR pipeline.
+
+* :class:`repro.engine.GIREngine` — owns tree + dataset + scorer +
+  :class:`~repro.core.caching.GIRCache`; answers ``engine.topk(q, k)``
+  cache-first and runs batched workloads with per-request latency/IO
+  accounting;
+* :mod:`repro.engine.workload` — uniform / Zipf-clustered query-stream
+  generators for scenario diversity.
+"""
+
+from repro.engine.engine import EngineResponse, GIREngine, WorkloadReport, percentile
+from repro.engine.workload import (
+    Request,
+    Workload,
+    uniform_workload,
+    zipf_clustered_workload,
+)
+
+__all__ = [
+    "GIREngine",
+    "EngineResponse",
+    "WorkloadReport",
+    "percentile",
+    "Request",
+    "Workload",
+    "uniform_workload",
+    "zipf_clustered_workload",
+]

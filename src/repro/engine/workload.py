@@ -1,0 +1,119 @@
+"""Query-stream generators for the serving layer.
+
+A workload is an ordered stream of ``(weights, k)`` requests. Two stream
+shapes cover the interesting ends of the caching spectrum:
+
+* :func:`uniform_workload` — every user has independent taste; query
+  vectors are i.i.d. uniform over the (interior of the) weight space.
+  The worst case for GIR caching: hits happen only when GIRs are large.
+* :func:`zipf_clustered_workload` — users form preference archetypes
+  ("clusters") whose popularity is Zipf-distributed, each user being an
+  archetype plus a small personal tweak. This is the situation Section 1's
+  result-caching application exploits — most traffic lands in a few hot
+  regions of weight space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Request", "Workload", "uniform_workload", "zipf_clustered_workload"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One top-k request in a workload stream."""
+
+    weights: np.ndarray
+    k: int
+
+
+@dataclass
+class Workload:
+    """An ordered stream of top-k requests."""
+
+    requests: list[Request]
+    #: How the stream was generated (for report provenance).
+    kind: str = "custom"
+    params: dict[str, float] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self):
+        return iter(self.requests)
+
+
+def _interior(q: np.ndarray) -> np.ndarray:
+    """Clip a query vector to the open interior of the unit box — zero or
+    negative weights are degenerate for ranking (see GIRCache docs)."""
+    return np.clip(q, 0.01, 1.0)
+
+
+def uniform_workload(
+    d: int,
+    count: int,
+    k: int = 10,
+    rng: np.random.Generator | None = None,
+) -> Workload:
+    """I.i.d. uniform query vectors away from the query-space walls."""
+    rng = rng or np.random.default_rng()
+    requests = [
+        Request(weights=rng.random(d) * 0.8 + 0.1, k=k) for _ in range(count)
+    ]
+    return Workload(
+        requests=requests,
+        kind="uniform",
+        params={"d": float(d), "count": float(count), "k": float(k)},
+    )
+
+
+def zipf_clustered_workload(
+    d: int,
+    count: int,
+    k: int = 10,
+    clusters: int = 8,
+    zipf_s: float = 1.1,
+    spread: float = 0.01,
+    rng: np.random.Generator | None = None,
+) -> Workload:
+    """Zipf-popular preference archetypes with per-user Gaussian tweaks.
+
+    Parameters
+    ----------
+    clusters:
+        Number of archetype centres, drawn uniform in ``[0.15, 0.85]^d``.
+    zipf_s:
+        Skew of the (truncated) Zipf law over archetype popularity;
+        ``P(rank r) ∝ r^{-s}``. Higher values concentrate traffic.
+    spread:
+        Standard deviation of the per-query tweak around the archetype.
+    """
+    if clusters <= 0:
+        raise ValueError("clusters must be positive")
+    rng = rng or np.random.default_rng()
+    centres = rng.random((clusters, d)) * 0.7 + 0.15
+    ranks = np.arange(1, clusters + 1, dtype=np.float64)
+    probs = ranks**-zipf_s
+    probs /= probs.sum()
+    picks = rng.choice(clusters, size=count, p=probs)
+    requests = [
+        Request(
+            weights=_interior(centres[c] + rng.normal(0.0, spread, d)), k=k
+        )
+        for c in picks
+    ]
+    return Workload(
+        requests=requests,
+        kind="zipf_clustered",
+        params={
+            "d": float(d),
+            "count": float(count),
+            "k": float(k),
+            "clusters": float(clusters),
+            "zipf_s": float(zipf_s),
+            "spread": float(spread),
+        },
+    )

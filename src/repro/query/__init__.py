@@ -10,7 +10,7 @@
 """
 
 from repro.query.bbs import bbs_skyline, skyline_of_points
-from repro.query.brs import BRSRun, brs_topk
+from repro.query.brs import BRSRun, brs_topk, resume_brs_topk
 from repro.query.linear_scan import scan_skyline, scan_topk
 from repro.query.topk import TopKResult
 
@@ -18,6 +18,7 @@ __all__ = [
     "TopKResult",
     "BRSRun",
     "brs_topk",
+    "resume_brs_topk",
     "bbs_skyline",
     "skyline_of_points",
     "scan_topk",

@@ -29,7 +29,7 @@ from repro.index.rtree import RStarTree
 from repro.query.topk import TopKResult
 from repro.scoring import LinearScoring, ScoringFunction
 
-__all__ = ["HeapEntry", "BRSRun", "brs_topk"]
+__all__ = ["HeapEntry", "BRSRun", "brs_topk", "resume_brs_topk"]
 
 
 @dataclass(order=True)
@@ -110,15 +110,7 @@ def brs_topk(
     metered:
         Whether node accesses are charged to the tree's I/O meter.
     """
-    weights = np.asarray(weights, dtype=np.float64)
-    if weights.shape != (tree.d,):
-        raise ValueError(f"expected weights of shape ({tree.d},)")
-    if (weights < 0).any():
-        raise ValueError("query weights must be non-negative")
-    if k <= 0:
-        raise ValueError("k must be positive")
-    if k > tree.size:
-        raise ValueError(f"k={k} exceeds dataset cardinality {tree.size}")
+    weights = _validate_query(tree, weights, k)
     scorer = scorer or LinearScoring(tree.d)
     read = tree.fetch if metered else tree._node
 
@@ -140,6 +132,99 @@ def brs_topk(
                 heap, make_heap_entry(e.mbb, e.child_id, root.level - 1, weights, scorer)
             )
 
+    drained_nodes, drained_leaves = _drain_heap(
+        read, heap, interim, encountered, points, weights, scorer, k
+    )
+    return _package_run(
+        heap,
+        interim,
+        encountered,
+        weights,
+        node_accesses=node_accesses + drained_nodes,
+        leaf_accesses=leaf_accesses + drained_leaves,
+    )
+
+
+def resume_brs_topk(
+    tree: RStarTree,
+    points: np.ndarray,
+    run: BRSRun,
+    weights: np.ndarray,
+    k: int,
+    scorer: ScoringFunction | None = None,
+    metered: bool = True,
+) -> BRSRun:
+    """Continue a finished BRS run to a deeper ``k`` — the serving layer's
+    partial-hit completion path.
+
+    The caller holds a :class:`BRSRun` for some ``k' < k`` (e.g. attached
+    to a cached GIR) and now needs the top-``k`` under a query vector
+    *inside* that GIR — typically not bit-identical to the original one.
+    Everything already fetched is reused: the retained heap's unexpanded
+    entries are re-keyed under ``weights`` (maxscores are MBB corner
+    scores — pure CPU, no I/O), the interim top-k is rebuilt from every
+    record already read (result ∪ T), and the standard BRS drain continues
+    from there, reading only genuinely new pages. The input run is left
+    untouched, so the same cached run can be resumed repeatedly.
+
+    Equivalent to ``brs_topk(tree, points, weights, k)`` — any record not
+    fetched by the original run still lies under some retained heap entry,
+    so the continued search considers it; the priority order and the
+    termination test are those of a from-scratch search.
+    """
+    weights = _validate_query(tree, weights, k)
+    scorer = scorer or LinearScoring(tree.d)
+    read = tree.fetch if metered else tree._node
+
+    interim: list[tuple[float, float, int]] = []
+    encountered: dict[int, np.ndarray] = {}
+    for rid in (*run.result.ids, *run.encountered):
+        _consider_record(interim, encountered, rid, points, weights, scorer, k)
+    heap = [
+        make_heap_entry(e.mbb, e.node_id, e.level, weights, scorer)
+        for e in run.heap
+    ]
+    heapq.heapify(heap)
+
+    node_accesses, leaf_accesses = _drain_heap(
+        read, heap, interim, encountered, points, weights, scorer, k
+    )
+    return _package_run(
+        heap,
+        interim,
+        encountered,
+        weights,
+        node_accesses=run.node_accesses + node_accesses,
+        leaf_accesses=run.leaf_accesses + leaf_accesses,
+    )
+
+
+def _validate_query(tree: RStarTree, weights: np.ndarray, k: int) -> np.ndarray:
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (tree.d,):
+        raise ValueError(f"expected weights of shape ({tree.d},)")
+    if (weights < 0).any():
+        raise ValueError("query weights must be non-negative")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if k > tree.size:
+        raise ValueError(f"k={k} exceeds dataset cardinality {tree.size}")
+    return weights
+
+
+def _drain_heap(
+    read,
+    heap: list[HeapEntry],
+    interim: list[tuple[float, float, int]],
+    encountered: dict[int, np.ndarray],
+    points: np.ndarray,
+    weights: np.ndarray,
+    scorer: ScoringFunction,
+    k: int,
+) -> tuple[int, int]:
+    """The BRS main loop; returns (node, leaf) access counts."""
+    node_accesses = 0
+    leaf_accesses = 0
     while heap:
         if len(interim) == k and interim[0][0] >= heap[0].maxscore:
             break  # k-th interim score dominates everything unexplored
@@ -158,7 +243,18 @@ def brs_topk(
                     heap,
                     make_heap_entry(e.mbb, e.child_id, node.level - 1, weights, scorer),
                 )
+    return node_accesses, leaf_accesses
 
+
+def _package_run(
+    heap: list[HeapEntry],
+    interim: list[tuple[float, float, int]],
+    encountered: dict[int, np.ndarray],
+    weights: np.ndarray,
+    node_accesses: int,
+    leaf_accesses: int,
+) -> BRSRun:
+    """Rank the interim records and bundle the retained search state."""
     ranked = sorted(interim, reverse=True)
     ids = tuple(rid for _, _, rid in ranked)
     scores = tuple(score for score, _, rid in ranked)

@@ -5,7 +5,7 @@ import pytest
 
 from repro.data.synthetic import anticorrelated, independent
 from repro.index.bulkload import bulk_load_str
-from repro.query.brs import brs_topk
+from repro.query.brs import brs_topk, resume_brs_topk
 from repro.query.linear_scan import scan_topk
 from repro.scoring import polynomial_scoring
 from tests.conftest import random_query
@@ -127,3 +127,64 @@ class TestRetainedState:
         tree.store.reset_meter()
         brs_topk(tree, data.points, random_query(rng, 2), 5, metered=False)
         assert tree.store.stats.page_reads == 0
+
+
+class TestResume:
+    """resume_brs_topk: continuing a finished run to a deeper k."""
+
+    def test_resume_same_weights_matches_scratch(self, small_ind_4d, rng):
+        data, tree = small_ind_4d
+        for _ in range(5):
+            q = random_query(rng, 4)
+            shallow = brs_topk(tree, data.points, q, 5, metered=False)
+            resumed = resume_brs_topk(tree, data.points, shallow, q, 25, metered=False)
+            assert resumed.result.ids == scan_topk(data.points, q, 25).ids
+            assert np.allclose(
+                resumed.result.scores, scan_topk(data.points, q, 25).scores
+            )
+
+    def test_resume_with_shifted_weights(self, small_anti_3d, rng):
+        """The resumed search is exact even under a different query vector
+        (the serving layer resumes for any vector inside the cached GIR)."""
+        data, tree = small_anti_3d
+        for _ in range(5):
+            q = random_query(rng, 3)
+            shallow = brs_topk(tree, data.points, q, 5, metered=False)
+            q2 = np.clip(q + rng.normal(0, 0.02, 3), 0.01, 1.0)
+            resumed = resume_brs_topk(tree, data.points, shallow, q2, 20, metered=False)
+            assert resumed.result.ids == scan_topk(data.points, q2, 20).ids
+
+    def test_resume_reads_fewer_pages_than_scratch(self, small_ind_4d, rng):
+        data, tree = small_ind_4d
+        q = random_query(rng, 4)
+        tree.store.reset_meter()
+        shallow = brs_topk(tree, data.points, q, 10)
+        tree.store.reset_meter()
+        resume_brs_topk(tree, data.points, shallow, q, 30)
+        resumed_pages = tree.store.stats.page_reads
+        tree.store.reset_meter()
+        brs_topk(tree, data.points, q, 30)
+        scratch_pages = tree.store.stats.page_reads
+        assert resumed_pages < scratch_pages
+
+    def test_resume_leaves_input_run_untouched(self, small_ind_4d, rng):
+        data, tree = small_ind_4d
+        q = random_query(rng, 4)
+        shallow = brs_topk(tree, data.points, q, 5, metered=False)
+        heap_before = list(shallow.heap)
+        enc_before = dict(shallow.encountered)
+        resume_brs_topk(tree, data.points, shallow, q, 25, metered=False)
+        assert shallow.heap == heap_before
+        assert shallow.encountered.keys() == enc_before.keys()
+        # Resumable twice: a second resume gives the same answer.
+        again = resume_brs_topk(tree, data.points, shallow, q, 25, metered=False)
+        assert again.result.ids == scan_topk(data.points, q, 25).ids
+
+    def test_resume_shallower_k_is_noop_read(self, small_ind_4d, rng):
+        data, tree = small_ind_4d
+        q = random_query(rng, 4)
+        run = brs_topk(tree, data.points, q, 10, metered=False)
+        tree.store.reset_meter()
+        resumed = resume_brs_topk(tree, data.points, run, q, 10)
+        assert tree.store.stats.page_reads == 0
+        assert resumed.result.ids == run.result.ids

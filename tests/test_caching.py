@@ -108,8 +108,72 @@ class TestEvictionAndStats:
         cache.lookup(outside, 5)
         stats = cache.stats()
         assert stats["hits"] == 1
+        assert stats["full_hits"] == 1
         assert stats["misses"] == 1
         assert stats["entries"] == 1
+
+    def test_stats_non_overlapping(self, cached_setup, rng):
+        """Every lookup lands in exactly one of full/partial/miss."""
+        data, tree = cached_setup
+        q = random_query(rng, 3)
+        cache = GIRCache()
+        cache.insert(compute_gir(tree, data, q, 5))
+        cache.lookup(q, 3)   # full
+        cache.lookup(q, 20)  # partial
+        outside = next(
+            c for c in (rng.random(3) for _ in range(1000))
+            if cache.lookup(c, 5) is None
+        )
+        stats = cache.stats()
+        assert stats["full_hits"] == 1
+        assert stats["partial_hits"] == 1
+        assert stats["full_hits"] + stats["partial_hits"] == stats["hits"]
+        assert stats["misses"] >= 1
+
+    def test_insert_evicts_subsumed_entry(self, cached_setup, rng):
+        """Re-inserting a GIR containing an older entry's query vector (at
+        the same or larger k) replaces it instead of accumulating."""
+        data, tree = cached_setup
+        q = random_query(rng, 3)
+        gir = compute_gir(tree, data, q, 5)
+        cache = GIRCache()
+        cache.insert(gir)
+        cache.insert(compute_gir(tree, data, q, 5))
+        assert len(cache) == 1
+        assert cache.stats()["subsumption_evictions"] == 1
+        # The surviving entry still serves the query.
+        assert cache.lookup(q, 5) is not None
+
+    def test_insert_keeps_wider_shallow_entries(self, cached_setup, rng):
+        """A deeper-k GIR is a *smaller* region (more constraints), so it
+        must not evict a shallower entry at the same spot: the shallow
+        entry's wider region still serves traffic the deep one misses."""
+        data, tree = cached_setup
+        q = random_query(rng, 3)
+        cache = GIRCache()
+        shallow = compute_gir(tree, data, q, 5)
+        cache.insert(shallow)
+        cache.insert(compute_gir(tree, data, q, 15))
+        assert len(cache) == 2
+        assert cache.stats()["subsumption_evictions"] == 0
+        # A probe inside the wide region but outside the deep one is still
+        # a full hit at k=5.
+        for probe in shallow.polytope.sample(40, rng):
+            if (probe <= 1e-9).all():
+                continue
+            assert cache.lookup(probe, 5) is not None
+
+    def test_insert_keeps_deeper_entries(self, cached_setup, rng):
+        """An entry cached for a larger k is NOT subsumed by a shallower
+        GIR at the same spot — it still serves deeper requests."""
+        data, tree = cached_setup
+        q = random_query(rng, 3)
+        cache = GIRCache()
+        cache.insert(compute_gir(tree, data, q, 15))
+        cache.insert(compute_gir(tree, data, q, 5))
+        assert len(cache) == 2
+        hit = cache.lookup(q, 15)
+        assert hit is not None and not hit.partial and len(hit.ids) == 15
 
     def test_rejects_bad_capacity(self):
         with pytest.raises(ValueError):

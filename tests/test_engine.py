@@ -1,0 +1,203 @@
+"""Tests for the GIREngine serving layer and workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import independent
+from repro.engine import (
+    GIREngine,
+    Request,
+    Workload,
+    percentile,
+    uniform_workload,
+    zipf_clustered_workload,
+)
+from repro.index.bulkload import bulk_load_str
+from repro.query.linear_scan import scan_topk
+from tests.conftest import random_query
+
+
+@pytest.fixture(scope="module")
+def served_setup():
+    data = independent(900, 3, seed=41)
+    tree = bulk_load_str(data)
+    return data, tree
+
+
+class TestCacheFirstServing:
+    def test_full_hit_zero_page_reads(self, served_setup, rng):
+        data, tree = served_setup
+        engine = GIREngine(data, tree)
+        q = random_query(rng, 3)
+        first = engine.topk(q, 10)
+        assert first.source == "computed"
+        assert first.pages_read > 0 and first.gir_stats is not None
+        second = engine.topk(q, 10)
+        assert second.source == "cache"
+        assert second.pages_read == 0
+        assert second.gir_stats is None
+        assert second.ids == first.ids
+
+    def test_full_hit_scores_are_for_probe_weights(self, served_setup, rng):
+        """A hit inside the GIR keeps the ids but rescoring uses the
+        probe's own weights, so the reported scores are exact."""
+        data, tree = served_setup
+        engine = GIREngine(data, tree)
+        q = random_query(rng, 3)
+        first = engine.topk(q, 10)
+        gir = engine.cache._entries[0]
+        for probe in gir.polytope.sample(4, rng):
+            if (probe <= 1e-9).all():
+                continue
+            resp = engine.topk(probe, 10)
+            assert resp.source == "cache" and resp.pages_read == 0
+            expected = scan_topk(data.points, probe, 10)
+            assert resp.ids == expected.ids
+            assert np.allclose(resp.scores, expected.scores)
+
+    def test_partial_hit_completed(self, served_setup, rng):
+        data, tree = served_setup
+        engine = GIREngine(data, tree)
+        q = random_query(rng, 3)
+        engine.topk(q, 5)
+        deeper = engine.topk(q, 14)
+        assert deeper.source == "completed"
+        assert len(deeper.ids) == 14
+        assert deeper.ids == scan_topk(data.points, q, 14).ids
+        # Completion RESUMED the retained BRS run rather than re-searching.
+        assert engine.resumed_completions == 1
+        # The deeper GIR is cached: asking again is now a pure hit.
+        again = engine.topk(q, 14)
+        assert again.source == "cache" and again.pages_read == 0
+
+    def test_partial_hit_resume_skips_retrieval_io(self, served_setup, rng):
+        """Completing a partial hit re-reads none of the pages the original
+        search fetched; a cold engine answering the same deep request pays
+        the full retrieval."""
+        data, tree = served_setup
+        warm = GIREngine(data, tree)
+        q = random_query(rng, 3)
+        warm.topk(q, 5)
+        completed = warm.topk(q, 14)
+        cold = GIREngine(data, tree)
+        fresh = cold.topk(q, 14)
+        assert completed.gir_stats.io_pages_topk < fresh.gir_stats.io_pages_topk
+
+    def test_retain_runs_disabled_still_correct(self, served_setup, rng):
+        data, tree = served_setup
+        engine = GIREngine(data, tree, retain_runs=False)
+        q = random_query(rng, 3)
+        engine.topk(q, 5)
+        deeper = engine.topk(q, 14)
+        assert deeper.source == "completed"
+        assert deeper.ids == scan_topk(data.points, q, 14).ids
+        assert engine.resumed_completions == 0
+
+    def test_smaller_k_is_full_hit(self, served_setup, rng):
+        data, tree = served_setup
+        engine = GIREngine(data, tree)
+        q = random_query(rng, 3)
+        engine.topk(q, 12)
+        resp = engine.topk(q, 4)
+        assert resp.source == "cache" and resp.pages_read == 0
+        assert resp.ids == scan_topk(data.points, q, 4).ids
+
+    def test_engine_builds_tree_when_omitted(self):
+        data = independent(300, 2, seed=5)
+        engine = GIREngine(data)
+        resp = engine.topk([0.5, 0.6], 5)
+        assert resp.ids == scan_topk(data.points, np.array([0.5, 0.6]), 5).ids
+
+
+class TestBatchAccounting:
+    def test_report_consistent_with_per_request_stats(self, served_setup, rng):
+        data, tree = served_setup
+        engine = GIREngine(data, tree)
+        workload = zipf_clustered_workload(3, 60, k=8, clusters=4, rng=rng)
+        report = engine.run(workload)
+
+        assert report.total == 60
+        assert report.full_hits + report.completed_partials + report.computed == 60
+        # Page accounting: the report total is exactly the sum of the
+        # requests' own meters, and matches the pipelines' GIRStats.
+        assert report.pages_read_total == sum(r.pages_read for r in report.responses)
+        assert report.pages_read_total == sum(
+            r.gir_stats.io_pages_total
+            for r in report.responses
+            if r.gir_stats is not None
+        )
+        for r in report.responses:
+            if r.source == "cache":
+                assert r.pages_read == 0 and r.gir_stats is None
+            else:
+                assert r.gir_stats is not None
+        # Engine/cache counters line up with the report's split.
+        stats = engine.stats()
+        assert stats["requests_served"] == 60
+        assert stats["full_hits"] == report.full_hits
+        assert stats["partial_hits"] == report.completed_partials
+        assert stats["misses"] == report.computed
+
+    def test_report_aggregates(self, served_setup, rng):
+        data, tree = served_setup
+        engine = GIREngine(data, tree)
+        report = engine.run(uniform_workload(3, 25, k=6, rng=rng))
+        d = report.to_dict()
+        for key in (
+            "hit_rate", "latency_p50_ms", "latency_p95_ms",
+            "pages_per_1k_queries", "throughput_qps", "queries",
+        ):
+            assert key in d
+        assert 0.0 <= d["hit_rate"] <= 1.0
+        assert d["latency_p50_ms"] <= d["latency_p95_ms"]
+        assert d["queries"] == 25
+        assert report.summary()  # renders without error
+
+    def test_empty_workload_reports_zeros(self, served_setup):
+        data, tree = served_setup
+        engine = GIREngine(data, tree)
+        report = engine.run([])
+        d = report.to_dict()
+        assert d["queries"] == 0
+        assert d["hit_rate"] == 0.0
+        assert d["latency_p50_ms"] == 0.0 and d["latency_p95_ms"] == 0.0
+        assert d["pages_per_1k_queries"] == 0.0
+        assert report.summary()
+
+    def test_run_accepts_plain_request_list(self, served_setup, rng):
+        data, tree = served_setup
+        engine = GIREngine(data, tree)
+        q = random_query(rng, 3)
+        report = engine.run([Request(weights=q, k=5)] * 3)
+        assert report.total == 3 and report.full_hits == 2
+
+
+class TestWorkloadGenerators:
+    def test_uniform_shapes_and_interior(self, rng):
+        wl = uniform_workload(4, 50, k=7, rng=rng)
+        assert isinstance(wl, Workload) and len(wl) == 50
+        for req in wl:
+            assert req.k == 7 and req.weights.shape == (4,)
+            assert (req.weights > 0).all() and (req.weights <= 1).all()
+
+    def test_zipf_clustered_interior_and_skew(self):
+        rng = np.random.default_rng(3)
+        wl = zipf_clustered_workload(3, 300, clusters=5, zipf_s=1.5, rng=rng)
+        assert len(wl) == 300
+        arr = np.stack([req.weights for req in wl])
+        assert (arr >= 0.01).all() and (arr <= 1.0).all()
+        # Clustered: far fewer distinct neighbourhoods than queries.
+        rounded = {tuple(np.round(w, 1)) for w in arr}
+        assert len(rounded) < 60
+
+    def test_zipf_rejects_bad_clusters(self):
+        with pytest.raises(ValueError, match="positive"):
+            zipf_clustered_workload(3, 10, clusters=0)
+
+    def test_percentile_nearest_rank(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert percentile(values, 50) == 3.0
+        assert percentile(values, 100) == 5.0
+        assert percentile(values, 1) == 1.0
+        with pytest.raises(ValueError):
+            percentile([], 50)
