@@ -1,0 +1,50 @@
+"""Update throughput: the serving layer under a mixed read/write stream.
+
+Not a paper figure — this benchmarks the dynamic scenario Section 1
+implies: a ``GIREngine`` absorbing Zipf-clustered query traffic while the
+database changes underneath it. The same workload is served under
+GIR-aware selective cache invalidation and under the flush-on-write
+baseline; after every update batch, answers are checked against an
+exhaustive linear scan of the live records. Emits the JSON report next to
+this file so successive runs can be diffed.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.engine_bench import UpdateBenchConfig, run_update_benchmark
+
+REPORT_PATH = Path(__file__).resolve().parent / "engine_updates_pytest.json"
+
+
+@pytest.mark.benchmark(group="engine")
+def test_engine_updates(benchmark):
+    config = UpdateBenchConfig(n=3_000, d=3, k=8, ops=120, update_fraction=0.2)
+    payload = benchmark.pedantic(
+        run_update_benchmark,
+        kwargs={"config": config, "out_path": REPORT_PATH},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(json.dumps(payload, indent=2))
+
+    assert payload["workload"]["reads"] + payload["workload"]["updates"] == 120
+    assert payload["workload"]["updates"] > 0
+    for policy in ("gir", "flush"):
+        stats = payload["policies"][policy]
+        # After every update batch the engine's answers matched the
+        # exhaustive linear-scan ground truth over live records.
+        assert stats["ground_truth_checks"] > 0
+        assert stats["ground_truth_mismatches"] == 0
+        assert stats["updates"] == payload["workload"]["updates"]
+    # The selective policy must evict strictly fewer entries than
+    # flush-on-write on the Zipf-clustered workload (both in the JSON).
+    assert payload["gir_evictions"] < payload["flush_evictions"]
+    assert payload["gir_evicts_fewer"] is True
+
+    saved = json.loads(REPORT_PATH.read_text())
+    assert saved["gir_evictions"] == payload["gir_evictions"]
+    assert saved["config"]["ops"] == 120

@@ -39,11 +39,13 @@ from repro.engine import (
     GIREngine,
     Workload,
     WorkloadReport,
+    mixed_workload,
     uniform_workload,
     zipf_clustered_workload,
 )
 from repro.data import (
     Dataset,
+    PointTable,
     anticorrelated,
     correlated,
     hotel_surrogate,
@@ -84,8 +86,10 @@ __all__ = [
     "WorkloadReport",
     "uniform_workload",
     "zipf_clustered_workload",
+    "mixed_workload",
     # data
     "Dataset",
+    "PointTable",
     "independent",
     "correlated",
     "anticorrelated",

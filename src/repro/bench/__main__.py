@@ -1,7 +1,10 @@
 """CLI: ``python -m repro.bench --figure 15 --scale default``.
 
 ``python -m repro.bench --engine`` runs the serving-layer throughput
-benchmark instead and writes its JSON report (default: ``benchmarks/``).
+benchmark instead and writes its JSON report (default: ``benchmarks/``);
+``python -m repro.bench --engine --updates`` runs the mixed read/write
+update-throughput benchmark, comparing GIR-aware selective cache
+invalidation against the flush-on-write baseline.
 """
 
 from __future__ import annotations
@@ -48,21 +51,48 @@ def main(argv: list[str] | None = None) -> int:
             "paper figures; writes a JSON report (see repro.bench.engine_bench)"
         ),
     )
+    parser.add_argument(
+        "--updates",
+        action="store_true",
+        help=(
+            "with --engine: run the mixed read/write update-throughput "
+            "benchmark (GIR-aware invalidation vs flush-on-write baseline)"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.updates and not args.engine:
+        parser.error("--updates requires --engine")
     if args.engine:
         if args.figure is not None:
             parser.error("--engine and --figure are mutually exclusive")
-        from repro.bench.engine_bench import EngineBenchConfig, run_engine_benchmark
-
         scale = SCALES[args.scale]
-        config = EngineBenchConfig(
-            n=scale.n_default,
-            k=scale.k_default,
-            queries=scale.engine_queries,
-        )
         out_dir = Path(args.out_dir) if args.out_dir else Path("benchmarks")
-        out_path = out_dir / f"engine_throughput_{args.scale}.json"
-        payload = run_engine_benchmark(config, out_path)
+        if args.updates:
+            from repro.bench.engine_bench import (
+                UpdateBenchConfig,
+                run_update_benchmark,
+            )
+
+            config = UpdateBenchConfig(
+                n=scale.n_default,
+                k=scale.k_default,
+                ops=scale.engine_update_ops,
+            )
+            out_path = out_dir / f"engine_updates_{args.scale}.json"
+            payload = run_update_benchmark(config, out_path)
+        else:
+            from repro.bench.engine_bench import (
+                EngineBenchConfig,
+                run_engine_benchmark,
+            )
+
+            config = EngineBenchConfig(
+                n=scale.n_default,
+                k=scale.k_default,
+                queries=scale.engine_queries,
+            )
+            out_path = out_dir / f"engine_throughput_{args.scale}.json"
+            payload = run_engine_benchmark(config, out_path)
         print(json.dumps(payload, indent=2))
         print(f"\n[engine benchmark report written to {out_path}]")
         return 0

@@ -47,6 +47,8 @@ class ExperimentScale:
     queries: int
     #: workload length of the serving-engine throughput benchmark
     engine_queries: int = 400
+    #: operation count (reads + updates) of the update-throughput benchmark
+    engine_update_ops: int = 250
 
     def __post_init__(self) -> None:
         if self.n_default <= 0 or self.queries <= 0:
@@ -57,6 +59,7 @@ SCALES: dict[str, ExperimentScale] = {
     "smoke": ExperimentScale(
         name="smoke",
         engine_queries=150,
+        engine_update_ops=120,
         n_default=4_000,
         n_sweep=(2_000, 4_000, 8_000),
         d_sweep=(2, 3, 4),
@@ -70,6 +73,7 @@ SCALES: dict[str, ExperimentScale] = {
     "bench": ExperimentScale(
         name="bench",
         engine_queries=400,
+        engine_update_ops=250,
         n_default=15_000,
         n_sweep=(5_000, 10_000, 20_000, 40_000),
         d_sweep=(2, 3, 4, 5),
@@ -83,6 +87,7 @@ SCALES: dict[str, ExperimentScale] = {
     "default": ExperimentScale(
         name="default",
         engine_queries=1_000,
+        engine_update_ops=600,
         n_default=40_000,
         n_sweep=(15_000, 30_000, 60_000, 120_000, 240_000),
         d_sweep=(2, 3, 4, 5, 6),
@@ -96,6 +101,7 @@ SCALES: dict[str, ExperimentScale] = {
     "paper": ExperimentScale(
         name="paper",
         engine_queries=5_000,
+        engine_update_ops=2_500,
         n_default=1_000_000,
         n_sweep=(500_000, 1_000_000, 5_000_000, 10_000_000, 20_000_000),
         d_sweep=(2, 3, 4, 5, 6, 7, 8),

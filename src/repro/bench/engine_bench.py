@@ -1,30 +1,54 @@
-"""Engine-throughput benchmark: the serving layer under a query stream.
+"""Engine benchmarks: the serving layer under query and update streams.
 
 Unlike the figure generators (which reproduce the paper's per-computation
-charts), this benchmark measures the *system* the paper motivates in
+charts), these benchmarks measure the *system* the paper motivates in
 Section 1: a :class:`~repro.engine.GIREngine` absorbing a workload of
-user queries, serving repeats from cached GIRs. It reports cache hit
-rate, p50/p95 request latency and page reads per 1k queries, and writes
-the numbers as a JSON report for tracking across commits.
+user queries, serving repeats from cached GIRs.
 
-Run it with ``python -m repro.bench --engine`` (add ``--out-dir`` to
-choose where the JSON lands) or through
-``benchmarks/test_engine_throughput.py``.
+* :func:`run_engine_benchmark` — read-only throughput: cache hit rate,
+  p50/p95 request latency, page reads per 1k queries.
+* :func:`run_update_benchmark` — mixed read/write throughput: the same
+  Zipf-clustered stream with update bursts blended in, served once under
+  the selective GIR-aware invalidation policy and once under the
+  flush-on-write baseline. After every update batch the benchmark checks
+  a sample of engine answers against exhaustive linear-scan ground truth
+  over the live records, and the JSON report carries both policies'
+  eviction counts (the selective policy must evict strictly fewer).
+
+Run with ``python -m repro.bench --engine [--updates]`` (add ``--out-dir``
+to choose where the JSON lands) or through
+``benchmarks/test_engine_throughput.py`` / ``benchmarks/test_engine_updates.py``.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
 import numpy as np
 
 from repro.data.synthetic import independent
-from repro.engine import GIREngine, uniform_workload, zipf_clustered_workload
+from repro.engine import (
+    DeleteOp,
+    GIREngine,
+    InsertOp,
+    Request,
+    mixed_workload,
+    uniform_workload,
+    zipf_clustered_workload,
+)
+from repro.engine.engine import WorkloadReport
 from repro.index.bulkload import bulk_load_str
+from repro.query.linear_scan import scan_topk
 
-__all__ = ["EngineBenchConfig", "run_engine_benchmark"]
+__all__ = [
+    "EngineBenchConfig",
+    "run_engine_benchmark",
+    "UpdateBenchConfig",
+    "run_update_benchmark",
+]
 
 
 @dataclass(frozen=True)
@@ -89,6 +113,175 @@ def run_engine_benchmark(
         "config": asdict(config),
         **report.to_dict(),
         "engine": engine.stats(),
+    }
+    if out_path is not None:
+        out_path = Path(out_path)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+@dataclass(frozen=True)
+class UpdateBenchConfig:
+    """Knobs of one mixed read/write (update-throughput) run."""
+
+    n: int = 4_000
+    d: int = 3
+    k: int = 10
+    ops: int = 250
+    update_fraction: float = 0.2
+    insert_ratio: float = 0.5
+    batch_size: int = 4
+    clusters: int = 8
+    zipf_s: float = 1.1
+    spread: float = 0.01
+    cache_capacity: int = 64
+    method: str = "fp"
+    seed: int = 9
+    #: Workload reads verified against a linear scan after each update
+    #: batch (0 disables all ground-truth checking).
+    ground_truth_probes: int = 2
+
+
+def _serve_with_ground_truth(
+    engine: GIREngine,
+    workload,
+    final_probes: list[np.ndarray],
+    k: int,
+    checks_per_batch: int,
+) -> tuple[WorkloadReport, int, int]:
+    """Serve the mixed stream; after every update *batch* (a maximal run of
+    consecutive updates) check engine answers against an exhaustive linear
+    scan of the live records. Returns (report, checks, mismatches).
+
+    The checks piggyback on the workload's own reads — the first
+    ``checks_per_batch`` responses following each batch are verified — so
+    the instrumentation issues no extra engine queries that would
+    re-populate the cache between batches (which would inflate the flush
+    baseline's eviction count and bias the policy comparison). Only when
+    the stream *ends* mid-batch are the ``final_probes`` queried directly:
+    at that point no further update can evict what they cache. Linear-scan
+    time is kept out of ``wall_ms`` (only engine calls are timed).
+    """
+    responses, updates = [], []
+    checks = mismatches = 0
+    checks_pending = 0
+    serve_ms = 0.0
+    update_ms = 0.0
+
+    def verify(resp, weights) -> None:
+        nonlocal checks, mismatches
+        truth = scan_topk(
+            engine.points, weights, resp.k,
+            scorer=engine.scorer, live=engine.table.live_mask,
+        )
+        checks += 1
+        mismatches += resp.ids != truth.ids
+
+    for op in workload:
+        t0 = time.perf_counter()
+        if isinstance(op, Request):
+            resp = engine.topk(op.weights, op.k)
+            serve_ms += (time.perf_counter() - t0) * 1e3
+            responses.append(resp)
+            if checks_pending > 0:
+                checks_pending -= 1
+                verify(resp, op.weights)
+        elif isinstance(op, InsertOp):
+            updates.append(engine.insert(op.point))
+            dt = (time.perf_counter() - t0) * 1e3
+            serve_ms += dt
+            update_ms += dt
+            checks_pending = checks_per_batch
+        elif isinstance(op, DeleteOp):
+            updates.append(engine.delete(op.rid))
+            dt = (time.perf_counter() - t0) * 1e3
+            serve_ms += dt
+            update_ms += dt
+            checks_pending = checks_per_batch
+    if updates and checks_pending == checks_per_batch:
+        # The stream ended inside an update batch: no later read verified
+        # it, so probe directly (untimed, not part of the report).
+        for q in final_probes:
+            verify(engine.topk(q, k), q)
+    report = WorkloadReport(
+        responses=responses,
+        wall_ms=serve_ms,
+        workload_kind=workload.kind,
+        updates=updates,
+        update_wall_ms=update_ms,
+    )
+    return report, checks, mismatches
+
+
+def run_update_benchmark(
+    config: UpdateBenchConfig = UpdateBenchConfig(),
+    out_path: str | Path | None = None,
+) -> dict:
+    """Serve one mixed read/write stream under both invalidation policies.
+
+    The identical Zipf-clustered workload (reads + update bursts) is
+    replayed against two engines over the same initial dataset: one with
+    selective GIR-aware invalidation, one with the flush-on-write
+    baseline. The payload reports, per policy, the full read/update
+    accounting plus the ground-truth check outcome, and the headline
+    comparison fields ``gir_evictions`` / ``flush_evictions`` /
+    ``gir_evicts_fewer``.
+    """
+    rng = np.random.default_rng(config.seed)
+    data = independent(n=config.n, d=config.d, seed=config.seed)
+    workload = mixed_workload(
+        config.d,
+        config.ops,
+        base_n=config.n,
+        k=config.k,
+        update_fraction=config.update_fraction,
+        insert_ratio=config.insert_ratio,
+        batch_size=config.batch_size,
+        clusters=config.clusters,
+        zipf_s=config.zipf_s,
+        spread=config.spread,
+        rng=rng,
+    )
+    final_probes = [
+        rng.random(config.d) * 0.8 + 0.1
+        for _ in range(config.ground_truth_probes)
+    ]
+
+    policies = {}
+    for policy in ("gir", "flush"):
+        engine = GIREngine(
+            data,
+            bulk_load_str(data),
+            method=config.method,
+            cache_capacity=config.cache_capacity,
+            invalidation=policy,
+        )
+        report, checks, mismatches = _serve_with_ground_truth(
+            engine,
+            workload,
+            final_probes,
+            config.k,
+            checks_per_batch=config.ground_truth_probes,
+        )
+        policies[policy] = {
+            **report.to_dict(),
+            "ground_truth_checks": checks,
+            "ground_truth_mismatches": mismatches,
+            "engine": engine.stats(),
+        }
+
+    payload = {
+        "benchmark": "engine_updates",
+        "config": asdict(config),
+        "workload": {"reads": workload.reads, "updates": workload.updates},
+        "policies": policies,
+        "gir_evictions": policies["gir"].get("evictions", 0),
+        "flush_evictions": policies["flush"].get("evictions", 0),
+        "gir_evicts_fewer": (
+            policies["gir"].get("evictions", 0)
+            < policies["flush"].get("evictions", 0)
+        ),
     }
     if out_path is not None:
         out_path = Path(out_path)

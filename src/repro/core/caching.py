@@ -16,18 +16,81 @@ touching the database:
 
 Hit accounting is non-overlapping: every lookup is exactly one of
 ``full_hits``, ``partial_hits`` or ``misses``.
+
+Dynamic datasets
+----------------
+
+When the database changes under the cache, the GIR is precisely the tool
+that decides *which* cached entries an update can disturb:
+
+* an **insert** invalidates entry E only if the new record's score can
+  exceed E's k-th score somewhere inside E's region — the
+  halfspace-intersection test :func:`invalidated_by_insert` (one LP via
+  :meth:`~repro.core.gir.GIRResult.admits_above_kth`);
+* a **delete** invalidates E only if the deleted rid appears in E's
+  result, or in the T-set of E's retained BRS run (whose resumed state
+  would otherwise replay the dead record) —
+  :func:`invalidated_by_delete`. Deleting any other record leaves the
+  cached ordered top-k valid everywhere in the region.
+
+The eviction mechanics live on :meth:`GIRCache.evict` /
+:meth:`GIRCache.flush`; the *policy* (selective GIR test vs flush-on-write
+baseline) is chosen by :class:`repro.engine.GIREngine`.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Iterable, Iterator
 
 import numpy as np
 
 from repro.core.gir import GIRResult
 
-__all__ = ["CacheHit", "GIRCache"]
+__all__ = [
+    "CacheHit",
+    "GIRCache",
+    "invalidated_by_insert",
+    "invalidated_by_delete",
+]
+
+
+def invalidated_by_insert(
+    gir: GIRResult,
+    point_g: np.ndarray,
+    kth_g: np.ndarray,
+    tol: float = 1e-9,
+    tie_wins: bool = False,
+) -> bool:
+    """Does inserting a record with g-image ``point_g`` disturb ``gir``?
+
+    True iff the new record can rank above the entry's k-th result record
+    somewhere in the region (it would then enter the cached top-k for the
+    queries that land there). ``kth_g`` is the g-image of the entry's k-th
+    result record; ``tie_wins`` says whether the new record beats it on
+    the ``(coord-sum, rid)`` tie-break when their scores tie exactly (an
+    inserted duplicate always does — its rid is fresher).
+    """
+    return gir.admits_above_kth(point_g, kth_g, tol=tol, tie_wins=tie_wins)
+
+
+def invalidated_by_delete(
+    gir: GIRResult, rid: int, tset_ids: Iterable[int] | None = None
+) -> bool:
+    """Does deleting record ``rid`` disturb ``gir``?
+
+    True iff ``rid`` is one of the entry's result records (the cached
+    answer itself loses a member), or appears in the T-set of the entry's
+    retained BRS run (``tset_ids``; resuming that run would replay the
+    dead record). Deleting a record outside both sets cannot change the
+    cached ordered top-k anywhere in the region: removing a non-member
+    never alters a top-k answer, so the region merely becomes a valid
+    under-approximation of the new (larger) GIR.
+    """
+    if rid in gir.topk.ids:
+        return True
+    return tset_ids is not None and rid in tset_ids
 
 
 @dataclass(frozen=True)
@@ -55,6 +118,7 @@ class GIRCache:
         self.partial_hits = 0
         self.misses = 0
         self.subsumption_evictions = 0
+        self.invalidation_evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -135,6 +199,29 @@ class GIRCache:
         """Keys of the currently cached entries (LRU order, oldest first)."""
         return list(self._entries)
 
+    def items(self) -> Iterator[tuple[int, GIRResult]]:
+        """(key, entry) pairs in LRU order, oldest first (no recency touch)."""
+        return iter(list(self._entries.items()))
+
+    # -- update-driven eviction ------------------------------------------------
+
+    def evict(self, keys: Iterable[int]) -> int:
+        """Drop the given entries (update invalidation); returns the number
+        actually removed. Unknown keys are ignored."""
+        removed = 0
+        for key in keys:
+            if self._entries.pop(key, None) is not None:
+                removed += 1
+        self.invalidation_evictions += removed
+        return removed
+
+    def flush(self) -> int:
+        """Drop every entry (the flush-on-write baseline); returns the count."""
+        removed = len(self._entries)
+        self._entries.clear()
+        self.invalidation_evictions += removed
+        return removed
+
     def stats(self) -> dict[str, int]:
         return {
             "hits": self.hits,
@@ -142,5 +229,6 @@ class GIRCache:
             "partial_hits": self.partial_hits,
             "misses": self.misses,
             "subsumption_evictions": self.subsumption_evictions,
+            "invalidation_evictions": self.invalidation_evictions,
             "entries": len(self._entries),
         }

@@ -18,6 +18,13 @@ thin wrapper that builds the context and runs the chain. The result object
 carries per-stage CPU times and simulated I/O so the benchmark harness can
 print the paper's charts directly, and the serving layer
 (:mod:`repro.engine`) can charge each request precisely.
+
+For serving under a *changing* database, :class:`GIRResult` also exposes a
+region k-th-score bound — :meth:`GIRResult.kth_score_margin` /
+:meth:`GIRResult.admits_above_kth` — the halfspace-intersection test that
+decides whether a newly inserted record can enter the cached top-k
+anywhere inside the region. The dynamic engine's selective cache
+invalidation (:mod:`repro.core.caching`) is built on it.
 """
 
 from __future__ import annotations

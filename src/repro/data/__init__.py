@@ -6,7 +6,7 @@ correlated, anti-correlated), and surrogates for the paper's two real
 datasets (HOUSE, HOTEL).
 """
 
-from repro.data.dataset import Dataset
+from repro.data.dataset import Dataset, PointTable
 from repro.data.real import house_surrogate, hotel_surrogate
 from repro.data.synthetic import (
     anticorrelated,
@@ -17,6 +17,7 @@ from repro.data.synthetic import (
 
 __all__ = [
     "Dataset",
+    "PointTable",
     "independent",
     "correlated",
     "anticorrelated",

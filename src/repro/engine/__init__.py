@@ -1,17 +1,30 @@
 """The serving layer: a cache-first top-k engine over the GIR pipeline.
 
-* :class:`repro.engine.GIREngine` — owns tree + dataset + scorer +
-  :class:`~repro.core.caching.GIRCache`; answers ``engine.topk(q, k)``
-  cache-first and runs batched workloads with per-request latency/IO
-  accounting;
-* :mod:`repro.engine.workload` — uniform / Zipf-clustered query-stream
-  generators for scenario diversity.
+* :class:`repro.engine.GIREngine` — owns tree + mutable point table +
+  scorer + :class:`~repro.core.caching.GIRCache`; answers
+  ``engine.topk(q, k)`` cache-first, applies ``engine.insert(point)`` /
+  ``engine.delete(rid)`` updates with GIR-aware selective cache
+  invalidation (or the flush-on-write baseline), and runs batched
+  read/write workloads with per-request latency/IO and per-update
+  eviction accounting;
+* :mod:`repro.engine.workload` — uniform / Zipf-clustered / mixed
+  read-write query-stream generators for scenario diversity.
 """
 
-from repro.engine.engine import EngineResponse, GIREngine, WorkloadReport, percentile
+from repro.engine.engine import (
+    EngineResponse,
+    GIREngine,
+    INVALIDATION_POLICIES,
+    UpdateResponse,
+    WorkloadReport,
+    percentile,
+)
 from repro.engine.workload import (
+    DeleteOp,
+    InsertOp,
     Request,
     Workload,
+    mixed_workload,
     uniform_workload,
     zipf_clustered_workload,
 )
@@ -19,10 +32,15 @@ from repro.engine.workload import (
 __all__ = [
     "GIREngine",
     "EngineResponse",
+    "UpdateResponse",
     "WorkloadReport",
+    "INVALIDATION_POLICIES",
     "percentile",
     "Request",
+    "InsertOp",
+    "DeleteOp",
     "Workload",
     "uniform_workload",
     "zipf_clustered_workload",
+    "mixed_workload",
 ]

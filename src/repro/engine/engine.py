@@ -4,8 +4,9 @@ The paper's headline application (Section 1): a server answering heavy
 top-k query traffic caches each computed result together with its GIR, and
 serves any later query whose weight vector falls inside a cached GIR
 without touching the database. The engine owns the full serving stack —
-R*-tree, dataset, scorer and :class:`~repro.core.caching.GIRCache` — and
-drives the compute pipeline of :mod:`repro.core.pipeline` on misses.
+R*-tree, mutable point table, scorer and
+:class:`~repro.core.caching.GIRCache` — and drives the compute pipeline of
+:mod:`repro.core.pipeline` on misses.
 
 Serving discipline:
 
@@ -20,6 +21,29 @@ Serving discipline:
   stages run on the resumed state and the deeper GIR is cached — instead
   of returning a half-done prefix.
 * **miss** — full pipeline run; the GIR is cached for future traffic.
+
+Dynamic datasets
+----------------
+
+The dataset is *mutable*: :meth:`GIREngine.insert` / :meth:`GIREngine.delete`
+route through :meth:`~repro.index.rtree.RStarTree.insert` /
+:meth:`~repro.index.rtree.RStarTree.delete`, maintain the
+:class:`~repro.data.dataset.PointTable` and its cached g-space image, and
+invalidate cached GIRs per the engine's ``invalidation`` policy:
+
+* ``"gir"`` (default) — *selective*: an insert evicts entry E only if the
+  new record's score can exceed E's k-th score somewhere in E's region
+  (one LP, :func:`~repro.core.caching.invalidated_by_insert`); a delete
+  only if the rid is in E's result or in the T-set of E's retained run
+  (:func:`~repro.core.caching.invalidated_by_delete`).
+* ``"flush"`` — flush-on-write: every update empties the whole cache (the
+  comparison baseline).
+
+Retained BRS runs are version-stamped against
+:attr:`~repro.index.rtree.RStarTree.mutations`; any structural update
+makes them stale (their heaps reference pre-update pages) and the engine
+discards them instead of resuming — a later partial hit falls back to a
+from-scratch search.
 """
 
 from __future__ import annotations
@@ -29,22 +53,42 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.caching import GIRCache
+from repro.core.caching import (
+    GIRCache,
+    invalidated_by_delete,
+    invalidated_by_insert,
+)
 from repro.core.gir import GIRResult, GIRStats
 from repro.core.pipeline import PHASE2_METHODS, ExecutionContext, run_pipeline
-from repro.data.dataset import Dataset
-from repro.engine.workload import Request, Workload
+from repro.data.dataset import Dataset, PointTable, grow_rows
+from repro.engine.workload import (
+    DeleteOp,
+    InsertOp,
+    Request,
+    Workload,
+    frozen_array,
+)
 from repro.index.bulkload import bulk_load_str
 from repro.index.rtree import RStarTree
 from repro.query.brs import BRSRun, brs_topk, resume_brs_topk
 from repro.scoring import LinearScoring, ScoringFunction
 
-__all__ = ["EngineResponse", "WorkloadReport", "GIREngine", "percentile"]
+__all__ = [
+    "EngineResponse",
+    "UpdateResponse",
+    "WorkloadReport",
+    "GIREngine",
+    "INVALIDATION_POLICIES",
+    "percentile",
+]
 
 #: Response provenance markers.
 SOURCE_CACHE = "cache"
 SOURCE_COMPLETED = "completed"
 SOURCE_COMPUTED = "computed"
+
+#: Cache-invalidation policies for updates.
+INVALIDATION_POLICIES = ("gir", "flush")
 
 
 def percentile(values: list[float], p: float) -> float:
@@ -56,7 +100,11 @@ def percentile(values: list[float], p: float) -> float:
 
 @dataclass(frozen=True)
 class EngineResponse:
-    """One served request, with its full cost accounting."""
+    """One served request, with its full cost accounting.
+
+    ``weights`` is a read-only copy — a caller mutating its query vector
+    in place cannot corrupt the recorded accounting.
+    """
 
     ids: tuple[int, ...]
     scores: tuple[float, ...]
@@ -70,6 +118,26 @@ class EngineResponse:
     #: Pipeline cost breakdown; ``None`` for pure cache hits (no pipeline ran).
     gir_stats: GIRStats | None = None
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "weights", frozen_array(self.weights, "weights"))
+
+
+@dataclass(frozen=True)
+class UpdateResponse:
+    """One applied update, with its invalidation accounting."""
+
+    #: ``"insert"`` or ``"delete"``.
+    kind: str
+    #: Rid of the inserted / deleted record.
+    rid: int
+    latency_ms: float
+    #: Cache entries this update invalidated (under the engine's policy).
+    evicted: int
+    #: Cache entries remaining after the update.
+    cache_entries: int
+    #: The policy that made the eviction decision (``"gir"`` / ``"flush"``).
+    policy: str
+
 
 @dataclass
 class WorkloadReport:
@@ -78,6 +146,12 @@ class WorkloadReport:
     responses: list[EngineResponse]
     wall_ms: float
     workload_kind: str = "custom"
+    updates: list[UpdateResponse] = field(default_factory=list)
+    #: Portion of ``wall_ms`` spent applying updates (0 for read-only runs);
+    #: read throughput is computed against the remainder so update cost —
+    #: which differs by invalidation policy — cannot masquerade as read
+    #: serving speed.
+    update_wall_ms: float = 0.0
 
     # -- derived aggregates ---------------------------------------------------
 
@@ -123,12 +197,49 @@ class WorkloadReport:
         return percentile([r.latency_ms for r in self.responses], 95)
 
     @property
+    def read_wall_ms(self) -> float:
+        """Wall time spent serving reads (total minus update time)."""
+        return max(self.wall_ms - self.update_wall_ms, 0.0)
+
+    @property
     def throughput_qps(self) -> float:
-        return 1000.0 * self.total / self.wall_ms if self.wall_ms > 0 else 0.0
+        ms = self.read_wall_ms
+        return 1000.0 * self.total / ms if ms > 0 else 0.0
+
+    # -- update aggregates ----------------------------------------------------
+
+    @property
+    def updates_total(self) -> int:
+        return len(self.updates)
+
+    @property
+    def inserts_applied(self) -> int:
+        return sum(u.kind == "insert" for u in self.updates)
+
+    @property
+    def deletes_applied(self) -> int:
+        return sum(u.kind == "delete" for u in self.updates)
+
+    @property
+    def evictions_total(self) -> int:
+        """Cache entries invalidated by this run's updates."""
+        return sum(u.evicted for u in self.updates)
+
+    @property
+    def update_latency_p50_ms(self) -> float:
+        if not self.updates:
+            return 0.0
+        return percentile([u.latency_ms for u in self.updates], 50)
+
+    @property
+    def update_latency_p95_ms(self) -> float:
+        if not self.updates:
+            return 0.0
+        return percentile([u.latency_ms for u in self.updates], 95)
 
     def to_dict(self) -> dict:
         """JSON-ready summary (the engine benchmark's report payload)."""
-        return {
+        payload = {
             "workload_kind": self.workload_kind,
             "queries": self.total,
             "full_hits": self.full_hits,
@@ -142,32 +253,55 @@ class WorkloadReport:
             "wall_ms": self.wall_ms,
             "throughput_qps": self.throughput_qps,
         }
+        if self.updates:
+            payload.update(
+                {
+                    "updates": self.updates_total,
+                    "inserts": self.inserts_applied,
+                    "deletes": self.deletes_applied,
+                    "evictions": self.evictions_total,
+                    "update_latency_p50_ms": self.update_latency_p50_ms,
+                    "update_latency_p95_ms": self.update_latency_p95_ms,
+                    "update_wall_ms": self.update_wall_ms,
+                }
+            )
+        return payload
 
     def summary(self) -> str:
-        return "\n".join(
-            [
-                f"workload          : {self.total} queries ({self.workload_kind})",
-                f"served from cache : {self.full_hits} "
-                f"({100 * self.hit_rate:.1f}%), "
-                f"{self.completed_partials} completed, {self.computed} computed",
-                f"latency           : p50 {self.latency_p50_ms:.2f} ms, "
-                f"p95 {self.latency_p95_ms:.2f} ms",
-                f"I/O               : {self.pages_read_total} pages "
-                f"({self.pages_per_1k_queries:.0f} per 1k queries)",
-                f"throughput        : {self.throughput_qps:.0f} q/s",
-            ]
-        )
+        lines = [
+            f"workload          : {self.total} queries ({self.workload_kind})",
+            f"served from cache : {self.full_hits} "
+            f"({100 * self.hit_rate:.1f}%), "
+            f"{self.completed_partials} completed, {self.computed} computed",
+            f"latency           : p50 {self.latency_p50_ms:.2f} ms, "
+            f"p95 {self.latency_p95_ms:.2f} ms",
+            f"I/O               : {self.pages_read_total} pages "
+            f"({self.pages_per_1k_queries:.0f} per 1k queries)",
+            f"throughput        : {self.throughput_qps:.0f} q/s",
+        ]
+        if self.updates:
+            lines.append(
+                f"updates           : {self.updates_total} "
+                f"({self.inserts_applied} ins / {self.deletes_applied} del), "
+                f"{self.evictions_total} cache evictions, "
+                f"p50 {self.update_latency_p50_ms:.2f} ms"
+            )
+        return "\n".join(lines)
 
 
 class GIREngine:
-    """A cache-first top-k serving engine (Section 1 application).
+    """A cache-first top-k serving engine over a *dynamic* dataset
+    (Section 1 application).
 
     Parameters
     ----------
     data:
-        The :class:`Dataset` (or raw ``(n, d)`` array) to serve.
+        The :class:`Dataset` (or raw ``(n, d)`` array) to serve. Copied
+        into a mutable :class:`PointTable`; the engine owns all updates.
     tree:
-        R*-tree over ``data``; bulk-loaded on the spot if omitted.
+        R*-tree over ``data``; bulk-loaded on the spot if omitted. The
+        engine mutates the tree on :meth:`insert` / :meth:`delete`, so it
+        must not be shared with another engine.
     method:
         Phase-2 algorithm for GIR computation (``"fp"`` default).
     scorer:
@@ -178,6 +312,9 @@ class GIREngine:
         Keep each cached entry's BRS run so partial hits resume the
         search instead of re-running it (costs memory proportional to the
         retained heaps; disable for very tight-memory deployments).
+    invalidation:
+        Cache policy on updates: ``"gir"`` (selective, default) or
+        ``"flush"`` (drop everything — the baseline).
     """
 
     def __init__(
@@ -189,31 +326,60 @@ class GIREngine:
         scorer: ScoringFunction | None = None,
         cache_capacity: int = 128,
         retain_runs: bool = True,
+        invalidation: str = "gir",
     ) -> None:
         if method not in PHASE2_METHODS:
             raise ValueError(
                 f"unknown method {method!r}; expected one of {sorted(PHASE2_METHODS)}"
             )
+        if invalidation not in INVALIDATION_POLICIES:
+            raise ValueError(
+                f"unknown invalidation policy {invalidation!r}; "
+                f"expected one of {INVALIDATION_POLICIES}"
+            )
         if not isinstance(data, Dataset):
             data = Dataset(np.asarray(data, float))
         self.data = data
-        self.points = data.points
+        self.table = PointTable.from_dataset(data)
         self.tree = tree if tree is not None else bulk_load_str(data)
         self.scorer = scorer or LinearScoring(self.tree.d)
         self.method = method
-        #: g-space image of the dataset, computed once — data and scorer
-        #: are fixed for the engine's lifetime.
-        self._points_g = self.scorer.transform(self.points)
+        self.invalidation = invalidation
+        #: g-space image of the table, maintained incrementally alongside it
+        #: (capacity-doubling buffer mirroring the table's rows).
+        self._g_buf = self.scorer.transform(self.table.rows).copy()
+        self._g_n = self.table.n_allocated
         self.cache = GIRCache(capacity=cache_capacity)
         self.retain_runs = retain_runs
         #: Retained BRS state per live cache entry, for partial-hit resume.
+        #: Runs self-describe their tree version (``run.tree_mutations``);
+        #: stale ones are never resumed.
         self._runs: dict[int, BRSRun] = {}
         self.requests_served = 0
         self.resumed_completions = 0
+        self.updates_applied = 0
+        self.update_evictions = 0
 
     @property
     def d(self) -> int:
         return self.tree.d
+
+    @property
+    def points(self) -> np.ndarray:
+        """Read-only ``(n_allocated, d)`` row array, indexable by rid
+        (tombstoned rows included — the tree never references them)."""
+        return self.table.rows
+
+    @property
+    def points_g(self) -> np.ndarray:
+        """G-space image of :attr:`points` (same shape, read-only)."""
+        view = self._g_buf[: self._g_n]
+        view.setflags(write=False)
+        return view
+
+    @property
+    def n_live(self) -> int:
+        return self.table.n_live
 
     # -- serving --------------------------------------------------------------
 
@@ -262,10 +428,11 @@ class GIREngine:
     def _compute_and_cache(self, weights: np.ndarray, k: int, hit) -> GIRResult:
         """Run the staged pipeline — resuming a retained BRS run on a
         partial hit — and cache the resulting GIR."""
+        points = self.points
         ctx = ExecutionContext(
             tree=self.tree,
-            points=self.points,
-            points_g=self._points_g,
+            points=points,
+            points_g=self.points_g,
             weights=np.asarray(weights, dtype=np.float64),
             k=k,
             scorer=self.scorer,
@@ -274,14 +441,20 @@ class GIREngine:
         io_before = self.tree.store.stats.page_reads
         t0 = time.perf_counter()
         prior = self._runs.get(hit.entry_key) if hit is not None else None
+        if prior is not None and prior.tree_mutations != self.tree.mutations:
+            # The tree changed since the run was captured: its heap
+            # references pre-update pages. Forbid the resume (it would be
+            # a StaleRunError anyway) and search from scratch.
+            del self._runs[hit.entry_key]
+            prior = None
         if prior is not None:
             run = resume_brs_topk(
-                self.tree, self.points, prior, weights, k, scorer=self.scorer
+                self.tree, points, prior, weights, k, scorer=self.scorer
             )
             self.resumed_completions += 1
         else:
             run = brs_topk(
-                self.tree, self.points, weights, k, scorer=self.scorer
+                self.tree, points, weights, k, scorer=self.scorer
             )
         retrieve_ms = (time.perf_counter() - t0) * 1e3
         retrieve_pages = self.tree.store.stats.page_reads - io_before
@@ -296,21 +469,150 @@ class GIREngine:
         key = self.cache.insert(gir)
         if self.retain_runs:
             self._runs[key] = run
-            live = set(self.cache.entry_keys())
-            self._runs = {
-                kk: r for kk, r in self._runs.items() if kk in live
-            }
+            self._drop_stale_runs()
         return gir
 
-    def run(self, workload: Workload | list[Request]) -> WorkloadReport:
-        """Serve a whole workload; return batched accounting."""
-        requests = list(workload)
-        kind = workload.kind if isinstance(workload, Workload) else "custom"
+    # -- updates --------------------------------------------------------------
+
+    def insert(self, point: np.ndarray) -> UpdateResponse:
+        """Insert a new record; returns its rid and eviction accounting.
+
+        The point joins the table (fresh rid), the R*-tree and the cached
+        g-space image; then the cache is invalidated per the engine's
+        policy — under ``"gir"``, entry E is evicted only if the new
+        record can out-score E's k-th result record somewhere in E's
+        region (the halfspace-intersection LP of
+        :meth:`~repro.core.gir.GIRResult.admits_above_kth`).
+        """
         t0 = time.perf_counter()
-        responses = [self.topk(req.weights, req.k) for req in requests]
+        point = np.asarray(point, dtype=np.float64)
+        rid = self.table.insert(point)
+        self.tree.insert(self.table.point(rid), rid)
+        point_g = self._append_g(self.table.point(rid))
+        if self.invalidation == "flush":
+            evicted = self.cache.flush()
+        else:
+            new_sum = float(self.points[rid].sum())
+            stale = [
+                key
+                for key, gir in self.cache.items()
+                if invalidated_by_insert(
+                    gir,
+                    point_g,
+                    self._g_buf[gir.topk.kth_id],
+                    # Exact score ties resolve by (coord-sum, rid)
+                    # descending; the fresh rid is always the highest.
+                    tie_wins=(new_sum, rid)
+                    > (float(self.points[gir.topk.kth_id].sum()), gir.topk.kth_id),
+                )
+            ]
+            evicted = self.cache.evict(stale)
+        self._drop_stale_runs()
+        return self._finish_update("insert", rid, t0, evicted)
+
+    def delete(self, rid: int) -> UpdateResponse:
+        """Delete a live record; returns eviction accounting.
+
+        Under the ``"gir"`` policy an entry is evicted only if ``rid``
+        appears in its result or in the T-set of its retained BRS run;
+        deleting any other record leaves the cached ordered top-k valid
+        everywhere in its region (removing a non-member never changes a
+        top-k answer). The T-set clause is deliberately conservative:
+        since every update also discards all retained runs (mutation
+        version stamp), a surviving entry without its run would still
+        serve correct full hits — evicting on T membership trades a few
+        extra evictions for never holding state derived from a record
+        that no longer exists.
+        """
+        t0 = time.perf_counter()
+        point = self.table.delete(rid)
+        removed = self.tree.delete(point, rid)
+        if not removed:  # pragma: no cover - table and tree always agree
+            raise RuntimeError(f"rid {rid} live in table but absent from tree")
+        if self.invalidation == "flush":
+            evicted = self.cache.flush()
+        else:
+            stale = [
+                key
+                for key, gir in self.cache.items()
+                if invalidated_by_delete(
+                    gir,
+                    rid,
+                    tset_ids=(
+                        run.encountered
+                        if (run := self._runs.get(key)) is not None
+                        else None
+                    ),
+                )
+            ]
+            evicted = self.cache.evict(stale)
+        self._drop_stale_runs()
+        return self._finish_update("delete", rid, t0, evicted)
+
+    def _append_g(self, point: np.ndarray) -> np.ndarray:
+        """Maintain the g-space image for a freshly inserted row (grown with
+        the same policy as the table it mirrors)."""
+        self._g_buf = grow_rows(self._g_buf, self._g_n)
+        g_row = self.scorer.transform_one(point)
+        self._g_buf[self._g_n] = g_row
+        self._g_n += 1
+        return g_row
+
+    def _drop_stale_runs(self) -> None:
+        """Discard retained runs invalidated by a structural tree change
+        (and runs whose cache entry is gone)."""
+        live = set(self.cache.entry_keys())
+        self._runs = {
+            key: run
+            for key, run in self._runs.items()
+            if key in live and run.tree_mutations == self.tree.mutations
+        }
+
+    def _finish_update(
+        self, kind: str, rid: int, t0: float, evicted: int
+    ) -> UpdateResponse:
+        self.updates_applied += 1
+        self.update_evictions += evicted
+        return UpdateResponse(
+            kind=kind,
+            rid=rid,
+            latency_ms=(time.perf_counter() - t0) * 1e3,
+            evicted=evicted,
+            cache_entries=len(self.cache),
+            policy=self.invalidation,
+        )
+
+    # -- batch serving --------------------------------------------------------
+
+    def run(self, workload: Workload | list) -> WorkloadReport:
+        """Serve a whole workload — reads and updates — and return batched
+        accounting."""
+        ops = list(workload)
+        kind = workload.kind if isinstance(workload, Workload) else "custom"
+        responses: list[EngineResponse] = []
+        updates: list[UpdateResponse] = []
+        update_ms = 0.0
+        t0 = time.perf_counter()
+        for op in ops:
+            if isinstance(op, Request):
+                responses.append(self.topk(op.weights, op.k))
+            elif isinstance(op, InsertOp):
+                tu = time.perf_counter()
+                updates.append(self.insert(op.point))
+                update_ms += (time.perf_counter() - tu) * 1e3
+            elif isinstance(op, DeleteOp):
+                tu = time.perf_counter()
+                updates.append(self.delete(op.rid))
+                update_ms += (time.perf_counter() - tu) * 1e3
+            else:
+                raise TypeError(f"unknown workload operation {op!r}")
         wall_ms = (time.perf_counter() - t0) * 1e3
         return WorkloadReport(
-            responses=responses, wall_ms=wall_ms, workload_kind=kind
+            responses=responses,
+            wall_ms=wall_ms,
+            workload_kind=kind,
+            updates=updates,
+            update_wall_ms=update_ms,
         )
 
     # -- introspection --------------------------------------------------------
@@ -320,5 +622,8 @@ class GIREngine:
         return {
             "requests_served": self.requests_served,
             "resumed_completions": self.resumed_completions,
+            "updates_applied": self.updates_applied,
+            "update_evictions": self.update_evictions,
+            "live_records": self.n_live,
             **self.cache.stats(),
         }

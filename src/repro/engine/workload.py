@@ -1,7 +1,8 @@
-"""Query-stream generators for the serving layer.
+"""Query- and update-stream generators for the serving layer.
 
-A workload is an ordered stream of ``(weights, k)`` requests. Two stream
-shapes cover the interesting ends of the caching spectrum:
+A workload is an ordered stream of operations: top-k :class:`Request`\\ s,
+optionally interleaved with :class:`InsertOp` / :class:`DeleteOp` updates.
+Three stream shapes cover the interesting ends of the caching spectrum:
 
 * :func:`uniform_workload` — every user has independent taste; query
   vectors are i.i.d. uniform over the (interior of the) weight space.
@@ -11,6 +12,17 @@ shapes cover the interesting ends of the caching spectrum:
   archetype plus a small personal tweak. This is the situation Section 1's
   result-caching application exploits — most traffic lands in a few hot
   regions of weight space.
+* :func:`mixed_workload` — a read stream of either shape with an update
+  stream (inserts of fresh records, deletes of live ones) blended in, in
+  bursts. This is the scenario where caching strategies are really
+  stress-tested (cf. the LDBC mixed read/write analyses): every update
+  *may* disturb cached results, and the engine's invalidation policy
+  decides how much of the cache survives.
+
+Update streams rely on the engine's rid contract: record ids are
+append-only, so the ``i``-th insert of a stream lands at rid
+``base_n + i``. :func:`mixed_workload` tracks its own live-id set under
+that contract, which lets it emit deletes for records it inserted earlier.
 """
 
 from __future__ import annotations
@@ -19,22 +31,71 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["Request", "Workload", "uniform_workload", "zipf_clustered_workload"]
+__all__ = [
+    "frozen_array",
+    "Request",
+    "InsertOp",
+    "DeleteOp",
+    "Workload",
+    "uniform_workload",
+    "zipf_clustered_workload",
+    "mixed_workload",
+]
+
+
+def frozen_array(value: np.ndarray, shape_name: str) -> np.ndarray:
+    """Defensive read-only copy for frozen dataclass fields.
+
+    Storing the caller's array directly would alias it: a caller mutating
+    its query vector in place afterwards would silently corrupt recorded
+    accounting and workload replay.
+    """
+    arr = np.array(value, dtype=np.float64, copy=True)
+    if arr.ndim != 1:
+        raise ValueError(f"{shape_name} must be a 1-d vector")
+    arr.setflags(write=False)
+    return arr
 
 
 @dataclass(frozen=True)
 class Request:
-    """One top-k request in a workload stream."""
+    """One top-k request in a workload stream.
+
+    The ``weights`` vector is copied and frozen on construction, so the
+    request stays replayable even if the caller reuses its buffer.
+    """
 
     weights: np.ndarray
     k: int
 
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "weights", frozen_array(self.weights, "weights")
+        )
+
+
+@dataclass(frozen=True)
+class InsertOp:
+    """Insert a new record at ``point`` (the engine assigns the rid)."""
+
+    point: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "point", frozen_array(self.point, "point"))
+
+
+@dataclass(frozen=True)
+class DeleteOp:
+    """Delete the live record ``rid``."""
+
+    rid: int
+
 
 @dataclass
 class Workload:
-    """An ordered stream of top-k requests."""
+    """An ordered stream of serving operations (reads and/or updates)."""
 
-    requests: list[Request]
+    requests: list
     #: How the stream was generated (for report provenance).
     kind: str = "custom"
     params: dict[str, float] = field(default_factory=dict)
@@ -44,6 +105,14 @@ class Workload:
 
     def __iter__(self):
         return iter(self.requests)
+
+    @property
+    def reads(self) -> int:
+        return sum(isinstance(op, Request) for op in self.requests)
+
+    @property
+    def updates(self) -> int:
+        return sum(isinstance(op, (InsertOp, DeleteOp)) for op in self.requests)
 
 
 def _interior(q: np.ndarray) -> np.ndarray:
@@ -112,6 +181,111 @@ def zipf_clustered_workload(
             "d": float(d),
             "count": float(count),
             "k": float(k),
+            "clusters": float(clusters),
+            "zipf_s": float(zipf_s),
+            "spread": float(spread),
+        },
+    )
+
+
+def mixed_workload(
+    d: int,
+    count: int,
+    base_n: int,
+    k: int = 10,
+    update_fraction: float = 0.2,
+    insert_ratio: float = 0.5,
+    batch_size: int = 4,
+    read_kind: str = "zipf_clustered",
+    clusters: int = 8,
+    zipf_s: float = 1.1,
+    spread: float = 0.01,
+    rng: np.random.Generator | None = None,
+) -> Workload:
+    """A read stream with update bursts blended in.
+
+    Reads follow ``read_kind`` (``"zipf_clustered"`` default, or
+    ``"uniform"``); roughly ``update_fraction`` of the ``count`` operations
+    are updates, emitted in bursts of up to ``batch_size`` consecutive ops
+    (mimicking batched ingest). Each update is an insert of a fresh
+    uniform record with probability ``insert_ratio``, else a delete of a
+    uniformly chosen live rid. The generator tracks liveness itself under
+    the engine's sequential-rid contract (``base_n`` initial records;
+    the ``i``-th insert lands at rid ``base_n + i``) and never shrinks the
+    table below ``max(2k, 1)`` live records.
+
+    Parameters
+    ----------
+    base_n:
+        Number of live records in the table the stream will be served
+        against (rids ``0 .. base_n-1``).
+    update_fraction:
+        Target fraction of operations that are updates, in ``[0, 1)``.
+    insert_ratio:
+        Fraction of updates that are inserts (the rest are deletes).
+    batch_size:
+        Maximum length of one update burst.
+    """
+    if not 0.0 <= update_fraction < 1.0:
+        raise ValueError("update_fraction must be in [0, 1)")
+    if not 0.0 <= insert_ratio <= 1.0:
+        raise ValueError("insert_ratio must be in [0, 1]")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if base_n <= 2 * k:
+        raise ValueError("base_n must exceed 2k so deletes stay safe")
+    rng = rng or np.random.default_rng()
+    if read_kind == "uniform":
+        reads = uniform_workload(d, count, k=k, rng=rng).requests
+    elif read_kind == "zipf_clustered":
+        reads = zipf_clustered_workload(
+            d, count, k=k, clusters=clusters, zipf_s=zipf_s,
+            spread=spread, rng=rng,
+        ).requests
+    else:
+        raise ValueError(
+            f"unknown read_kind {read_kind!r}; "
+            "expected 'uniform' or 'zipf_clustered'"
+        )
+
+    live = list(range(base_n))
+    next_rid = base_n
+    min_live = max(2 * k, 1)
+    ops: list = []
+    read_iter = iter(reads)
+    # A burst emits ~(1+batch_size)/2 updates; start bursts at the rate
+    # that makes the realised update share match `update_fraction`.
+    mean_burst = (1 + batch_size) / 2.0
+    p_burst = update_fraction / (
+        mean_burst * (1.0 - update_fraction) + update_fraction
+    )
+    while len(ops) < count:
+        if rng.random() < p_burst:
+            burst = int(rng.integers(1, batch_size + 1))
+            for _ in range(burst):
+                if len(ops) >= count:
+                    break
+                if rng.random() < insert_ratio or len(live) <= min_live:
+                    ops.append(InsertOp(point=rng.random(d)))
+                    live.append(next_rid)
+                    next_rid += 1
+                else:
+                    idx = int(rng.integers(len(live)))
+                    live[idx], live[-1] = live[-1], live[idx]
+                    ops.append(DeleteOp(rid=live.pop()))
+        else:
+            ops.append(next(read_iter))
+    return Workload(
+        requests=ops,
+        kind=f"mixed_{read_kind}",
+        params={
+            "d": float(d),
+            "count": float(count),
+            "k": float(k),
+            "base_n": float(base_n),
+            "update_fraction": float(update_fraction),
+            "insert_ratio": float(insert_ratio),
+            "batch_size": float(batch_size),
             "clusters": float(clusters),
             "zipf_s": float(zipf_s),
             "spread": float(spread),

@@ -200,6 +200,34 @@ class Polytope:
         inside = (pts @ self.A.T <= self.b + 1e-12).all(axis=1)
         return box_volume * float(inside.mean())
 
+    # -- linear optimisation ---------------------------------------------------------------
+
+    def maximize(self, c: np.ndarray) -> float:
+        """Maximum of the linear objective ``c · x`` over the region.
+
+        Returns ``-inf`` for an infeasible (empty) region and ``+inf``
+        when the objective is unbounded over it. This is the primitive
+        behind the dynamic engine's halfspace-intersection invalidation
+        test: an inserted record threatens a cached GIR iff the score gap
+        to the k-th result record is positive somewhere in the region,
+        i.e. iff ``maximize(g(p_new) − g(p_k)) > 0``.
+        """
+        c = np.asarray(c, dtype=np.float64)
+        if c.shape != (self.d,):
+            raise ValueError(f"objective must have shape ({self.d},)")
+        res = linprog(
+            -c,
+            A_ub=self.A,
+            b_ub=self.b,
+            bounds=[(None, None)] * self.d,
+            method="highs",
+        )
+        if res.status == 3:  # unbounded
+            return float("inf")
+        if not res.success:
+            return float("-inf")
+        return float(-res.fun)
+
     # -- projections ---------------------------------------------------------------------
 
     def axis_interval(self, axis: int, base: np.ndarray) -> tuple[float, float]:

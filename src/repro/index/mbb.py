@@ -88,6 +88,20 @@ class MBB:
             merged = MBB(np.minimum(self.lo, p), np.maximum(self.hi, p))
         return merged.area() - self.area()
 
+    def intersects(self, other: "MBB", atol: float = 1e-12) -> bool:
+        """True when the boxes share at least one point (closed-box test).
+
+        Unlike ``overlap() > 0`` this is exact for zero-volume contacts:
+        boxes that merely touch at a face/edge/corner, and degenerate
+        (axis-flat or point) boxes, still intersect. R-tree window descent
+        must use this predicate — a volume test silently skips subtrees
+        whose bounding boxes are flat along some axis (e.g. duplicated
+        coordinate values).
+        """
+        return bool(
+            (self.lo <= other.hi + atol).all() and (other.lo <= self.hi + atol).all()
+        )
+
     def contains_point(self, point: np.ndarray, atol: float = 1e-12) -> bool:
         p = np.asarray(point, dtype=np.float64)
         return bool((p >= self.lo - atol).all() and (p <= self.hi + atol).all())

@@ -67,6 +67,11 @@ class RStarTree:
         if self.leaf_capacity < 2 or self.internal_capacity < 2:
             raise ValueError("node capacities must be at least 2")
         self.size = 0
+        #: Structural mutation counter: bumped by every successful
+        #: ``insert``/``delete``. Retained query state (e.g. a
+        #: :class:`~repro.query.brs.BRSRun` heap) is only resumable while
+        #: this counter matches the value it was captured at.
+        self.mutations = 0
         root = Node(self.store.allocate(), level=0)
         self.store.write(root)
         self.root_id = root.node_id
@@ -114,6 +119,7 @@ class RStarTree:
             pending_entry, level = self._pending.pop()
             self._insert_at_level(pending_entry, level)
         self.size += 1
+        self.mutations += 1
 
     def _insert_at_level(self, entry: NodeEntry, target_level: int) -> None:
         root = self.root()
@@ -264,8 +270,9 @@ class RStarTree:
         leaf = path[-1]
         leaf.entries = [e for e in leaf.entries if e.child_id != rid or not e.mbb.contains_point(point)]
         self.store.write(leaf)
-        self._condense(path)
+        orphans = self._condense(path)
         self.size -= 1
+        self.mutations += 1
         # Shrink the root while it is an internal node with a single child.
         root = self.root()
         while not root.is_leaf and len(root.entries) == 1:
@@ -273,6 +280,16 @@ class RStarTree:
             self.store.free(root.node_id)
             self.root_id = child_id
             root = self.root()
+        # Reinsert every orphaned entry. An orphan's level can equal the
+        # (post-shrink) root level, in which case the entry is appended into
+        # the root itself; levels above the root violate the invariant that
+        # only nodes below the root dissolve and raise in _insert_at_level.
+        for entry, level in orphans:
+            self._reinserted_levels = set()
+            self._pending = [(entry, level)]
+            while self._pending:
+                pending_entry, lvl = self._pending.pop()
+                self._insert_at_level(pending_entry, lvl)
         return True
 
     def _find_leaf(
@@ -291,9 +308,16 @@ class RStarTree:
                     return found
         return None
 
-    def _condense(self, path: list[Node]) -> None:
-        """Propagate underflow upward, queueing orphaned entries for
-        reinsertion (the classic condense-tree procedure)."""
+    def _condense(self, path: list[Node]) -> list[tuple[NodeEntry, int]]:
+        """Propagate underflow upward (the classic condense-tree procedure).
+
+        Returns the orphaned ``(entry, level)`` pairs of every dissolved
+        node for the caller to reinsert. Reinsertion is unconditional:
+        an earlier revision guarded it with ``level == 0 or level <
+        self.root().level``, which silently discards any orphan whose level
+        reaches the root's — losing every indexed point under that entry —
+        instead of appending it into the root.
+        """
         orphans: list[tuple[NodeEntry, int]] = []
         for depth in range(len(path) - 1, 0, -1):
             node = path[depth]
@@ -309,13 +333,7 @@ class RStarTree:
                         parent.entries[i] = NodeEntry(node.mbb(), node.node_id)
                         break
             self.store.write(parent)
-        for entry, level in orphans:
-            if level == 0 or level < self.root().level:
-                self._reinserted_levels = set()
-                self._pending = [(entry, level)]
-                while self._pending:
-                    pending_entry, lvl = self._pending.pop()
-                    self._insert_at_level(pending_entry, lvl)
+        return orphans
 
     # ---------------------------------------------------------------- search
 
@@ -328,7 +346,11 @@ class RStarTree:
         while stack:
             node = read(stack.pop())
             for e in node.entries:
-                if window.overlap(e.mbb) > 0 or window.contains_point(e.mbb.lo):
+                # Descend on the closed-box intersects predicate: a volume
+                # test (`overlap > 0`) skips zero-volume contacts — flat
+                # MBBs from duplicated coordinates, or entries that only
+                # touch the window boundary — and drops their records.
+                if window.intersects(e.mbb):
                     if node.is_leaf:
                         if window.contains_point(e.point):
                             result.append(e.child_id)

@@ -10,13 +10,14 @@
 """
 
 from repro.query.bbs import bbs_skyline, skyline_of_points
-from repro.query.brs import BRSRun, brs_topk, resume_brs_topk
+from repro.query.brs import BRSRun, StaleRunError, brs_topk, resume_brs_topk
 from repro.query.linear_scan import scan_skyline, scan_topk
 from repro.query.topk import TopKResult
 
 __all__ = [
     "TopKResult",
     "BRSRun",
+    "StaleRunError",
     "brs_topk",
     "resume_brs_topk",
     "bbs_skyline",

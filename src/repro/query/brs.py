@@ -29,7 +29,20 @@ from repro.index.rtree import RStarTree
 from repro.query.topk import TopKResult
 from repro.scoring import LinearScoring, ScoringFunction
 
-__all__ = ["HeapEntry", "BRSRun", "brs_topk", "resume_brs_topk"]
+__all__ = ["HeapEntry", "BRSRun", "StaleRunError", "brs_topk", "resume_brs_topk"]
+
+
+class StaleRunError(ValueError):
+    """Raised when resuming a :class:`BRSRun` against a tree that has been
+    structurally mutated since the run was captured.
+
+    A retained heap references node ids and MBBs of the tree *as it was*;
+    after an insert or delete those pages may have been split, merged or
+    freed, so continuing the search could silently return wrong records.
+    The dynamic serving engine catches staleness up front (it version-stamps
+    runs against :attr:`~repro.index.rtree.RStarTree.mutations`) and falls
+    back to a from-scratch search.
+    """
 
 
 @dataclass(order=True)
@@ -78,6 +91,9 @@ class BRSRun:
     encountered: dict[int, np.ndarray]  # the paper's set T: rid -> point
     leaf_accesses: int
     node_accesses: int
+    #: Value of ``tree.mutations`` when the run was captured; ``None`` for
+    #: hand-built runs (staleness then cannot be checked).
+    tree_mutations: int | None = None
 
     @property
     def encountered_ids(self) -> list[int]:
@@ -142,6 +158,7 @@ def brs_topk(
         weights,
         node_accesses=node_accesses + drained_nodes,
         leaf_accesses=leaf_accesses + drained_leaves,
+        tree_mutations=tree.mutations,
     )
 
 
@@ -170,8 +187,15 @@ def resume_brs_topk(
     Equivalent to ``brs_topk(tree, points, weights, k)`` — any record not
     fetched by the original run still lies under some retained heap entry,
     so the continued search considers it; the priority order and the
-    termination test are those of a from-scratch search.
+    termination test are those of a from-scratch search. The equivalence
+    holds only while the tree is exactly as the run left it: resuming after
+    an insert or delete raises :class:`StaleRunError`.
     """
+    if run.tree_mutations is not None and run.tree_mutations != tree.mutations:
+        raise StaleRunError(
+            f"run was captured at tree mutation {run.tree_mutations}, the "
+            f"tree is now at {tree.mutations}; re-run brs_topk instead"
+        )
     weights = _validate_query(tree, weights, k)
     scorer = scorer or LinearScoring(tree.d)
     read = tree.fetch if metered else tree._node
@@ -196,6 +220,7 @@ def resume_brs_topk(
         weights,
         node_accesses=run.node_accesses + node_accesses,
         leaf_accesses=run.leaf_accesses + leaf_accesses,
+        tree_mutations=tree.mutations,
     )
 
 
@@ -253,6 +278,7 @@ def _package_run(
     weights: np.ndarray,
     node_accesses: int,
     leaf_accesses: int,
+    tree_mutations: int | None = None,
 ) -> BRSRun:
     """Rank the interim records and bundle the retained search state."""
     ranked = sorted(interim, reverse=True)
@@ -267,6 +293,7 @@ def _package_run(
         encountered=encountered,
         leaf_accesses=leaf_accesses,
         node_accesses=node_accesses,
+        tree_mutations=tree_mutations,
     )
 
 

@@ -21,16 +21,32 @@ def scan_topk(
     weights: np.ndarray,
     k: int,
     scorer: ScoringFunction | None = None,
+    live: np.ndarray | None = None,
 ) -> TopKResult:
-    """Exact top-k by full scan."""
+    """Exact top-k by full scan.
+
+    ``live`` (optional boolean mask over rows) restricts the scan to live
+    records while keeping *global* rids in the answer — the ground-truth
+    oracle for the dynamic engine's tombstoned
+    :class:`~repro.data.dataset.PointTable`.
+    """
     points = np.asarray(points, dtype=np.float64)
     weights = np.asarray(weights, dtype=np.float64)
     n, d = points.shape
-    if not 0 < k <= n:
-        raise ValueError(f"k must be in [1, {n}]")
+    if live is not None:
+        live = np.asarray(live, dtype=bool)
+        if live.shape != (n,):
+            raise ValueError(f"live mask must have shape ({n},)")
+        n_live = int(live.sum())
+    else:
+        n_live = n
+    if not 0 < k <= n_live:
+        raise ValueError(f"k must be in [1, {n_live}]")
     scorer = scorer or LinearScoring(d)
     scores = scorer.score(points, weights)
     sums = points.sum(axis=1)
+    if live is not None:
+        scores = np.where(live, scores, -np.inf)
     rids = np.arange(n)
     # Ranked by (score, coord-sum, rid) descending — identical to BRS.
     order = np.lexsort((-rids, -sums, -scores))[:k]

@@ -188,3 +188,53 @@ class TestResume:
         resumed = resume_brs_topk(tree, data.points, run, q, 10)
         assert tree.store.stats.page_reads == 0
         assert resumed.result.ids == run.result.ids
+
+
+class TestStaleRuns:
+    def test_resume_raises_after_insert(self, rng):
+        from repro.query.brs import StaleRunError
+
+        data = independent(500, 2, seed=23)
+        tree = bulk_load_str(data)
+        q = random_query(rng, 2)
+        run = brs_topk(tree, data.points, q, 5)
+        assert run.tree_mutations == tree.mutations
+        tree.insert(np.array([0.99, 0.99]), data.n)
+        points = np.vstack([data.points, [[0.99, 0.99]]])
+        with pytest.raises(StaleRunError):
+            resume_brs_topk(tree, points, run, q, 10)
+
+    def test_resume_raises_after_delete(self, rng):
+        from repro.query.brs import StaleRunError
+
+        data = independent(500, 2, seed=24)
+        tree = bulk_load_str(data)
+        q = random_query(rng, 2)
+        run = brs_topk(tree, data.points, q, 5)
+        victim = next(rid for rid in range(data.n) if rid not in run.result.ids)
+        assert tree.delete(data.points[victim], victim)
+        with pytest.raises(StaleRunError):
+            resume_brs_topk(tree, data.points, run, q, 10)
+
+    def test_resume_on_unmutated_tree_matches_scratch(self, small_ind_4d, rng):
+        data, tree = small_ind_4d
+        q = random_query(rng, 4)
+        run = brs_topk(tree, data.points, q, 5)
+        q2 = q * (1 + rng.normal(0, 0.01, 4))
+        resumed = resume_brs_topk(tree, data.points, run, q2, 20)
+        scratch = brs_topk(tree, data.points, q2, 20)
+        assert resumed.result.ids == scratch.result.ids
+
+    def test_fresh_search_after_mutation_is_equivalent(self, rng):
+        """The dynamic path's fallback: after a mutation, a from-scratch
+        search at the deeper k equals ground truth (what resume would have
+        had to produce)."""
+        data = independent(600, 3, seed=25)
+        tree = bulk_load_str(data)
+        q = random_query(rng, 3)
+        brs_topk(tree, data.points, q, 5)  # original (now stale) run
+        new_point = np.array([0.95, 0.9, 0.92])
+        tree.insert(new_point, data.n)
+        points = np.vstack([data.points, new_point[None, :]])
+        run = brs_topk(tree, points, q, 12)
+        assert run.result.ids == scan_topk(points, q, 12).ids

@@ -47,3 +47,8 @@ class TestExamples:
         out = run_example("sensitivity_dashboard.py", "3000")
         assert "GIR ratio" in out
         assert "Per-weight immutable ranges" in out
+
+    def test_dynamic_engine(self):
+        out = run_example("dynamic_engine.py", "3000")
+        assert "GIR-aware invalidation vs flush-on-write" in out
+        assert "all exact" in out

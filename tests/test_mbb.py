@@ -120,3 +120,37 @@ class TestEquality:
         a = MBB(np.array([0.0, 0.0]), np.array([0.5, 0.5]))
         b = MBB(np.array([0.0, 0.0]), np.array([0.5, 0.6]))
         assert a != b
+
+
+class TestIntersects:
+    def test_overlapping_boxes(self):
+        a = MBB(np.array([0.0, 0.0]), np.array([0.5, 0.5]))
+        b = MBB(np.array([0.4, 0.4]), np.array([0.9, 0.9]))
+        assert a.intersects(b) and b.intersects(a)
+
+    def test_disjoint_boxes(self):
+        a = MBB(np.array([0.0, 0.0]), np.array([0.3, 0.3]))
+        b = MBB(np.array([0.5, 0.5]), np.array([0.9, 0.9]))
+        assert not a.intersects(b) and not b.intersects(a)
+
+    def test_touching_faces_intersect_despite_zero_overlap(self):
+        a = MBB(np.array([0.0, 0.0]), np.array([0.5, 0.5]))
+        b = MBB(np.array([0.5, 0.0]), np.array([0.9, 0.5]))
+        assert a.overlap(b) == 0.0
+        assert a.intersects(b)
+
+    def test_flat_box_inside_window(self):
+        """Axis-flat boxes (duplicated coordinate values) have zero volume
+        but must still register as intersecting."""
+        window = MBB(np.array([0.2, 0.2]), np.array([0.6, 0.6]))
+        flat = MBB(np.array([0.25, 0.3]), np.array([0.25, 0.5]))
+        assert window.overlap(flat) == 0.0
+        assert window.intersects(flat)
+        assert flat.intersects(window)
+
+    def test_point_box(self):
+        window = MBB(np.array([0.2, 0.2]), np.array([0.6, 0.6]))
+        pt = MBB.of_point(np.array([0.4, 0.4]))
+        outside = MBB.of_point(np.array([0.7, 0.4]))
+        assert window.intersects(pt)
+        assert not window.intersects(outside)
