@@ -35,6 +35,15 @@ def test_engine_throughput(benchmark):
     # Zipf-clustered traffic must actually exercise the cache.
     assert payload["full_hits"] > 0
 
+    # Cache-scan section: at 128 cached entries the batched lookup must
+    # answer identically to the per-entry scan and beat it (CI gates on
+    # the same fields in the uploaded JSON).
+    cache_scan = payload["cache_scan"]
+    assert cache_scan["entries"] == 128
+    assert cache_scan["answers_match"]
+    assert cache_scan["speedup"] > 1.0
+    assert cache_scan["speedup_vectorized"] > 1.0
+
     saved = json.loads(REPORT_PATH.read_text())
     assert saved["hit_rate"] == payload["hit_rate"]
     assert saved["config"]["queries"] == 150

@@ -44,6 +44,12 @@ def test_engine_updates(benchmark):
     # flush-on-write on the Zipf-clustered workload (both in the JSON).
     assert payload["gir_evictions"] < payload["flush_evictions"]
     assert payload["gir_evicts_fewer"] is True
+    # The vectorized prescreen must clear cache entries without an LP on
+    # this update stream, and never run more LPs than screened+run total.
+    assert payload["gir_prescreen_screened"] > 0
+    gir_stats = payload["policies"]["gir"]
+    assert gir_stats["prescreen_screened"] == payload["gir_prescreen_screened"]
+    assert gir_stats["prescreen_lps"] == payload["gir_prescreen_lps"]
 
     saved = json.loads(REPORT_PATH.read_text())
     assert saved["gir_evictions"] == payload["gir_evictions"]

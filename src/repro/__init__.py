@@ -27,6 +27,7 @@ from repro.core import (
     GIRCache,
     GIRResult,
     GIRStats,
+    RegionIndex,
     boundary_perturbations,
     compute_gir,
     compute_gir_star,
@@ -73,6 +74,7 @@ __all__ = [
     "GIRResult",
     "GIRStats",
     "GIRCache",
+    "RegionIndex",
     "FPOptions",
     "GeneralMonotoneScoring",
     "immutability_probability",

@@ -6,14 +6,22 @@ Section 1: a :class:`~repro.engine.GIREngine` absorbing a workload of
 user queries, serving repeats from cached GIRs.
 
 * :func:`run_engine_benchmark` — read-only throughput: cache hit rate,
-  p50/p95 request latency, page reads per 1k queries.
+  p50/p95 request latency, page reads per 1k queries. Its payload also
+  carries a **cache-scan microbenchmark** (:func:`run_cache_scan_bench`):
+  at a fixed 128 cached entries, the per-entry Python scan
+  (:meth:`~repro.core.caching.GIRCache.lookup_scan`) is raced against the
+  vectorized region-index lookup and the one-matmul batched lookup over
+  the same probe stream, asserting identical answers; CI fails the build
+  if the batched path is not faster.
 * :func:`run_update_benchmark` — mixed read/write throughput: the same
   Zipf-clustered stream with update bursts blended in, served once under
   the selective GIR-aware invalidation policy and once under the
   flush-on-write baseline. After every update batch the benchmark checks
   a sample of engine answers against exhaustive linear-scan ground truth
   over the live records, and the JSON report carries both policies'
-  eviction counts (the selective policy must evict strictly fewer).
+  eviction counts (the selective policy must evict strictly fewer) plus
+  the selective policy's insert-prescreen accounting (entries cleared
+  without an invalidation LP vs LPs actually run).
 
 Run with ``python -m repro.bench --engine [--updates]`` (add ``--out-dir``
 to choose where the JSON lands) or through
@@ -29,6 +37,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.caching import GIRCache
+from repro.core.gir import compute_gir
 from repro.data.synthetic import independent
 from repro.engine import (
     DeleteOp,
@@ -46,6 +56,8 @@ from repro.query.linear_scan import scan_topk
 __all__ = [
     "EngineBenchConfig",
     "run_engine_benchmark",
+    "CacheScanConfig",
+    "run_cache_scan_bench",
     "UpdateBenchConfig",
     "run_update_benchmark",
 ]
@@ -113,12 +125,125 @@ def run_engine_benchmark(
         "config": asdict(config),
         **report.to_dict(),
         "engine": engine.stats(),
+        "cache_scan": run_cache_scan_bench(),
     }
     if out_path is not None:
         out_path = Path(out_path)
         out_path.parent.mkdir(parents=True, exist_ok=True)
         out_path.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
+
+
+@dataclass(frozen=True)
+class CacheScanConfig:
+    """Knobs of the cache-scan microbenchmark.
+
+    ``entries`` stays at 128 by default — the fixed cache size the CI gate
+    and acceptance numbers are quoted at.
+    """
+
+    entries: int = 128
+    n: int = 2_000
+    d: int = 3
+    k: int = 10
+    probes: int = 1_000
+    #: Fraction of probes sampled near cached query vectors (the rest are
+    #: uniform) so the stream exercises hits and misses alike.
+    near_fraction: float = 0.5
+    seed: int = 9
+
+
+def run_cache_scan_bench(config: CacheScanConfig = CacheScanConfig()) -> dict:
+    """Race the per-entry cache scan against the vectorized lookups.
+
+    Three caches are filled with the *same* GIR entries in the same order
+    (identical keys, identical recency), then the same probe stream is
+    served through (a) the legacy entry-by-entry scan
+    (:meth:`GIRCache.lookup_scan`, one ``Polytope.contains`` per entry),
+    (b) the region-index single lookup (:meth:`GIRCache.lookup`, one
+    matvec over all entries) and (c) the batched lookup
+    (:meth:`GIRCache.lookup_batch`, one matmul for the whole stream).
+    Answers must be identical across the three; the payload reports wall
+    time per path and the scan/batched speedup.
+    """
+    rng = np.random.default_rng(config.seed)
+    data = independent(n=config.n, d=config.d, seed=config.seed)
+    tree = bulk_load_str(data)
+
+    caches = [GIRCache(capacity=config.entries) for _ in range(3)]
+    cached_queries: list[np.ndarray] = []
+    attempts = 0
+    while len(caches[0]) < config.entries and attempts < 50 * config.entries:
+        attempts += 1
+        q = rng.random(config.d) * 0.8 + 0.1
+        gir = compute_gir(tree, data, q, config.k)
+        before = len(caches[0])
+        for cache in caches:
+            cache.insert(gir, kth_g=data.points[gir.topk.kth_id])
+        if len(caches[0]) > before:
+            cached_queries.append(q)
+    scan_cache, vec_cache, batch_cache = caches
+
+    n_near = int(config.probes * config.near_fraction)
+    near = [
+        np.clip(
+            cached_queries[int(rng.integers(len(cached_queries)))]
+            + rng.normal(0.0, 0.01, config.d),
+            0.01,
+            1.0,
+        )
+        for _ in range(n_near)
+    ]
+    uniform = [rng.random(config.d) for _ in range(config.probes - n_near)]
+    pool = near + uniform
+    probes = [pool[i] for i in rng.permutation(len(pool))]
+    W = np.stack(probes)
+
+    # Warm both paths (normalized rows, index stacks) with one identical
+    # probe per cache so first-touch setup stays out of the timings.
+    warm = cached_queries[0]
+    scan_cache.lookup_scan(warm, config.k)
+    vec_cache.lookup(warm, config.k)
+    batch_cache.lookup_batch(warm[None, :], config.k)
+
+    t0 = time.perf_counter()
+    scan_hits = [scan_cache.lookup_scan(p, config.k) for p in probes]
+    scan_ms = (time.perf_counter() - t0) * 1e3
+
+    t0 = time.perf_counter()
+    vec_hits = [vec_cache.lookup(p, config.k) for p in probes]
+    vectorized_ms = (time.perf_counter() - t0) * 1e3
+
+    t0 = time.perf_counter()
+    batch_hits = batch_cache.lookup_batch(W, config.k)
+    batched_ms = (time.perf_counter() - t0) * 1e3
+
+    def outcome(hit):
+        return None if hit is None else (hit.ids, hit.partial)
+
+    answers_match = (
+        [outcome(h) for h in scan_hits]
+        == [outcome(h) for h in vec_hits]
+        == [outcome(h) for h in batch_hits]
+    )
+    hits = sum(h is not None for h in scan_hits)
+    return {
+        "config": asdict(config),
+        "entries": len(scan_cache),
+        "halfspace_rows": vec_cache.stats()["index_rows"],
+        "probes": len(probes),
+        "probe_hit_rate": hits / len(probes),
+        "scan_ms": scan_ms,
+        "vectorized_ms": vectorized_ms,
+        "batched_ms": batched_ms,
+        "scan_us_per_lookup": 1e3 * scan_ms / len(probes),
+        "vectorized_us_per_lookup": 1e3 * vectorized_ms / len(probes),
+        "batched_us_per_lookup": 1e3 * batched_ms / len(probes),
+        "speedup_vectorized": scan_ms / vectorized_ms if vectorized_ms else 0.0,
+        # The headline number the CI gate checks.
+        "speedup": scan_ms / batched_ms if batched_ms else 0.0,
+        "answers_match": answers_match,
+    }
 
 
 @dataclass(frozen=True)
@@ -282,6 +407,10 @@ def run_update_benchmark(
             policies["gir"].get("evictions", 0)
             < policies["flush"].get("evictions", 0)
         ),
+        # Insert-invalidation prescreen accounting of the selective policy:
+        # cache entries cleared without an LP vs LPs actually run.
+        "gir_prescreen_screened": policies["gir"].get("prescreen_screened", 0),
+        "gir_prescreen_lps": policies["gir"].get("prescreen_lps", 0),
     }
     if out_path is not None:
         out_path = Path(out_path)

@@ -20,6 +20,7 @@ from repro.core.approximate import (
 )
 from repro.core.caching import GIRCache
 from repro.core.gir import GIRResult, GIRStats, compute_gir
+from repro.core.region_index import RegionIndex
 from repro.core.gir_star import compute_gir_star
 from repro.core.phase2_fp import FPOptions
 from repro.core.perturbation import Perturbation, boundary_perturbations
@@ -31,6 +32,7 @@ __all__ = [
     "GIRResult",
     "GIRStats",
     "GIRCache",
+    "RegionIndex",
     "Perturbation",
     "boundary_perturbations",
     "maximal_axis_rectangle",

@@ -17,6 +17,18 @@ touching the database:
 Hit accounting is non-overlapping: every lookup is exactly one of
 ``full_hits``, ``partial_hits`` or ``misses``.
 
+Vectorized membership
+---------------------
+
+The cache keeps every entry's half-space rows stacked in a
+:class:`~repro.core.region_index.RegionIndex` (one per query-space
+dimensionality), so :meth:`GIRCache.lookup` answers "which cached regions
+contain this vector?" with one matvec over *all* entries instead of a
+Python loop of per-entry tests, and :meth:`GIRCache.lookup_batch` resolves
+a whole request batch from a single matmul. :meth:`GIRCache.lookup_scan`
+preserves the entry-by-entry reference path — same answers, same
+accounting — for equivalence tests and the cache-scan microbenchmark.
+
 Dynamic datasets
 ----------------
 
@@ -26,7 +38,11 @@ that decides *which* cached entries an update can disturb:
 * an **insert** invalidates entry E only if the new record's score can
   exceed E's k-th score somewhere inside E's region — the
   halfspace-intersection test :func:`invalidated_by_insert` (one LP via
-  :meth:`~repro.core.gir.GIRResult.admits_above_kth`);
+  :meth:`~repro.core.gir.GIRResult.admits_above_kth`). Before any LP
+  runs, :meth:`GIRCache.prescreen_insert` screens the whole cache in one
+  vectorized pass (vertex-set upper bounds, see
+  :meth:`~repro.core.region_index.RegionIndex.prescreen_insert`), so the
+  LP is spent only on entries the screen cannot clear;
 * a **delete** invalidates E only if the deleted rid appears in E's
   result, or in the T-set of E's retained BRS run (whose resumed state
   would otherwise replay the dead record) —
@@ -42,14 +58,20 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.core.gir import GIRResult
+from repro.core.region_index import (
+    RegionIndex,
+    SCREEN_SAFE,
+    SCREEN_TIE,
+)
 
 __all__ = [
     "CacheHit",
+    "InsertPrescreen",
     "GIRCache",
     "invalidated_by_insert",
     "invalidated_by_delete",
@@ -105,6 +127,24 @@ class CacheHit:
     entry_key: int
 
 
+@dataclass(frozen=True)
+class InsertPrescreen:
+    """Vectorized classification of the whole cache against one insert."""
+
+    #: Entries the insert provably cannot disturb — no LP needed.
+    safe: tuple[int, ...]
+    #: Entries whose k-th record the insert ties at *every* query vector
+    #: (identical g-image); the caller's tie-break rule decides, no LP.
+    ties: tuple[int, ...]
+    #: Entries the screen could not clear — run the exact LP test.
+    candidates: tuple[int, ...]
+
+    @property
+    def screened(self) -> int:
+        """Entries resolved without an LP."""
+        return len(self.safe) + len(self.ties)
+
+
 class GIRCache:
     """An LRU cache of (query, top-k result, GIR) triples."""
 
@@ -114,11 +154,24 @@ class GIRCache:
         self.capacity = capacity
         self._entries: OrderedDict[int, GIRResult] = OrderedDict()
         self._next_key = 0
+        #: One region index per query-space dimensionality.
+        self._indexes: dict[int, RegionIndex] = {}
+        #: Monotone recency stamps (mirror the OrderedDict order) so the
+        #: vectorized lookup can break ties most-recently-used-first
+        #: without walking the dict.
+        self._stamps: dict[int, int] = {}
+        self._tick = 0
         self.full_hits = 0
         self.partial_hits = 0
         self.misses = 0
         self.subsumption_evictions = 0
+        #: Inserts skipped because an existing same-``k`` entry's region
+        #: already contains the new entry's query vector (the existing
+        #: entry is refreshed instead).
+        self.subsumption_skips = 0
         self.invalidation_evictions = 0
+        #: Entries dropped by LRU-capacity overflow on insert.
+        self.capacity_evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -128,53 +181,146 @@ class GIRCache:
         """Total lookups served from cache (full + partial)."""
         return self.full_hits + self.partial_hits
 
-    def insert(self, gir: GIRResult) -> int:
+    # -- internal bookkeeping --------------------------------------------------
+
+    def _touch(self, key: int) -> None:
+        self._entries.move_to_end(key)
+        self._tick += 1
+        self._stamps[key] = self._tick
+
+    def _register(
+        self, key: int, gir: GIRResult, kth_g: np.ndarray | None
+    ) -> None:
+        self._entries[key] = gir
+        self._tick += 1
+        self._stamps[key] = self._tick
+        d = int(gir.weights.shape[0])
+        self._indexes.setdefault(d, RegionIndex(d)).add(
+            key, gir.polytope, kth_g=kth_g
+        )
+
+    def _unregister(self, key: int) -> bool:
+        gir = self._entries.pop(key, None)
+        if gir is None:
+            return False
+        self._stamps.pop(key, None)
+        index = self._indexes.get(int(gir.weights.shape[0]))
+        if index is not None:
+            index.remove(key)
+        return True
+
+    def entry(self, key: int) -> GIRResult:
+        """The cached entry under ``key`` (no recency touch)."""
+        return self._entries[key]
+
+    # -- writes ---------------------------------------------------------------
+
+    def insert(self, gir: GIRResult, kth_g: np.ndarray | None = None) -> int:
         """Cache a computed GIR; returns its entry key.
 
-        An existing same-``k`` entry whose own query vector lies inside the
-        new GIR is strictly subsumed: the GIR is the *maximal* region of
-        the ordered result, and containing the old query vector at equal
-        ``k`` means both entries certify the same ordered result — i.e. the
-        same maximal region. The old entry is evicted rather than left to
-        crowd the LRU with a redundant region. Entries cached for a
+        Subsumption is resolved in both directions. An existing same-``k``
+        entry whose own query vector lies inside the new GIR is strictly
+        subsumed: the GIR is the *maximal* region of the ordered result,
+        and containing the old query vector at equal ``k`` means both
+        entries certify the same ordered result — i.e. the same maximal
+        region. The old entry is evicted rather than left to crowd the LRU
+        with a redundant region. Conversely, when the *new* entry's query
+        vector already lies inside an existing same-``k`` entry's region
+        (and that entry was not itself just evicted as subsumed), the new
+        entry is redundant: the insert is skipped and the existing entry's
+        recency refreshed — its key is returned. Entries cached for a
         *different* ``k`` are kept either way: a deeper entry serves
         requests the new one cannot, and a shallower entry's region is
         typically *wider* (fewer constraints) and still serves traffic the
         new, tighter region misses.
+
+        ``kth_g`` — the g-image of the entry's k-th result record — enables
+        the vectorized insert-invalidation prescreen for this entry (see
+        :meth:`prescreen_insert`); optional for read-only deployments.
         """
-        stale = [
+        k = gir.topk.k
+        same_k = [
             key
             for key, entry in self._entries.items()
-            if entry.topk.k == gir.topk.k
-            and entry.weights.shape == gir.weights.shape
-            and gir.contains(entry.weights)
+            if entry.topk.k == k and entry.weights.shape == gir.weights.shape
         ]
+        stale: list[int] = []
+        if same_k:
+            inside = gir.polytope.contains_batch(
+                np.stack([self._entries[key].weights for key in same_k])
+            )
+            stale = [key for key, flag in zip(same_k, inside) if flag]
+        if not stale:
+            # Reverse direction: is the new entry itself redundant?
+            host = self._subsuming_host(gir, same_k)
+            if host is not None:
+                self._touch(host)
+                self.subsumption_skips += 1
+                return host
         for key in stale:
-            del self._entries[key]
+            self._unregister(key)
         self.subsumption_evictions += len(stale)
 
         key = self._next_key
         self._next_key += 1
-        self._entries[key] = gir
+        self._register(key, gir, kth_g)
         if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            oldest = next(iter(self._entries))
+            self._unregister(oldest)
+            self.capacity_evictions += 1
         return key
+
+    def _subsuming_host(
+        self, gir: GIRResult, same_k: Sequence[int]
+    ) -> int | None:
+        """Most recent same-``k`` entry whose region contains ``gir``'s own
+        query vector, or ``None``."""
+        if not same_k:
+            return None
+        index = self._indexes.get(int(gir.weights.shape[0]))
+        if index is None or not len(index):
+            return None
+        mask = index.membership(gir.weights)
+        keys = index.keys()
+        same_k_set = set(same_k)
+        hosts = [
+            keys[i] for i in np.nonzero(mask)[0] if keys[i] in same_k_set
+        ]
+        if not hosts:
+            return None
+        return max(hosts, key=self._stamps.__getitem__)
+
+    # -- lookups --------------------------------------------------------------
 
     def lookup(self, weights: np.ndarray, k: int) -> CacheHit | None:
         """Serve a query from cache if its vector lies in some cached GIR.
 
-        Scans entries most-recently-used first; a hit refreshes the entry's
-        recency. A containing entry cached for a smaller ``k`` only serves
-        a *partial* prefix, so the scan keeps going in case a deeper entry
-        can serve the request fully, and falls back to the best partial
-        prefix found. Returns ``None`` on a miss.
+        Membership of *all* entries is evaluated in one vectorized pass
+        over the region index; a hit refreshes the entry's recency. A
+        containing entry cached for a smaller ``k`` only serves a
+        *partial* prefix, so a full-serving entry is preferred when any
+        containing entry has ``cached k ≥ k``; among equally good
+        candidates the most recently used wins (exactly the order the
+        entry-by-entry scan of :meth:`lookup_scan` produces). Returns
+        ``None`` on a miss.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        return self._resolve(self._members_of(weights), k)
+
+    def lookup_scan(self, weights: np.ndarray, k: int) -> CacheHit | None:
+        """Entry-by-entry reference implementation of :meth:`lookup`.
+
+        Scans entries most-recently-used first, one ``Polytope.contains``
+        per entry — the pre-index serving path, kept for equivalence tests
+        and as the baseline of the cache-scan microbenchmark. Answers and
+        hit/miss accounting are identical to :meth:`lookup`.
         """
         weights = np.asarray(weights, dtype=np.float64)
         partial_key = None
         partial_ids: tuple[int, ...] = ()
         # OrderedDict supports reversed iteration natively; no key-list
-        # materialisation. The in-loop move_to_end is safe because the
-        # scan returns immediately after it.
+        # materialisation. The in-loop _touch is safe because the scan
+        # returns immediately after it.
         for key in reversed(self._entries):
             gir = self._entries[key]
             if gir.weights.shape != weights.shape:
@@ -183,15 +329,98 @@ class GIRCache:
                 continue
             cached_ids = gir.topk.ids
             if k <= len(cached_ids):
-                self._entries.move_to_end(key)
+                self._touch(key)
                 self.full_hits += 1
                 return CacheHit(ids=cached_ids[:k], partial=False, entry_key=key)
             if partial_key is None or len(cached_ids) > len(partial_ids):
                 partial_key, partial_ids = key, cached_ids
         if partial_key is not None:
-            self._entries.move_to_end(partial_key)
+            self._touch(partial_key)
             self.partial_hits += 1
             return CacheHit(ids=partial_ids, partial=True, entry_key=partial_key)
+        self.misses += 1
+        return None
+
+    def lookup_batch(
+        self,
+        weights_batch: np.ndarray,
+        ks: int | Sequence[int],
+        stop_after_non_full: bool = False,
+    ) -> list[CacheHit | None]:
+        """Serve a whole batch of lookups from one membership matmul.
+
+        ``weights_batch`` is ``(q, d)``; ``ks`` a scalar or per-query
+        sequence. Results, recency refreshes and hit/miss accounting are
+        exactly those of ``q`` sequential :meth:`lookup` calls (pure
+        lookups never change membership, so the batched matrix stays valid
+        throughout).
+
+        With ``stop_after_non_full`` the batch stops — *after* accounting
+        it — at the first lookup that is not a full hit, returning a
+        possibly shorter list. The serving engine uses this to interleave
+        pipeline computations (which mutate the cache) at exactly the
+        positions a sequential run would.
+        """
+        W = np.asarray(weights_batch, dtype=np.float64)
+        if W.ndim != 2:
+            raise ValueError("weights_batch must have shape (q, d)")
+        q = W.shape[0]
+        ks_arr = np.broadcast_to(np.asarray(ks, dtype=np.int64), (q,))
+        index = self._indexes.get(int(W.shape[1]))
+        membership = None
+        keys: list[int] = []
+        if index is not None and len(index):
+            membership = index.membership_batch(W)
+            keys = index.keys()
+        hits: list[CacheHit | None] = []
+        for i in range(q):
+            members = (
+                [keys[j] for j in np.nonzero(membership[i])[0]]
+                if membership is not None
+                else []
+            )
+            hit = self._resolve(members, int(ks_arr[i]))
+            hits.append(hit)
+            if stop_after_non_full and (hit is None or hit.partial):
+                break
+        return hits
+
+    def _members_of(self, weights: np.ndarray) -> list[int]:
+        """Keys of all cached entries whose region contains ``weights``."""
+        index = self._indexes.get(int(weights.shape[0]))
+        if index is None or not len(index):
+            return []
+        mask = index.membership(weights)
+        keys = index.keys()
+        return [keys[i] for i in np.nonzero(mask)[0]]
+
+    def _resolve(self, member_keys: Sequence[int], k: int) -> CacheHit | None:
+        """Pick the serving entry among containing entries and account the
+        outcome — the selection rule shared by every lookup flavour."""
+        best_full: tuple[int, int] | None = None  # (stamp, key)
+        best_partial: tuple[int, int, int] | None = None  # (cached, stamp, key)
+        for key in member_keys:
+            cached = len(self._entries[key].topk.ids)
+            stamp = self._stamps[key]
+            if cached >= k:
+                if best_full is None or stamp > best_full[0]:
+                    best_full = (stamp, key)
+            elif best_partial is None or (cached, stamp) > best_partial[:2]:
+                best_partial = (cached, stamp, key)
+        if best_full is not None:
+            key = best_full[1]
+            self._touch(key)
+            self.full_hits += 1
+            return CacheHit(
+                ids=self._entries[key].topk.ids[:k], partial=False, entry_key=key
+            )
+        if best_partial is not None:
+            key = best_partial[2]
+            self._touch(key)
+            self.partial_hits += 1
+            return CacheHit(
+                ids=self._entries[key].topk.ids, partial=True, entry_key=key
+            )
         self.misses += 1
         return None
 
@@ -205,13 +434,59 @@ class GIRCache:
 
     # -- update-driven eviction ------------------------------------------------
 
+    def prescreen_insert(
+        self, point_g: np.ndarray, tol: float = 1e-9
+    ) -> InsertPrescreen:
+        """Screen the whole cache against an inserted record's g-image.
+
+        One vectorized pass per region index (see
+        :meth:`~repro.core.region_index.RegionIndex.prescreen_insert`)
+        partitions the entries into provably-undisturbed / exact-tie /
+        LP-candidate sets; the caller runs
+        :func:`invalidated_by_insert`'s LP only on the candidates.
+        Entries indexed under a different dimensionality than ``point_g``
+        (impossible through :class:`repro.engine.GIREngine`) are returned
+        as candidates so no caller can silently skip them.
+        """
+        point_g = np.asarray(point_g, dtype=np.float64)
+        d = int(point_g.shape[0])
+        safe: list[int] = []
+        ties: list[int] = []
+        candidates: list[int] = []
+        for dim, index in self._indexes.items():
+            if not len(index):
+                continue
+            keys = np.asarray(index.keys())
+            if dim != d:
+                candidates.extend(keys.tolist())
+                continue
+            codes = index.prescreen_insert(point_g, tol=tol)
+            safe.extend(keys[codes == SCREEN_SAFE].tolist())
+            ties.extend(keys[codes == SCREEN_TIE].tolist())
+            candidates.extend(
+                keys[(codes != SCREEN_SAFE) & (codes != SCREEN_TIE)].tolist()
+            )
+        return InsertPrescreen(
+            safe=tuple(safe), ties=tuple(ties), candidates=tuple(candidates)
+        )
+
     def evict(self, keys: Iterable[int]) -> int:
         """Drop the given entries (update invalidation); returns the number
-        actually removed. Unknown keys are ignored."""
+        actually removed. Unknown keys are ignored. The region indexes are
+        compacted once per dimensionality, not once per key."""
+        by_dim: dict[int, list[int]] = {}
         removed = 0
         for key in keys:
-            if self._entries.pop(key, None) is not None:
-                removed += 1
+            gir = self._entries.pop(key, None)
+            if gir is None:
+                continue
+            removed += 1
+            self._stamps.pop(key, None)
+            by_dim.setdefault(int(gir.weights.shape[0]), []).append(key)
+        for dim, dim_keys in by_dim.items():
+            index = self._indexes.get(dim)
+            if index is not None:
+                index.remove_many(dim_keys)
         self.invalidation_evictions += removed
         return removed
 
@@ -219,6 +494,9 @@ class GIRCache:
         """Drop every entry (the flush-on-write baseline); returns the count."""
         removed = len(self._entries)
         self._entries.clear()
+        self._stamps.clear()
+        for index in self._indexes.values():
+            index.clear()
         self.invalidation_evictions += removed
         return removed
 
@@ -229,6 +507,11 @@ class GIRCache:
             "partial_hits": self.partial_hits,
             "misses": self.misses,
             "subsumption_evictions": self.subsumption_evictions,
+            "subsumption_skips": self.subsumption_skips,
             "invalidation_evictions": self.invalidation_evictions,
+            "capacity_evictions": self.capacity_evictions,
             "entries": len(self._entries),
+            "index_rows": sum(
+                index.rows for index in self._indexes.values()
+            ),
         }

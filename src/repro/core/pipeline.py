@@ -108,6 +108,11 @@ class GIRResult:
         """Does query vector ``q`` preserve the (ordered) top-k result?"""
         return self.polytope.contains(q, tol=tol)
 
+    def contains_batch(self, Q: np.ndarray, tol: float = 1e-9) -> np.ndarray:
+        """Vectorized :meth:`contains` over a ``(m, d)`` batch of query
+        vectors; returns a boolean ``(m,)`` array."""
+        return self.polytope.contains_batch(Q, tol=tol)
+
     def volume(self) -> float:
         return self.polytope.volume()
 

@@ -1,0 +1,337 @@
+"""Vectorized region-membership index over cached GIR polytopes.
+
+The serving hot path of :class:`~repro.core.caching.GIRCache` is "which
+cached regions contain this query vector?" — previously answered by a
+Python loop calling :meth:`~repro.geometry.polytope.Polytope.contains`
+once per entry (one small matmul each). This index stacks every cached
+entry's *normalized* half-space rows ``(A, b)`` into one contiguous matrix
+with per-entry row segments, so
+
+* a single-query membership test is **one** matvec over all entries plus a
+  segment reduction (:meth:`RegionIndex.membership`), and
+* a whole request batch is **one** matmul ``W @ A_allᵀ``
+  (:meth:`RegionIndex.membership_batch`).
+
+Rows come from :meth:`Polytope.normalized_halfspaces`, so the single
+global tolerance is norm-relative and agrees bit-for-bit in form with the
+scalar :meth:`Polytope.contains` path.
+
+Write-path prescreen
+--------------------
+
+On an insert, the dynamic engine must decide for every cached entry
+whether the new record can enter its top-k somewhere in its region —
+an LP per entry (:func:`~repro.core.caching.invalidated_by_insert`).
+Almost all entries are *obviously* undisturbable, and the index proves it
+without any LP: inside an entry's region the score gap to its k-th record
+is the linear function ``(g(p_new) − g(p_k)) · w``, whose maximum over the
+(bounded) region is attained at a vertex. The index therefore keeps, per
+entry, the region's vertex set ``V`` and the precomputed dot products
+``V @ g(p_k)``; screening every entry against a new ``g(p_new)`` is then
+one stacked matvec ``V_all @ g(p_new)`` plus a segment max. Entries whose
+bound is (safely) non-positive can never be disturbed; the LP runs only on
+the survivors. Entries whose vertex enumeration failed (degenerate
+regions) fall back to an enclosing ball around their Chebyshev centre —
+regions live in the unit query box, so radius ``√d`` always encloses them.
+
+Vertex data is materialized lazily on the first prescreen, so read-only
+workloads never pay for it; each entry's vertices are computed once and
+reused for its whole cache lifetime (regions are immutable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.polytope import Polytope
+
+__all__ = [
+    "RegionIndex",
+    "SCREEN_SAFE",
+    "SCREEN_TIE",
+    "SCREEN_LP",
+]
+
+#: Prescreen verdicts (per entry): the insert provably cannot disturb the
+#: entry / ties its k-th record exactly everywhere (caller's tie-break
+#: decides) / needs the LP to decide.
+SCREEN_SAFE = 0
+SCREEN_TIE = 1
+SCREEN_LP = 2
+
+
+@dataclass
+class _ScreenEntry:
+    """Static insert-screen geometry of one cached region."""
+
+    #: Region vertices ``(nv, d)`` — a one-row placeholder when enumeration
+    #: failed (then ``has_vertices`` is False and the ball bound is used).
+    V: np.ndarray
+    #: Per-vertex ``V @ g(p_k)`` for the entry's k-th result record.
+    vdots: np.ndarray
+    #: Chebyshev centre (NaN when the centre LP failed).
+    center: np.ndarray
+    #: g-image of the entry's k-th result record.
+    kth_g: np.ndarray
+    has_vertices: bool
+
+
+class RegionIndex:
+    """Contiguously stacked half-space rows of many bounded regions.
+
+    All regions share one dimensionality ``d`` (the cache keeps one index
+    per query-space dimension). Entries are identified by the cache's
+    integer keys; ``add``/``remove``/``clear`` maintain the stacks
+    incrementally (append on add, segment splice on remove).
+    """
+
+    def __init__(self, d: int) -> None:
+        if d <= 0:
+            raise ValueError("dimensionality must be positive")
+        self.d = int(d)
+        self._keys: list[int] = []
+        self._A = np.empty((0, d), dtype=np.float64)
+        self._b = np.empty(0, dtype=np.float64)
+        #: Row segment boundaries: entry ``i`` owns rows
+        #: ``offsets[i]:offsets[i+1]``.
+        self._offsets = np.zeros(1, dtype=np.int64)
+        #: Per-key screen geometry: ``None`` = ineligible (no ``kth_g``
+        #: given), a ``(polytope, kth_g)`` tuple = pending lazy
+        #: computation, a :class:`_ScreenEntry` = computed.
+        self._screen: dict[int, _ScreenEntry | tuple | None] = {}
+        self._screen_stacks: tuple | None = None
+
+    # -- maintenance ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def rows(self) -> int:
+        """Total stacked half-space rows across all entries."""
+        return int(self._offsets[-1])
+
+    def keys(self) -> list[int]:
+        """Entry keys in segment (insertion) order."""
+        return list(self._keys)
+
+    def add(self, key: int, polytope: Polytope, kth_g: np.ndarray | None = None) -> None:
+        """Index a region under ``key``.
+
+        ``kth_g`` (the g-image of the entry's k-th result record) enables
+        the insert-invalidation prescreen for this entry; without it the
+        entry is always classified :data:`SCREEN_LP`.
+        """
+        if polytope.d != self.d:
+            raise ValueError(f"expected a {self.d}-d region, got {polytope.d}-d")
+        if polytope.m == 0:
+            raise ValueError("cannot index a constraint-free region")
+        if key in self._screen:
+            raise KeyError(f"key {key} already indexed")
+        A_n, b_n = polytope.normalized_halfspaces()
+        self._A = np.concatenate([self._A, A_n])
+        self._b = np.concatenate([self._b, b_n])
+        self._offsets = np.append(self._offsets, self._offsets[-1] + polytope.m)
+        self._keys.append(key)
+        self._screen[key] = None if kth_g is None else (
+            polytope,
+            np.asarray(kth_g, dtype=np.float64),
+        )
+        self._screen_stacks = None
+
+    def remove(self, key: int) -> bool:
+        """Drop an entry; returns False if the key is unknown."""
+        return self.remove_many([key]) == 1
+
+    def remove_many(self, keys) -> int:
+        """Drop several entries in one compaction pass over the stacks
+        (an update can invalidate many entries at once; splicing them out
+        one at a time would copy the arrays once per key). Unknown keys
+        are ignored; returns the number removed.
+        """
+        drop = {key for key in keys if key in self._screen}
+        if not drop:
+            return 0
+        keep_rows = np.ones(self.rows, dtype=bool)
+        kept_keys: list[int] = []
+        kept_counts: list[int] = []
+        for idx, key in enumerate(self._keys):
+            start, stop = int(self._offsets[idx]), int(self._offsets[idx + 1])
+            if key in drop:
+                keep_rows[start:stop] = False
+                del self._screen[key]
+            else:
+                kept_keys.append(key)
+                kept_counts.append(stop - start)
+        self._A = self._A[keep_rows]
+        self._b = self._b[keep_rows]
+        self._offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(kept_counts, dtype=np.int64)]
+        )
+        self._keys = kept_keys
+        self._screen_stacks = None
+        return len(drop)
+
+    def clear(self) -> None:
+        self._keys = []
+        self._A = np.empty((0, self.d), dtype=np.float64)
+        self._b = np.empty(0, dtype=np.float64)
+        self._offsets = np.zeros(1, dtype=np.int64)
+        self._screen = {}
+        self._screen_stacks = None
+
+    # -- membership -----------------------------------------------------------
+
+    def membership(self, x: np.ndarray, tol: float = 1e-9) -> np.ndarray:
+        """Boolean array over :meth:`keys`: which regions contain ``x``?
+
+        One matvec over all stacked rows + one segment reduction —
+        equivalent to calling ``contains`` per entry.
+        """
+        if not self._keys:
+            return np.zeros(0, dtype=bool)
+        x = np.asarray(x, dtype=np.float64)
+        ok = self._A @ x <= self._b + tol
+        return np.logical_and.reduceat(ok, self._offsets[:-1])
+
+    def membership_batch(self, X: np.ndarray, tol: float = 1e-9) -> np.ndarray:
+        """Membership of a whole query batch at once.
+
+        ``X`` is ``(q, d)``; returns boolean ``(q, n_entries)``, columns in
+        :meth:`keys` order. The entire batch-vs-cache evaluation is one
+        matmul ``X @ A_allᵀ``.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.d:
+            raise ValueError(f"X must have shape (q, {self.d})")
+        if not self._keys:
+            return np.zeros((X.shape[0], 0), dtype=bool)
+        ok = X @ self._A.T <= self._b + tol
+        return np.logical_and.reduceat(ok, self._offsets[:-1], axis=1)
+
+    # -- insert-invalidation prescreen ----------------------------------------
+
+    def _materialize_screen(self) -> tuple:
+        """Build (lazily, cached) the stacked screen arrays.
+
+        Pending entries compute their vertex set / Chebyshev centre here —
+        once per cache lifetime; rebuilds after add/remove only re-stack
+        the already-computed per-entry blocks.
+        """
+        if self._screen_stacks is not None:
+            return self._screen_stacks
+        placeholder_V = np.zeros((1, self.d))
+        # -inf placeholder => segment max +inf => "needs LP" on any miss of
+        # the dedicated fallback paths; never silently screens out.
+        placeholder_dots = np.full(1, -np.inf)
+        V_parts, vdot_parts = [], []
+        voffsets = [0]
+        kth_rows, centers, eligible, no_vertices = [], [], [], []
+        for key in self._keys:
+            blob = self._screen[key]
+            if isinstance(blob, tuple):
+                blob = self._compute_screen_entry(*blob)
+                self._screen[key] = blob
+            if blob is None:
+                V_parts.append(placeholder_V)
+                vdot_parts.append(placeholder_dots)
+                kth_rows.append(np.full(self.d, np.nan))
+                centers.append(np.full(self.d, np.nan))
+                eligible.append(False)
+                no_vertices.append(False)
+            else:
+                V_parts.append(blob.V)
+                vdot_parts.append(blob.vdots)
+                kth_rows.append(blob.kth_g)
+                centers.append(blob.center)
+                eligible.append(True)
+                no_vertices.append(not blob.has_vertices)
+            voffsets.append(voffsets[-1] + len(vdot_parts[-1]))
+        n = len(self._keys)
+        self._screen_stacks = (
+            np.concatenate(V_parts) if n else np.zeros((0, self.d)),
+            np.concatenate(vdot_parts) if n else np.zeros(0),
+            np.asarray(voffsets, dtype=np.int64),
+            np.asarray(kth_rows).reshape(n, self.d),
+            np.asarray(centers).reshape(n, self.d),
+            np.asarray(eligible, dtype=bool),
+            np.asarray(no_vertices, dtype=bool),
+        )
+        return self._screen_stacks
+
+    def _compute_screen_entry(
+        self, polytope: Polytope, kth_g: np.ndarray
+    ) -> _ScreenEntry:
+        verts = polytope.vertices()
+        center, _radius = polytope.chebyshev_center()
+        # Only un-joggled vertex sets give a sound maximum (a joggled run
+        # can misplace or miss vertices); anything else uses the enclosing
+        # ball around the Chebyshev centre instead.
+        if verts.shape[0] and polytope.vertices_exact:
+            return _ScreenEntry(
+                V=verts, vdots=verts @ kth_g, center=center, kth_g=kth_g,
+                has_vertices=True,
+            )
+        return _ScreenEntry(
+            V=np.zeros((1, self.d)),
+            vdots=np.full(1, -np.inf),
+            center=center,
+            kth_g=kth_g,
+            has_vertices=False,
+        )
+
+    def prescreen_insert(
+        self,
+        point_g: np.ndarray,
+        tol: float = 1e-9,
+        safety: float = 1e-10,
+    ) -> np.ndarray:
+        """Classify every entry against an inserted record's g-image.
+
+        Returns an int8 array aligned with :meth:`keys`:
+
+        * :data:`SCREEN_SAFE` — the record provably cannot out-score the
+          entry's k-th record anywhere in its region (no LP needed): it is
+          dominated component-wise, or the vertex-set upper bound of
+          ``(g(p_new) − g(p_k)) · w`` is below ``tol − safety``;
+        * :data:`SCREEN_TIE` — identical g-image to the k-th record (a tie
+          at *every* query vector; the caller's tie-break rule decides);
+        * :data:`SCREEN_LP` — undecided, run the exact LP test.
+
+        ``safety`` absorbs vertex rounding (un-joggled qhull vertices are
+        reliable to ~1e-12) so the screen stays conservative: a skipped
+        entry's true LP margin is certainly below the LP test's ``tol``.
+        It must stay *below* ``tol``: GIR regions contain the origin (the
+        cone apex), so every undisturbable entry's exact maximum is 0 —
+        a ``safety ≥ tol`` would reject the very bound the screen exists
+        to accept. Entries added without ``kth_g`` are always
+        :data:`SCREEN_LP`.
+        """
+        n = len(self._keys)
+        codes = np.full(n, SCREEN_LP, dtype=np.int8)
+        if n == 0:
+            return codes
+        point_g = np.asarray(point_g, dtype=np.float64)
+        V_all, vdots, voffsets, kth, centers, eligible, no_verts = (
+            self._materialize_screen()
+        )
+        delta = point_g[None, :] - kth  # NaN rows for ineligible entries
+        with np.errstate(invalid="ignore"):
+            tie = eligible & (delta == 0.0).all(axis=1)
+            dominated = eligible & ~tie & (delta <= 0.0).all(axis=1)
+            bound = np.maximum.reduceat(V_all @ point_g - vdots, voffsets[:-1])
+            ball = eligible & no_verts
+            if ball.any():
+                d_ball = delta[ball]
+                bound[ball] = (d_ball * centers[ball]).sum(axis=1) + np.sqrt(
+                    self.d
+                ) * np.linalg.norm(d_ball, axis=1)
+            safe = eligible & ~tie & (dominated | (bound <= tol - safety))
+        codes[tie] = SCREEN_TIE
+        codes[safe] = SCREEN_SAFE
+        return codes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RegionIndex(d={self.d}, entries={len(self)}, rows={self.rows})"

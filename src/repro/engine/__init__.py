@@ -25,6 +25,7 @@ from repro.engine.workload import (
     Request,
     Workload,
     mixed_workload,
+    op_batches,
     uniform_workload,
     zipf_clustered_workload,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "InsertOp",
     "DeleteOp",
     "Workload",
+    "op_batches",
     "uniform_workload",
     "zipf_clustered_workload",
     "mixed_workload",

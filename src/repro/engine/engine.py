@@ -67,6 +67,7 @@ from repro.engine.workload import (
     Request,
     Workload,
     frozen_array,
+    op_batches,
 )
 from repro.index.bulkload import bulk_load_str
 from repro.index.rtree import RStarTree
@@ -89,6 +90,14 @@ SOURCE_COMPUTED = "computed"
 
 #: Cache-invalidation policies for updates.
 INVALIDATION_POLICIES = ("gir", "flush")
+
+#: Max requests stacked into one batched cache lookup. A pipeline-running
+#: request (partial hit / miss) interrupts the batch and invalidates the
+#: membership matrix computed for the requests behind it, so on miss-heavy
+#: streams an unbounded window would redo O(batch) membership work per
+#: interruption (quadratic overall); the window caps that waste while a
+#: hit-heavy stream still amortizes its matmuls over hundreds of requests.
+LOOKUP_WINDOW = 256
 
 
 def percentile(values: list[float], p: float) -> float:
@@ -137,6 +146,11 @@ class UpdateResponse:
     cache_entries: int
     #: The policy that made the eviction decision (``"gir"`` / ``"flush"``).
     policy: str
+    #: Cache entries the vectorized prescreen resolved without an LP
+    #: (inserts under the ``"gir"`` policy; 0 otherwise).
+    prescreen_screened: int = 0
+    #: Invalidation LPs actually run (the prescreen's survivors).
+    prescreen_lps: int = 0
 
 
 @dataclass
@@ -226,6 +240,16 @@ class WorkloadReport:
         return sum(u.evicted for u in self.updates)
 
     @property
+    def prescreen_screened_total(self) -> int:
+        """Cache entries cleared by the vectorized insert prescreen (no LP)."""
+        return sum(u.prescreen_screened for u in self.updates)
+
+    @property
+    def prescreen_lps_total(self) -> int:
+        """Invalidation LPs actually run across this run's updates."""
+        return sum(u.prescreen_lps for u in self.updates)
+
+    @property
     def update_latency_p50_ms(self) -> float:
         if not self.updates:
             return 0.0
@@ -263,6 +287,8 @@ class WorkloadReport:
                     "update_latency_p50_ms": self.update_latency_p50_ms,
                     "update_latency_p95_ms": self.update_latency_p95_ms,
                     "update_wall_ms": self.update_wall_ms,
+                    "prescreen_screened": self.prescreen_screened_total,
+                    "prescreen_lps": self.prescreen_lps_total,
                 }
             )
         return payload
@@ -285,6 +311,10 @@ class WorkloadReport:
                 f"({self.inserts_applied} ins / {self.deletes_applied} del), "
                 f"{self.evictions_total} cache evictions, "
                 f"p50 {self.update_latency_p50_ms:.2f} ms"
+            )
+            lines.append(
+                f"insert prescreen  : {self.prescreen_screened_total} entries "
+                f"cleared without an LP, {self.prescreen_lps_total} LPs run"
             )
         return "\n".join(lines)
 
@@ -359,6 +389,8 @@ class GIREngine:
         self.resumed_completions = 0
         self.updates_applied = 0
         self.update_evictions = 0
+        self.prescreen_screened = 0
+        self.prescreen_lps = 0
 
     @property
     def d(self) -> int:
@@ -394,8 +426,66 @@ class GIREngine:
         weights = np.asarray(weights, dtype=np.float64)
         io_before = self.tree.store.stats.page_reads
         t0 = time.perf_counter()
-
         hit = self.cache.lookup(weights, k)
+        return self._serve(weights, k, hit, t0, io_before)
+
+    def topk_batch(self, requests: list) -> list[EngineResponse]:
+        """Serve a batch of :class:`~repro.engine.workload.Request`\\ s.
+
+        Answers, provenance and all cache/hit accounting are identical to
+        issuing the requests one-by-one through :meth:`topk`; the cache
+        membership work, however, is batched — one matmul of the pending
+        request matrix against every cached region's stacked half-spaces
+        (:meth:`~repro.core.caching.GIRCache.lookup_batch`). A request
+        that triggers the pipeline (partial hit or miss) mutates the
+        cache, so batched evaluation restarts from the following request —
+        exactly the state a sequential run would see. Lookups are stacked
+        at most :data:`LOOKUP_WINDOW` at a time, bounding the membership
+        work a mid-batch pipeline run can invalidate.
+        """
+        reqs = list(requests)
+        responses: list[EngineResponse] = []
+        i = 0
+        while i < len(reqs):
+            rest = reqs[i : i + LOOKUP_WINDOW]
+            W = np.stack(
+                [np.asarray(r.weights, dtype=np.float64) for r in rest]
+            )
+            ks = [r.k for r in rest]
+            t_lookup = time.perf_counter()
+            hits = self.cache.lookup_batch(W, ks, stop_after_non_full=True)
+            # Attribute the shared membership matmul evenly to the
+            # requests it resolved, keeping batch-mode latency_ms
+            # comparable to the sequential path (whose clock includes its
+            # own lookup).
+            lookup_share_ms = (
+                (time.perf_counter() - t_lookup) * 1e3 / max(len(hits), 1)
+            )
+            for offset, hit in enumerate(hits):
+                io_before = self.tree.store.stats.page_reads
+                t0 = time.perf_counter()
+                responses.append(
+                    self._serve(
+                        W[offset], ks[offset], hit, t0, io_before,
+                        extra_latency_ms=lookup_share_ms,
+                    )
+                )
+            i += len(hits)
+        return responses
+
+    def _serve(
+        self,
+        weights: np.ndarray,
+        k: int,
+        hit,
+        t0: float,
+        io_before: int,
+        extra_latency_ms: float = 0.0,
+    ) -> EngineResponse:
+        """Turn a resolved cache outcome into a full response (running the
+        pipeline when the hit is partial or absent). ``extra_latency_ms``
+        charges work done for this request before ``t0`` (a batched
+        lookup's amortized share)."""
         if hit is not None and not hit.partial:
             ids = hit.ids
             scores = tuple(
@@ -411,7 +501,7 @@ class GIREngine:
             source = SOURCE_COMPLETED if hit is not None else SOURCE_COMPUTED
             gir_stats = gir.stats
 
-        latency_ms = (time.perf_counter() - t0) * 1e3
+        latency_ms = (time.perf_counter() - t0) * 1e3 + extra_latency_ms
         pages_read = self.tree.store.stats.page_reads - io_before
         self.requests_served += 1
         return EngineResponse(
@@ -466,7 +556,12 @@ class GIREngine:
         gir.stats.cpu_ms_topk = retrieve_ms
         gir.stats.io_pages_topk = retrieve_pages
 
-        key = self.cache.insert(gir)
+        # kth_g enables the cache's vectorized insert-invalidation
+        # prescreen for this entry (copied: the g-buffer may be
+        # reallocated by later growth).
+        key = self.cache.insert(
+            gir, kth_g=self._g_buf[gir.topk.kth_id].copy()
+        )
         if self.retain_runs:
             self._runs[key] = run
             self._drop_stale_runs()
@@ -482,33 +577,56 @@ class GIREngine:
         policy — under ``"gir"``, entry E is evicted only if the new
         record can out-score E's k-th result record somewhere in E's
         region (the halfspace-intersection LP of
-        :meth:`~repro.core.gir.GIRResult.admits_above_kth`).
+        :meth:`~repro.core.gir.GIRResult.admits_above_kth`). Before any LP
+        runs, the cache's vectorized prescreen
+        (:meth:`~repro.core.caching.GIRCache.prescreen_insert`) clears
+        every entry whose vertex-set score bound proves it undisturbable,
+        so the LP cost scales with the prescreen's survivors, not the
+        cache size.
         """
         t0 = time.perf_counter()
         point = np.asarray(point, dtype=np.float64)
         rid = self.table.insert(point)
         self.tree.insert(self.table.point(rid), rid)
         point_g = self._append_g(self.table.point(rid))
+        screened = lps = 0
         if self.invalidation == "flush":
             evicted = self.cache.flush()
         else:
+            prescreen = self.cache.prescreen_insert(point_g)
             new_sum = float(self.points[rid].sum())
+
+            def tie_wins(gir) -> bool:
+                # Exact score ties resolve by (coord-sum, rid) descending;
+                # the fresh rid is always the highest.
+                kth_id = gir.topk.kth_id
+                return (new_sum, rid) > (
+                    float(self.points[kth_id].sum()), kth_id,
+                )
+
             stale = [
                 key
-                for key, gir in self.cache.items()
+                for key in prescreen.ties
+                if tie_wins(self.cache.entry(key))
+            ]
+            for key in prescreen.candidates:
+                gir = self.cache.entry(key)
+                lps += 1
                 if invalidated_by_insert(
                     gir,
                     point_g,
                     self._g_buf[gir.topk.kth_id],
-                    # Exact score ties resolve by (coord-sum, rid)
-                    # descending; the fresh rid is always the highest.
-                    tie_wins=(new_sum, rid)
-                    > (float(self.points[gir.topk.kth_id].sum()), gir.topk.kth_id),
-                )
-            ]
+                    tie_wins=tie_wins(gir),
+                ):
+                    stale.append(key)
             evicted = self.cache.evict(stale)
+            screened = prescreen.screened
+            self.prescreen_screened += screened
+            self.prescreen_lps += lps
         self._drop_stale_runs()
-        return self._finish_update("insert", rid, t0, evicted)
+        return self._finish_update(
+            "insert", rid, t0, evicted, screened=screened, lps=lps
+        )
 
     def delete(self, rid: int) -> UpdateResponse:
         """Delete a live record; returns eviction accounting.
@@ -569,7 +687,13 @@ class GIREngine:
         }
 
     def _finish_update(
-        self, kind: str, rid: int, t0: float, evicted: int
+        self,
+        kind: str,
+        rid: int,
+        t0: float,
+        evicted: int,
+        screened: int = 0,
+        lps: int = 0,
     ) -> UpdateResponse:
         self.updates_applied += 1
         self.update_evictions += evicted
@@ -580,21 +704,32 @@ class GIREngine:
             evicted=evicted,
             cache_entries=len(self.cache),
             policy=self.invalidation,
+            prescreen_screened=screened,
+            prescreen_lps=lps,
         )
 
     # -- batch serving --------------------------------------------------------
 
-    def run(self, workload: Workload | list) -> WorkloadReport:
+    def run(self, workload: Workload | list, batch: bool = False) -> WorkloadReport:
         """Serve a whole workload — reads and updates — and return batched
-        accounting."""
+        accounting.
+
+        With ``batch=True`` every maximal run of consecutive read requests
+        is served through :meth:`topk_batch` (one membership matmul per
+        run instead of per request); updates still apply one at a time, at
+        their stream positions. Answers and hit/miss accounting are
+        identical either way.
+        """
         ops = list(workload)
         kind = workload.kind if isinstance(workload, Workload) else "custom"
         responses: list[EngineResponse] = []
         updates: list[UpdateResponse] = []
         update_ms = 0.0
         t0 = time.perf_counter()
-        for op in ops:
-            if isinstance(op, Request):
+        for op in op_batches(ops) if batch else ops:
+            if isinstance(op, list):  # a maximal run of consecutive reads
+                responses.extend(self.topk_batch(op))
+            elif isinstance(op, Request):
                 responses.append(self.topk(op.weights, op.k))
             elif isinstance(op, InsertOp):
                 tu = time.perf_counter()
@@ -624,6 +759,8 @@ class GIREngine:
             "resumed_completions": self.resumed_completions,
             "updates_applied": self.updates_applied,
             "update_evictions": self.update_evictions,
+            "prescreen_screened": self.prescreen_screened,
+            "prescreen_lps": self.prescreen_lps,
             "live_records": self.n_live,
             **self.cache.stats(),
         }

@@ -45,6 +45,12 @@ class Polytope:
         self.b = b
         self._cheb: tuple[np.ndarray, float] | None = None
         self._vertices: np.ndarray | None = None
+        #: True when the cached vertex set came from an un-joggled qhull
+        #: run (reliable to ~1e-12); False for the QJ fallback or an empty
+        #: result. Consumers needing sound bounds (the region index's
+        #: insert prescreen) must check this.
+        self._vertices_exact = False
+        self._normalized: tuple[np.ndarray, np.ndarray] | None = None
 
     # -- constructors -----------------------------------------------------------
 
@@ -80,9 +86,45 @@ class Polytope:
 
     # -- membership ----------------------------------------------------------------
 
+    def normalized_halfspaces(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(A_n, b_n)`` with every row of ``A`` scaled to unit norm (rows of
+        zero norm are kept as-is).
+
+        Membership tests use these so the tolerance is *norm-relative*: with
+        the raw rows, ``A x ≤ b + tol`` makes nearness-to-a-facet depend on
+        the row's scale — a half-space built from two nearly coincident
+        records (tiny normal) would accept points far beyond its facet while
+        a rescaled copy of the same region would reject them. Computed once
+        and cached; the arrays are shared (read-only by convention) with
+        :class:`repro.core.region_index.RegionIndex`, which stacks them so
+        one global tolerance applies across all cached regions.
+        """
+        if self._normalized is None:
+            norms = np.linalg.norm(self.A, axis=1)
+            scale = np.where(norms > 0.0, norms, 1.0)
+            self._normalized = (self.A / scale[:, None], self.b / scale)
+        return self._normalized
+
     def contains(self, x: np.ndarray, tol: float = 1e-9) -> bool:
+        """Membership with a norm-relative tolerance (see
+        :meth:`normalized_halfspaces`)."""
         x = np.asarray(x, dtype=np.float64)
-        return bool((self.A @ x <= self.b + tol).all())
+        A_n, b_n = self.normalized_halfspaces()
+        return bool((A_n @ x <= b_n + tol).all())
+
+    def contains_batch(self, X: np.ndarray, tol: float = 1e-9) -> np.ndarray:
+        """Vectorized membership of many points at once.
+
+        ``X`` is ``(m, d)``; returns a boolean ``(m,)`` array, row ``i``
+        agreeing with ``contains(X[i])`` (same normalized rows, same
+        tolerance). One matmul instead of ``m`` Python-level loops — the
+        primitive behind the serving layer's batched cache lookup.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.d:
+            raise ValueError(f"X must have shape (m, {self.d})")
+        A_n, b_n = self.normalized_halfspaces()
+        return (X @ A_n.T <= b_n + tol).all(axis=1)
 
     def slacks(self, x: np.ndarray) -> np.ndarray:
         """Per-constraint slack ``b − A x`` (negative = violated)."""
@@ -129,10 +171,12 @@ class Polytope:
             self._vertices = np.empty((0, self.d))
             return self._vertices
         halfspaces = np.hstack([self.A, -self.b[:, None]])
+        exact = True
         try:
             hs = HalfspaceIntersection(halfspaces, centre)
             verts = hs.intersections
         except QhullError:
+            exact = False
             try:
                 hs = HalfspaceIntersection(halfspaces, centre, qhull_options="QJ")
                 verts = hs.intersections
@@ -144,7 +188,15 @@ class Polytope:
         if len(verts):
             verts = np.unique(np.round(verts, 12), axis=0)
         self._vertices = verts
+        self._vertices_exact = exact and bool(len(verts))
         return self._vertices
+
+    @property
+    def vertices_exact(self) -> bool:
+        """Whether :meth:`vertices` produced a reliable (un-joggled) vertex
+        set — computes it on first access."""
+        self.vertices()
+        return self._vertices_exact
 
     def volume(self) -> float:
         """Euclidean volume; 0 for empty / lower-dimensional regions.

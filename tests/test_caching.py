@@ -1,11 +1,14 @@
 """Tests for GIR-based result caching (Section 1 application)."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
 from repro.core.caching import GIRCache
 from repro.core.gir import compute_gir
 from repro.data.synthetic import independent
+from repro.geometry.polytope import Polytope
 from repro.index.bulkload import bulk_load_str
 from repro.query.linear_scan import scan_topk
 from tests.conftest import random_query
@@ -174,6 +177,131 @@ class TestEvictionAndStats:
         assert len(cache) == 2
         hit = cache.lookup(q, 15)
         assert hit is not None and not hit.partial and len(hit.ids) == 15
+
+    def test_insert_skips_entry_subsumed_by_existing(self, cached_setup, rng):
+        """Regression: the reverse subsumption direction. A new same-k
+        entry whose own query vector lies inside an existing entry's
+        region — while its (narrower) region does not contain the existing
+        entry's vector, so the forward check cannot fire — must be
+        *skipped*, refreshing the existing entry instead of crowding the
+        LRU with a redundant region."""
+        data, tree = cached_setup
+        q = random_query(rng, 3)
+        gir = compute_gir(tree, data, q, 5)
+        cache = GIRCache()
+        key = cache.insert(gir)
+        # A second, unrelated entry so the recency refresh is observable.
+        other = compute_gir(tree, data, np.array([0.15, 0.9, 0.12]), 7)
+        other_key = cache.insert(other)
+        probe = next(
+            p
+            for p in gir.polytope.sample(100, rng)
+            if (p > 1e-6).all() and np.linalg.norm(p - q) > 1e-3
+        )
+        # Narrow the region with a half-plane keeping `probe`, cutting `q`.
+        n_vec = probe - q
+        mid = (probe + q) / 2.0
+        narrow = Polytope(
+            np.vstack([gir.polytope.A, -n_vec[None, :]]),
+            np.concatenate([gir.polytope.b, [-(n_vec @ mid)]]),
+        )
+        assert narrow.contains(probe) and not narrow.contains(q)
+        redundant = dataclasses.replace(gir, weights=probe, polytope=narrow)
+        returned = cache.insert(redundant)
+        assert returned == key  # the existing entry serves instead
+        assert len(cache) == 2
+        stats = cache.stats()
+        assert stats["subsumption_skips"] == 1
+        assert stats["subsumption_evictions"] == 0
+        # The skip refreshed the host's recency: it is now MRU.
+        assert cache.entry_keys() == [other_key, key]
+
+    def test_capacity_evictions_counted(self, cached_setup, rng):
+        """Regression: LRU-capacity overflow must be visible in stats() so
+        eviction counters fully explain entry churn."""
+        data, tree = cached_setup
+        cache = GIRCache(capacity=2)
+        inserts = 0
+        for _ in range(12):
+            cache.insert(compute_gir(tree, data, random_query(rng, 3), 5))
+            inserts += 1
+            if cache.stats()["capacity_evictions"] >= 2:
+                break
+        stats = cache.stats()
+        assert stats["capacity_evictions"] >= 1
+        assert stats["entries"] <= 2
+        # Churn bookkeeping closes exactly: every successful insert is
+        # either still cached or accounted to one eviction counter.
+        assert inserts - stats["subsumption_skips"] == (
+            stats["entries"]
+            + stats["subsumption_evictions"]
+            + stats["capacity_evictions"]
+            + stats["invalidation_evictions"]
+        )
+
+    def test_vectorized_lookup_matches_scan(self, cached_setup, rng):
+        """The region-index lookup and the per-entry reference scan give
+        identical hits (entry, prefix, partial flag) and identical
+        accounting on the same probe stream."""
+        data, tree = cached_setup
+        girs = [
+            compute_gir(tree, data, random_query(rng, 3), int(k))
+            for k in (5, 5, 10, 10, 15)
+        ]
+        vec, scan = GIRCache(), GIRCache()
+        for g in girs:
+            assert vec.insert(g) == scan.insert(g)
+        for _ in range(150):
+            probe = rng.random(3)
+            k = int(rng.integers(3, 18))
+            hv = vec.lookup(probe, k)
+            hs = scan.lookup_scan(probe, k)
+            assert (hv is None) == (hs is None)
+            if hv is not None:
+                assert (hv.ids, hv.partial, hv.entry_key) == (
+                    hs.ids, hs.partial, hs.entry_key,
+                )
+        assert vec.stats() == scan.stats()
+
+    def test_lookup_batch_matches_sequential(self, cached_setup, rng):
+        data, tree = cached_setup
+        girs = [
+            compute_gir(tree, data, random_query(rng, 3), 8) for _ in range(4)
+        ]
+        batched, sequential = GIRCache(), GIRCache()
+        for g in girs:
+            batched.insert(g)
+            sequential.insert(g)
+        probes = np.stack([rng.random(3) for _ in range(80)])
+        ks = [int(k) for k in rng.integers(4, 14, size=80)]
+        batch_hits = batched.lookup_batch(probes, ks)
+        seq_hits = [sequential.lookup(p, k) for p, k in zip(probes, ks)]
+        assert len(batch_hits) == len(seq_hits)
+        for hb, hs in zip(batch_hits, seq_hits):
+            assert (hb is None) == (hs is None)
+            if hb is not None:
+                assert (hb.ids, hb.partial, hb.entry_key) == (
+                    hs.ids, hs.partial, hs.entry_key,
+                )
+        assert batched.stats() == sequential.stats()
+
+    def test_lookup_batch_stop_after_non_full(self, cached_setup, rng):
+        data, tree = cached_setup
+        q = random_query(rng, 3)
+        cache = GIRCache()
+        cache.insert(compute_gir(tree, data, q, 10))
+        outside = next(
+            c for c in (rng.random(3) for _ in range(1000))
+            if not cache.entry(cache.entry_keys()[0]).contains(c)
+        )
+        W = np.stack([q, q, outside, q])
+        hits = cache.lookup_batch(W, 10, stop_after_non_full=True)
+        # Stops at (and accounts) the miss; the trailing hit is not served.
+        assert len(hits) == 3
+        assert hits[0] is not None and hits[1] is not None
+        assert hits[2] is None
+        assert cache.stats()["full_hits"] == 2
+        assert cache.stats()["misses"] == 1
 
     def test_rejects_bad_capacity(self):
         with pytest.raises(ValueError):

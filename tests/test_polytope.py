@@ -28,6 +28,72 @@ class TestUnitBox:
         assert {tuple(np.round(v, 9)) for v in verts} == expected
 
 
+class TestNormalizedMembership:
+    def test_rescaled_region_same_membership(self):
+        """Scaling every row of (A, b) leaves membership unchanged: the
+        tolerance is norm-relative, not absolute."""
+        box = Polytope.from_unit_box(3)
+        scale = 1e6
+        scaled = Polytope(box.A * scale, box.b * scale)
+        rng = np.random.default_rng(4)
+        for _ in range(200):
+            x = rng.uniform(-0.2, 1.2, 3)
+            assert box.contains(x) == scaled.contains(x)
+
+    def test_rescaled_facet_point_stays_member(self):
+        """A point a hair outside a facet (within tolerance) is a member
+        regardless of row scale — the absolute-tolerance bug rejected it
+        once the row was rescaled."""
+        box = Polytope.from_unit_box(2)
+        x = np.array([1.0 + 5e-10, 0.5])  # violates w1 <= 1 by 5e-10 < tol
+        assert box.contains(x)
+        scaled = Polytope(box.A * 1e6, box.b * 1e6)
+        # Raw slack is now 5e-4 >> tol; the relative test still accepts.
+        assert scaled.contains(x)
+        clearly_out = np.array([1.1, 0.5])
+        assert not box.contains(clearly_out)
+        assert not scaled.contains(clearly_out)
+
+    def test_tiny_norm_row_not_overpermissive(self):
+        """A near-zero-norm row (nearly coincident records) must not accept
+        points far beyond its facet just because the raw slack is tiny."""
+        # Row 1e-9 * (x1 - x2) <= 0, i.e. x1 <= x2 — raw violations of this
+        # row sit below an absolute 1e-9 tolerance even for points deep in
+        # the wrong half-space.
+        poly = Polytope.from_unit_box(2).with_constraints(
+            np.array([[-1e-9, 1e-9]])
+        )
+        inside = np.array([0.3, 0.5])
+        outside = np.array([0.5, 0.3])  # raw violation 2e-10, real one 0.2
+        assert poly.contains(inside)
+        assert not poly.contains(outside)
+
+    def test_contains_batch_matches_scalar(self):
+        rng = np.random.default_rng(11)
+        normals = rng.normal(size=(4, 3))
+        poly = Polytope.from_unit_box(3).with_constraints(normals)
+        X = rng.uniform(-0.2, 1.2, size=(300, 3))
+        batch = poly.contains_batch(X)
+        assert batch.shape == (300,)
+        assert batch.dtype == bool
+        for x, flag in zip(X, batch):
+            assert flag == poly.contains(x)
+
+    def test_contains_batch_rejects_bad_shape(self):
+        poly = Polytope.from_unit_box(3)
+        with pytest.raises(ValueError):
+            poly.contains_batch(np.zeros((5, 2)))
+        with pytest.raises(ValueError):
+            poly.contains_batch(np.zeros(3))
+
+    def test_normalized_halfspaces_cached_and_unit(self):
+        poly = Polytope.from_unit_box(4)
+        A_n, b_n = poly.normalized_halfspaces()
+        assert np.allclose(np.linalg.norm(A_n, axis=1), 1.0)
+        again = poly.normalized_halfspaces()
+        assert again[0] is A_n and again[1] is b_n
+
+
 class TestWithConstraints:
     def test_halfplane_cuts_volume(self):
         # w1 >= w2 cuts the unit square in half.

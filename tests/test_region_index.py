@@ -1,0 +1,203 @@
+"""Tests for the vectorized region-membership index."""
+
+import numpy as np
+import pytest
+
+from repro.core.caching import GIRCache, invalidated_by_insert
+from repro.core.gir import compute_gir
+from repro.core.region_index import (
+    RegionIndex,
+    SCREEN_LP,
+    SCREEN_SAFE,
+    SCREEN_TIE,
+)
+from repro.data.synthetic import independent
+from repro.geometry.polytope import Polytope
+from repro.index.bulkload import bulk_load_str
+from tests.conftest import random_query
+
+
+def random_region(rng, d: int, cuts: int = 3) -> Polytope:
+    """A random cone-through-origin ∩ unit box (the GIR shape)."""
+    normals = rng.normal(size=(cuts, d))
+    return Polytope.from_unit_box(d).with_constraints(normals)
+
+
+@pytest.fixture(scope="module")
+def indexed_setup():
+    data = independent(700, 3, seed=23)
+    tree = bulk_load_str(data)
+    return data, tree
+
+
+class TestMembership:
+    def test_matches_per_entry_contains(self, rng):
+        index = RegionIndex(3)
+        regions = [random_region(rng, 3) for _ in range(10)]
+        for key, region in enumerate(regions):
+            index.add(key, region)
+        assert len(index) == 10
+        assert index.rows == sum(r.m for r in regions)
+        for _ in range(100):
+            x = rng.uniform(-0.1, 1.1, 3)
+            mask = index.membership(x)
+            expected = np.array([r.contains(x) for r in regions])
+            assert (mask == expected).all()
+
+    def test_membership_batch_matches_rows(self, rng):
+        index = RegionIndex(3)
+        regions = [random_region(rng, 3) for _ in range(7)]
+        for key, region in enumerate(regions):
+            index.add(key, region)
+        X = rng.uniform(-0.1, 1.1, size=(60, 3))
+        batch = index.membership_batch(X)
+        assert batch.shape == (60, 7)
+        for i in range(60):
+            assert (batch[i] == index.membership(X[i])).all()
+
+    def test_remove_splices_segments(self, rng):
+        index = RegionIndex(3)
+        regions = {key: random_region(rng, 3) for key in range(6)}
+        for key, region in regions.items():
+            index.add(key, region)
+        assert index.remove(3)
+        assert not index.remove(3)  # already gone
+        del regions[3]
+        assert index.keys() == [0, 1, 2, 4, 5]
+        assert index.rows == sum(r.m for r in regions.values())
+        for _ in range(60):
+            x = rng.uniform(-0.1, 1.1, 3)
+            expected = np.array([regions[k].contains(x) for k in index.keys()])
+            assert (index.membership(x) == expected).all()
+
+    def test_clear(self, rng):
+        index = RegionIndex(2)
+        index.add(0, random_region(rng, 2))
+        index.clear()
+        assert len(index) == 0 and index.rows == 0
+        assert index.membership(np.array([0.5, 0.5])).shape == (0,)
+        assert index.membership_batch(np.zeros((4, 2))).shape == (4, 0)
+
+    def test_rejects_mismatched_dimension_and_duplicates(self, rng):
+        index = RegionIndex(3)
+        with pytest.raises(ValueError):
+            index.add(0, random_region(rng, 2))
+        index.add(0, random_region(rng, 3))
+        with pytest.raises(KeyError):
+            index.add(0, random_region(rng, 3))
+        with pytest.raises(ValueError):
+            index.membership_batch(np.zeros((4, 2)))
+
+
+class TestPrescreen:
+    def test_safe_entries_agree_with_lp(self, indexed_setup, rng):
+        """Every SAFE verdict must be confirmed by the exact LP test —
+        the screen may be loose, never wrong."""
+        data, tree = indexed_setup
+        index = RegionIndex(3)
+        girs = {}
+        for key in range(12):
+            gir = compute_gir(tree, data, random_query(rng, 3), 8)
+            girs[key] = gir
+            index.add(key, gir.polytope, kth_g=data.points[gir.topk.kth_id])
+        checked_safe = 0
+        for _ in range(60):
+            p = rng.random(3)
+            codes = index.prescreen_insert(p)
+            for key, code in zip(index.keys(), codes):
+                gir = girs[key]
+                kth_g = data.points[gir.topk.kth_id]
+                if code == SCREEN_SAFE:
+                    checked_safe += 1
+                    assert not invalidated_by_insert(gir, p, kth_g)
+                elif code == SCREEN_TIE:
+                    assert (p == kth_g).all()
+        assert checked_safe > 0  # the screen actually fires
+
+    def test_tie_detected_exactly(self, indexed_setup, rng):
+        data, tree = indexed_setup
+        gir = compute_gir(tree, data, random_query(rng, 3), 8)
+        index = RegionIndex(3)
+        index.add(0, gir.polytope, kth_g=data.points[gir.topk.kth_id])
+        codes = index.prescreen_insert(data.points[gir.topk.kth_id])
+        assert codes[0] == SCREEN_TIE
+
+    def test_dominating_insert_not_screened(self, indexed_setup, rng):
+        """A record strictly dominating the k-th result must survive the
+        screen (and the LP must then invalidate the entry)."""
+        data, tree = indexed_setup
+        gir = compute_gir(tree, data, random_query(rng, 3), 8)
+        kth_g = data.points[gir.topk.kth_id]
+        index = RegionIndex(3)
+        index.add(0, gir.polytope, kth_g=kth_g)
+        above = np.clip(kth_g + 0.05, 0, 1)
+        codes = index.prescreen_insert(above)
+        assert codes[0] == SCREEN_LP
+        assert invalidated_by_insert(gir, above, kth_g)
+
+    def test_entries_without_kth_g_always_lp(self, rng):
+        index = RegionIndex(3)
+        index.add(0, random_region(rng, 3))
+        codes = index.prescreen_insert(rng.random(3))
+        assert codes[0] == SCREEN_LP
+
+    def test_degenerate_region_falls_back_without_false_safe(self, rng):
+        """An entry whose region has no usable vertex set (empty interior)
+        must classify via the ball fallback / LP, never silently SAFE
+        against a dominating insert."""
+        # x1 <= 0 and x1 >= 0 inside the box: a 2-d face, no interior.
+        flat = Polytope.from_unit_box(3).with_constraints(
+            np.array([[1.0, 0.0, 0.0], [-1.0, 0.0, 0.0]])
+        )
+        index = RegionIndex(3)
+        index.add(0, flat, kth_g=np.array([0.2, 0.2, 0.2]))
+        codes = index.prescreen_insert(np.array([0.9, 0.9, 0.9]))
+        assert codes[0] == SCREEN_LP
+
+    def test_screen_survives_add_remove_cycles(self, indexed_setup, rng):
+        data, tree = indexed_setup
+        index = RegionIndex(3)
+        girs = {}
+        for key in range(6):
+            gir = compute_gir(tree, data, random_query(rng, 3), 6)
+            girs[key] = gir
+            index.add(key, gir.polytope, kth_g=data.points[gir.topk.kth_id])
+        index.prescreen_insert(rng.random(3))  # materialize
+        index.remove(2)
+        del girs[2]
+        gir = compute_gir(tree, data, random_query(rng, 3), 6)
+        girs[99] = gir
+        index.add(99, gir.polytope, kth_g=data.points[gir.topk.kth_id])
+        p = rng.random(3)
+        codes = index.prescreen_insert(p)
+        assert len(codes) == len(index.keys())
+        for key, code in zip(index.keys(), codes):
+            if code == SCREEN_SAFE:
+                g = girs[key]
+                assert not invalidated_by_insert(
+                    g, p, data.points[g.topk.kth_id]
+                )
+
+
+class TestCachePrescreenIntegration:
+    def test_cache_prescreen_partition_is_total(self, indexed_setup, rng):
+        data, tree = indexed_setup
+        cache = GIRCache()
+        for _ in range(8):
+            gir = compute_gir(tree, data, random_query(rng, 3), 8)
+            cache.insert(gir, kth_g=data.points[gir.topk.kth_id])
+        pre = cache.prescreen_insert(rng.random(3))
+        combined = sorted(pre.safe + pre.ties + pre.candidates)
+        assert combined == sorted(cache.entry_keys())
+        assert pre.screened == len(pre.safe) + len(pre.ties)
+
+    def test_entries_inserted_without_kth_g_are_candidates(
+        self, indexed_setup, rng
+    ):
+        data, tree = indexed_setup
+        cache = GIRCache()
+        gir = compute_gir(tree, data, random_query(rng, 3), 8)
+        cache.insert(gir)  # no kth_g: prescreen cannot clear it
+        pre = cache.prescreen_insert(rng.random(3))
+        assert pre.safe == () and pre.ties == ()
+        assert len(pre.candidates) == 1
