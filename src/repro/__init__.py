@@ -36,6 +36,12 @@ from repro.core import (
     interactive_projection,
     maximal_axis_rectangle,
 )
+from repro.cluster import (
+    KDSplitPartitioner,
+    PARTITIONERS,
+    RoundRobinPartitioner,
+    ShardedGIREngine,
+)
 from repro.engine import (
     GIREngine,
     Workload,
@@ -82,6 +88,11 @@ __all__ = [
     "boundary_perturbations",
     "maximal_axis_rectangle",
     "interactive_projection",
+    # cluster
+    "ShardedGIREngine",
+    "RoundRobinPartitioner",
+    "KDSplitPartitioner",
+    "PARTITIONERS",
     # engine
     "GIREngine",
     "Workload",

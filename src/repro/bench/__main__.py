@@ -4,7 +4,10 @@
 benchmark instead and writes its JSON report (default: ``benchmarks/``);
 ``python -m repro.bench --engine --updates`` runs the mixed read/write
 update-throughput benchmark, comparing GIR-aware selective cache
-invalidation against the flush-on-write baseline.
+invalidation against the flush-on-write baseline;
+``python -m repro.bench --cluster`` runs the sharded fan-out benchmark
+(1/2/4/8 shards, sequential vs parallel, gated on merged-result
+equivalence with the single engine).
 """
 
 from __future__ import annotations
@@ -59,9 +62,37 @@ def main(argv: list[str] | None = None) -> int:
             "benchmark (GIR-aware invalidation vs flush-on-write baseline)"
         ),
     )
+    parser.add_argument(
+        "--cluster",
+        action="store_true",
+        help=(
+            "run the sharded-cluster fan-out benchmark (1/2/4/8 shards, "
+            "sequential vs parallel; see repro.bench.cluster_bench)"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.updates and not args.engine:
         parser.error("--updates requires --engine")
+    if args.cluster and (args.engine or args.figure is not None):
+        parser.error("--cluster is mutually exclusive with --engine/--figure")
+    if args.cluster:
+        from repro.bench.cluster_bench import (
+            ClusterBenchConfig,
+            run_cluster_benchmark,
+        )
+
+        scale = SCALES[args.scale]
+        out_dir = Path(args.out_dir) if args.out_dir else Path("benchmarks")
+        config = ClusterBenchConfig(
+            n=scale.n_default,
+            k=scale.k_default,
+            queries=scale.cluster_queries,
+        )
+        out_path = out_dir / f"cluster_fanout_{args.scale}.json"
+        payload = run_cluster_benchmark(config, out_path)
+        print(json.dumps(payload, indent=2))
+        print(f"\n[cluster benchmark report written to {out_path}]")
+        return 0
     if args.engine:
         if args.figure is not None:
             parser.error("--engine and --figure are mutually exclusive")

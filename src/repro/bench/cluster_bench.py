@@ -1,0 +1,173 @@
+"""Sharded-cluster benchmark: fan-out serving across 1/2/4/8 shards.
+
+``python -m repro.bench --cluster`` replays one fixed workload through a
+grid of :class:`~repro.cluster.ShardedGIREngine` configurations —
+every shard count × {sequential, parallel} fan-out — plus a single
+:class:`~repro.engine.GIREngine` reference over the unpartitioned data,
+and writes a JSON report with:
+
+* **equivalence**: every sharded configuration must return the identical
+  top-k rid sequence as the single engine on every request (this is the
+  CI gate — the cluster is only interesting if it is *exactly* right);
+* **per-shard breakdowns**: cache hits, page reads, fanned-out requests
+  and latency per shard, with the accounting cross-checked to sum to the
+  cluster totals;
+* **wall-clock**: sequential vs parallel fan-out per shard count. The
+  shard stores run in *real-latency* mode
+  (:class:`~repro.index.storage.PageStore` ``sleep_ms_per_page``), so a
+  page read actually waits — the regime the paper's disk-resident setup
+  models — and the parallel fan-out has real waits to overlap. The
+  headline field ``parallel_speedup_at_4`` is the sequential/parallel
+  wall-time ratio at 4 shards.
+
+The single-engine reference runs with accounting-only I/O (no sleeping):
+it exists for answer equivalence, not for a timing comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.cluster import ShardedGIREngine
+from repro.data.synthetic import independent
+from repro.engine import GIREngine, zipf_clustered_workload, uniform_workload
+from repro.index.bulkload import bulk_load_str
+
+__all__ = ["ClusterBenchConfig", "run_cluster_benchmark"]
+
+
+@dataclass(frozen=True)
+class ClusterBenchConfig:
+    """Knobs of one cluster fan-out benchmark run."""
+
+    n: int = 15_000
+    d: int = 3
+    k: int = 10
+    queries: int = 240
+    workload: str = "zipf_clustered"  # or "uniform"
+    clusters: int = 8
+    zipf_s: float = 1.1
+    spread: float = 0.02
+    shard_counts: tuple[int, ...] = (1, 2, 4, 8)
+    partitioner: str = "kd"
+    cache_capacity: int = 64
+    cluster_cache_capacity: int = 128
+    #: Real latency per metered page read in the shard stores (ms). The
+    #: default models a fast networked/SSD page fetch; 0 disables sleeping
+    #: (then the wall-clock comparison degenerates to pure CPU).
+    page_sleep_ms: float = 0.5
+    method: str = "fp"
+    seed: int = 9
+
+
+def _make_workload(config: ClusterBenchConfig):
+    if config.workload == "uniform":
+        return uniform_workload(
+            config.d, config.queries, k=config.k, rng=config.seed
+        )
+    if config.workload == "zipf_clustered":
+        return zipf_clustered_workload(
+            config.d,
+            config.queries,
+            k=config.k,
+            clusters=config.clusters,
+            zipf_s=config.zipf_s,
+            spread=config.spread,
+            rng=config.seed,
+        )
+    raise ValueError(
+        f"unknown workload {config.workload!r}; "
+        "expected 'uniform' or 'zipf_clustered'"
+    )
+
+
+def run_cluster_benchmark(
+    config: ClusterBenchConfig = ClusterBenchConfig(),
+    out_path: str | Path | None = None,
+) -> dict:
+    """Run the full shard-count × fan-out-mode grid; return (and save)
+    the report payload."""
+    data = independent(n=config.n, d=config.d, seed=config.seed)
+    workload = _make_workload(config)
+
+    reference = GIREngine(
+        data,
+        bulk_load_str(data),
+        method=config.method,
+        cache_capacity=config.cache_capacity,
+    )
+    t0 = time.perf_counter()
+    ref_report = reference.run(workload)
+    ref_wall_ms = (time.perf_counter() - t0) * 1e3
+    ref_ids = [r.ids for r in ref_report.responses]
+
+    runs: list[dict] = []
+    all_match = True
+    accounting_ok = True
+    for shards in config.shard_counts:
+        for parallel in (False, True):
+            with ShardedGIREngine(
+                data,
+                shards=shards,
+                partitioner=config.partitioner,
+                parallel=parallel,
+                method=config.method,
+                cache_capacity=config.cache_capacity,
+                cluster_cache_capacity=config.cluster_cache_capacity,
+                page_sleep_ms=config.page_sleep_ms,
+            ) as engine:
+                report = engine.run(workload)
+                matches = all(
+                    r.ids == ids
+                    for r, ids in zip(report.responses, ref_ids)
+                ) and len(report.responses) == len(ref_ids)
+                shard_pages = sum(
+                    s["page_reads"] for s in report.shard_stats
+                )
+                sums_ok = shard_pages == report.pages_read_total
+                all_match &= matches
+                accounting_ok &= sums_ok
+                runs.append(
+                    {
+                        # Distinct from to_dict()'s "shards" key (the
+                        # per-shard breakdown list).
+                        "shard_count": shards,
+                        "mode": "parallel" if parallel else "sequential",
+                        "matches_reference": matches,
+                        "shard_accounting_sums": sums_ok,
+                        **report.to_dict(),
+                    }
+                )
+
+    def wall_of(shards: int, mode: str) -> float | None:
+        for run in runs:
+            if run["shard_count"] == shards and run["mode"] == mode:
+                return run["wall_ms"]
+        return None
+
+    seq4, par4 = wall_of(4, "sequential"), wall_of(4, "parallel")
+    payload = {
+        "benchmark": "cluster_fanout",
+        "config": asdict(config),
+        "reference": {
+            **ref_report.to_dict(),
+            "wall_ms_unslept": ref_wall_ms,
+        },
+        "runs": runs,
+        "equivalence": {
+            "all_match": all_match,
+            "accounting_ok": accounting_ok,
+            "requests": len(ref_ids),
+        },
+        "parallel_speedup_at_4": (
+            seq4 / par4 if seq4 and par4 else None
+        ),
+    }
+    if out_path is not None:
+        out_path = Path(out_path)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload

@@ -49,6 +49,8 @@ class ExperimentScale:
     engine_queries: int = 400
     #: operation count (reads + updates) of the update-throughput benchmark
     engine_update_ops: int = 250
+    #: workload length per configuration of the sharded-cluster benchmark
+    cluster_queries: int = 240
 
     def __post_init__(self) -> None:
         if self.n_default <= 0 or self.queries <= 0:
@@ -60,6 +62,7 @@ SCALES: dict[str, ExperimentScale] = {
         name="smoke",
         engine_queries=150,
         engine_update_ops=120,
+        cluster_queries=120,
         n_default=4_000,
         n_sweep=(2_000, 4_000, 8_000),
         d_sweep=(2, 3, 4),

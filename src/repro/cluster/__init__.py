@@ -1,0 +1,36 @@
+"""The sharded serving tier: partition → fan-out → merge.
+
+* :class:`repro.cluster.ShardedGIREngine` — partitions the record table
+  across N independent :class:`~repro.engine.GIREngine` shards, fans
+  reads out (sequentially or on a thread pool), merges the per-shard
+  answers into the byte-identical global top-k with a cross-shard merged
+  stability region, caches merged regions at the cluster level, and
+  routes writes to the single owning shard;
+* :mod:`repro.cluster.partition` — round-robin and kd-split-on-g-space
+  partitioners (pluggable via the ``PARTITIONERS`` registry);
+* :mod:`repro.cluster.merge` — the pool-and-rank merge plus the merged
+  region assembly (per-shard region intersection + merge-order
+  half-spaces).
+"""
+
+from repro.cluster.merge import MergedAnswer, ShardAnswer, merge_shard_answers
+from repro.cluster.partition import (
+    KDSplitPartitioner,
+    PARTITIONERS,
+    Partitioner,
+    RoundRobinPartitioner,
+    make_partitioner,
+)
+from repro.cluster.sharded import ShardedGIREngine
+
+__all__ = [
+    "ShardedGIREngine",
+    "Partitioner",
+    "RoundRobinPartitioner",
+    "KDSplitPartitioner",
+    "PARTITIONERS",
+    "make_partitioner",
+    "ShardAnswer",
+    "MergedAnswer",
+    "merge_shard_answers",
+]

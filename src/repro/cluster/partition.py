@@ -1,0 +1,201 @@
+"""Data partitioners for the sharded serving tier.
+
+A partitioner owns two decisions and nothing else:
+
+* :meth:`Partitioner.assign_initial` — which shard owns each record of the
+  initial dataset (one pass over the g-space image at cluster build time);
+* :meth:`Partitioner.route` — which shard owns a *newly inserted* record
+  (called once per write, forever after).
+
+Correctness of the cluster never depends on the partitioning — any
+assignment yields the identical merged top-k (the merge layer pools the
+per-shard answers and re-ranks them under the global tie-break) — so
+partitioners are purely a performance/balance knob:
+
+* :class:`RoundRobinPartitioner` — records dealt to shards in rid order.
+  Perfectly balanced, preserves nothing about locality; every shard sees
+  a thinned-out copy of the whole distribution, so per-shard top-k work
+  shrinks roughly uniformly.
+* :class:`KDSplitPartitioner` — recursive median splits of *g-space*
+  (the space scores are linear over, see :mod:`repro.scoring`), one shard
+  per cell. Spatially coherent shards: each owns a contiguous block of
+  score space, which keeps per-shard R*-trees tight and makes high-weight
+  regions shard-local for strongly directional queries.
+
+Both preserve the property the byte-identity of the merged answer relies
+on: local rids are assigned in ascending *global* rid order within each
+shard, so each shard's internal ``(score, coord-sum, rid)`` tie-break
+agrees with the global one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Partitioner",
+    "RoundRobinPartitioner",
+    "KDSplitPartitioner",
+    "PARTITIONERS",
+    "make_partitioner",
+]
+
+
+class Partitioner:
+    """Shard-assignment policy (see module docstring)."""
+
+    name = "abstract"
+
+    def __init__(self, shards: int) -> None:
+        if shards <= 0:
+            raise ValueError("shard count must be positive")
+        self.shards = int(shards)
+
+    def assign_initial(self, points_g: np.ndarray) -> np.ndarray:
+        """Shard id per row of the initial ``(n, d)`` g-space image.
+
+        Every shard must receive at least one record (callers validate
+        ``n >= shards`` first).
+        """
+        raise NotImplementedError
+
+    def route(self, point_g: np.ndarray) -> int:
+        """Owning shard of a newly inserted record (g-space image)."""
+        raise NotImplementedError
+
+
+class RoundRobinPartitioner(Partitioner):
+    """Deal records to shards in arrival (rid) order: rid ``i`` goes to
+    shard ``i mod shards``, initial records and later inserts alike."""
+
+    name = "round_robin"
+
+    def __init__(self, shards: int) -> None:
+        super().__init__(shards)
+        self._next = 0
+
+    def assign_initial(self, points_g: np.ndarray) -> np.ndarray:
+        n = points_g.shape[0]
+        self._next = n % self.shards
+        return np.arange(n, dtype=np.int64) % self.shards
+
+    def route(self, point_g: np.ndarray) -> int:
+        shard = self._next
+        self._next = (self._next + 1) % self.shards
+        return shard
+
+
+@dataclass(frozen=True)
+class _KDNode:
+    """One internal node of the routing tree: records with
+    ``g[axis] <= threshold`` descend left, the rest right."""
+
+    axis: int
+    threshold: float
+    left: "_KDNode | int"
+    right: "_KDNode | int"
+
+
+class KDSplitPartitioner(Partitioner):
+    """Recursive median splits of g-space, one shard per leaf cell.
+
+    The split tree is built once from the initial dataset: each node picks
+    the widest-spread axis of its record subset, splits at the position
+    that divides the subset proportionally to the shard counts of its two
+    subtrees (a median for a power-of-two shard count), and records the
+    threshold. Initial records are assigned by the *split position* (so
+    shard sizes are balanced even with duplicated coordinate values);
+    later inserts are routed by walking the thresholds. Any shard count
+    ``>= 1`` is supported — non-powers of two simply split unevenly.
+    """
+
+    name = "kd"
+
+    def __init__(self, shards: int) -> None:
+        super().__init__(shards)
+        self._root: _KDNode | int | None = None
+
+    def assign_initial(self, points_g: np.ndarray) -> np.ndarray:
+        points_g = np.asarray(points_g, dtype=np.float64)
+        if points_g.ndim != 2:
+            raise ValueError("points_g must be an (n, d) array")
+        if points_g.shape[0] < self.shards:
+            raise ValueError(
+                f"need at least {self.shards} records to build {self.shards} shards"
+            )
+        assignment = np.empty(points_g.shape[0], dtype=np.int64)
+        self._root = self._build(
+            points_g, np.arange(points_g.shape[0]), 0, self.shards, assignment
+        )
+        return assignment
+
+    def _build(
+        self,
+        g: np.ndarray,
+        subset: np.ndarray,
+        lo: int,
+        hi: int,
+        assignment: np.ndarray,
+    ) -> _KDNode | int:
+        """Split ``subset`` across shards ``lo .. hi-1``; fills
+        ``assignment`` for the initial records and returns the routing
+        (sub)tree."""
+        if hi - lo == 1:
+            assignment[subset] = lo
+            return lo
+        mid = (lo + hi) // 2
+        spreads = g[subset].max(axis=0) - g[subset].min(axis=0)
+        axis = int(np.argmax(spreads))
+        order = subset[np.argsort(g[subset, axis], kind="stable")]
+        # Proportional cut: left subtree serves (mid - lo) of (hi - lo)
+        # shards, so it gets that fraction of the records.
+        cut = max(1, min(len(order) - 1, round(len(order) * (mid - lo) / (hi - lo))))
+        left_set, right_set = order[:cut], order[cut:]
+        threshold = float(
+            0.5 * (g[order[cut - 1], axis] + g[order[cut], axis])
+        )
+        return _KDNode(
+            axis=axis,
+            threshold=threshold,
+            left=self._build(g, left_set, lo, mid, assignment),
+            right=self._build(g, right_set, mid, hi, assignment),
+        )
+
+    def route(self, point_g: np.ndarray) -> int:
+        if self._root is None:
+            raise RuntimeError("assign_initial must run before route")
+        point_g = np.asarray(point_g, dtype=np.float64)
+        node = self._root
+        while isinstance(node, _KDNode):
+            node = (
+                node.left
+                if float(point_g[node.axis]) <= node.threshold
+                else node.right
+            )
+        return int(node)
+
+
+PARTITIONERS: dict[str, type[Partitioner]] = {
+    RoundRobinPartitioner.name: RoundRobinPartitioner,
+    KDSplitPartitioner.name: KDSplitPartitioner,
+}
+
+
+def make_partitioner(spec: "str | Partitioner", shards: int) -> Partitioner:
+    """Resolve a partitioner spec: a registry name or a ready instance
+    (whose shard count must match)."""
+    if isinstance(spec, Partitioner):
+        if spec.shards != shards:
+            raise ValueError(
+                f"partitioner is configured for {spec.shards} shards, "
+                f"engine has {shards}"
+            )
+        return spec
+    if spec not in PARTITIONERS:
+        raise ValueError(
+            f"unknown partitioner {spec!r}; expected one of "
+            f"{sorted(PARTITIONERS)} or a Partitioner instance"
+        )
+    return PARTITIONERS[spec](shards)

@@ -1,0 +1,715 @@
+"""`ShardedGIREngine` — the sharded serving tier over N `GIREngine` shards.
+
+One :class:`~repro.engine.GIREngine` serves from one R*-tree and one GIR
+cache; both its data size and its query throughput stop scaling with the
+machine. This tier partitions the record table across ``N`` shards — each
+a full, independent ``GIREngine`` (own R*-tree over its own simulated page
+store, own point table, own :class:`~repro.core.caching.GIRCache`) — and
+serves the *global* top-k on top:
+
+* **reads fan out**: every non-empty shard answers its local top-k
+  (cache-first, exactly as a standalone engine would), either
+  sequentially or concurrently on a thread pool (``parallel=True``;
+  per-shard work is independent, and with a real-latency page store the
+  fan-out genuinely overlaps the page waits);
+* **the merge layer** (:mod:`repro.cluster.merge`) pools the per-shard
+  candidates into the global ordered top-k — byte-identical to a single
+  engine over the unpartitioned data — and assembles its stability region
+  as the intersection of the per-shard serving regions with the
+  cross-shard merge-order half-spaces;
+* **a cluster-level GIR cache** holds those merged regions, so repeat
+  traffic in a hot region is served with *zero* fan-out and zero page
+  reads. The cluster tier cannot resume a merged answer to a deeper
+  ``k`` (there is no retained search state to continue), so its lookups
+  are full-only: deeper requests simply fan out;
+* **writes route** to the single owning shard (the partitioner decides),
+  reuse the shard's selective ``invalidated_by_insert`` /
+  ``invalidated_by_delete`` machinery unchanged, and apply the same
+  selective test to the cluster-level cache under the global rids.
+
+Global rids are the cluster's public record identity: the ``i``-th insert
+lands at rid ``base_n + i`` exactly as in the single engine, so workload
+generators (and their delete streams) work against either unchanged.
+Each shard assigns its local rids in ascending global-rid order, which
+keeps every local ``(score, coord-sum, rid)`` tie-break consistent with
+the global one — the invariant the merge's byte-identity rests on.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.cluster.merge import MergedAnswer, ShardAnswer, merge_shard_answers
+from repro.cluster.partition import Partitioner, make_partitioner
+from repro.core.caching import (
+    GIRCache,
+    apply_delete_invalidation,
+    apply_insert_invalidation,
+)
+from repro.data.dataset import Dataset, PointTable
+from repro.engine.engine import (
+    EngineResponse,
+    GIREngine,
+    INVALIDATION_POLICIES,
+    SOURCE_CACHE,
+    UpdateResponse,
+    WorkloadReport,
+    validate_point,
+    validate_weights,
+)
+from repro.engine.workload import (
+    DeleteOp,
+    InsertOp,
+    Request,
+    Workload,
+    op_batches,
+)
+from repro.index.bulkload import bulk_load_str
+from repro.index.storage import PageStore
+from repro.scoring import LinearScoring, ScoringFunction
+
+__all__ = ["ShardedGIREngine"]
+
+
+class ShardedGIREngine:
+    """A sharded, fan-out top-k serving engine (see module docstring).
+
+    Parameters
+    ----------
+    data:
+        The :class:`Dataset` (or raw ``(n, d)`` array) to serve; must hold
+        at least ``shards`` records.
+    shards:
+        Number of shards; each becomes an independent :class:`GIREngine`.
+    partitioner:
+        ``"round_robin"`` (default), ``"kd"`` (median splits of g-space),
+        or a ready :class:`~repro.cluster.partition.Partitioner`.
+    parallel:
+        Fan reads out on a thread pool (one worker per shard) instead of
+        sequentially. Answers and all accounting are identical either
+        way; only wall-clock changes.
+    cache_capacity:
+        LRU capacity of each *shard's* GIR cache.
+    cluster_cache_capacity:
+        LRU capacity of the cluster-level merged-region cache; ``0``
+        disables the cluster cache (every read fans out).
+    page_sleep_ms:
+        Real per-page read latency of each shard's simulated store
+        (see :class:`~repro.index.storage.PageStore`); ``0`` keeps page
+        reads accounting-only.
+    method / scorer / retain_runs / invalidation:
+        Forwarded to every shard engine (one shared scorer instance keeps
+        g-space identical across shards).
+    """
+
+    def __init__(
+        self,
+        data: Dataset | np.ndarray,
+        *,
+        shards: int = 4,
+        partitioner: "str | Partitioner" = "round_robin",
+        parallel: bool = False,
+        method: str = "fp",
+        scorer: ScoringFunction | None = None,
+        cache_capacity: int = 128,
+        cluster_cache_capacity: int = 256,
+        retain_runs: bool = True,
+        invalidation: str = "gir",
+        page_sleep_ms: float = 0.0,
+    ) -> None:
+        if not isinstance(data, Dataset):
+            data = Dataset(np.asarray(data, float))
+        if shards <= 0:
+            raise ValueError("shards must be positive")
+        if data.n < shards:
+            raise ValueError(
+                f"need at least one record per shard: n={data.n} < shards={shards}"
+            )
+        if invalidation not in INVALIDATION_POLICIES:
+            raise ValueError(
+                f"unknown invalidation policy {invalidation!r}; "
+                f"expected one of {INVALIDATION_POLICIES}"
+            )
+        self.n_shards = int(shards)
+        self.scorer = scorer or LinearScoring(data.d)
+        self.method = method
+        self.invalidation = invalidation
+        self.parallel = bool(parallel)
+        self.partitioner = make_partitioner(partitioner, self.n_shards)
+
+        #: Global mirror of the record table: the cluster's public rids.
+        #: Keeps the full point rows addressable for cluster-cache
+        #: rescoring and for ground-truth oracles, at one extra copy of
+        #: the data (the shards own theirs).
+        self.table = PointTable.from_dataset(data)
+
+        assignment = self.partitioner.assign_initial(
+            self.scorer.transform(data.points)
+        )
+        #: Per shard: local rid → global rid (append-only, ascending).
+        self._local_to_global: list[list[int]] = []
+        #: Global rid → (shard, local rid).
+        self._rid_map: list[tuple[int, int]] = [(-1, -1)] * data.n
+        self.shards: list[GIREngine] = []
+        for s in range(self.n_shards):
+            gids = np.flatnonzero(assignment == s)
+            if gids.size == 0:  # pragma: no cover - partitioners guarantee
+                raise ValueError(f"partitioner left shard {s} empty")
+            subset = Dataset(data.points[gids], name=f"{data.name}[shard{s}]")
+            store = PageStore(sleep_ms_per_page=page_sleep_ms)
+            engine = GIREngine(
+                subset,
+                bulk_load_str(subset, store=store),
+                method=method,
+                scorer=self.scorer,
+                cache_capacity=cache_capacity,
+                retain_runs=retain_runs,
+                invalidation=invalidation,
+            )
+            self.shards.append(engine)
+            self._local_to_global.append([int(g) for g in gids])
+            for local, g in enumerate(gids):
+                self._rid_map[int(g)] = (s, local)
+
+        #: Cluster-level cache of merged answers (``None`` = disabled).
+        self.cache: GIRCache | None = (
+            GIRCache(capacity=cluster_cache_capacity)
+            if cluster_cache_capacity > 0
+            else None
+        )
+        self._pool: ThreadPoolExecutor | None = (
+            ThreadPoolExecutor(
+                max_workers=self.n_shards, thread_name_prefix="gir-shard"
+            )
+            if self.parallel
+            else None
+        )
+        self.requests_served = 0
+        self.fanouts = 0
+        self.updates_applied = 0
+        self.update_evictions = 0
+        self._shard_requests = [0] * self.n_shards
+        self._shard_latency_ms = [0.0] * self.n_shards
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the fan-out thread pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardedGIREngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def d(self) -> int:
+        return self.table.d
+
+    @property
+    def n_live(self) -> int:
+        return self.table.n_live
+
+    @property
+    def points(self) -> np.ndarray:
+        """Read-only global row array, indexable by global rid."""
+        return self.table.rows
+
+    @property
+    def live_mask(self) -> np.ndarray:
+        return self.table.live_mask
+
+    def locate(self, rid: int) -> tuple[int, int]:
+        """``(shard, local rid)`` of a global rid (live or tombstoned)."""
+        if not 0 <= rid < len(self._rid_map):
+            raise KeyError(f"rid {rid} was never allocated")
+        return self._rid_map[rid]
+
+    # -- serving --------------------------------------------------------------
+
+    def topk(self, weights: np.ndarray, k: int) -> EngineResponse:
+        """Answer one global top-k request.
+
+        Cluster-cache first (full-only; zero fan-out and zero page reads
+        on a hit), then fan-out + merge. The response's rid sequence and
+        scores are identical to a single :class:`GIREngine` over the
+        unpartitioned data; ``region`` carries the merged stability
+        region the answer is valid in.
+        """
+        weights = validate_weights(weights, self.d)
+        self._validate_k(k)
+        t0 = time.perf_counter()
+        hit = (
+            self.cache.lookup(weights, k, full_only=True)
+            if self.cache is not None
+            else None
+        )
+        if hit is not None:
+            return self._serve_cluster_hit(weights, k, hit, t0)
+        merged = self._fan_out(weights, k)
+        self._cache_merged(merged)
+        self.requests_served += 1
+        return EngineResponse(
+            ids=merged.gir.topk.ids,
+            scores=merged.gir.topk.scores,
+            weights=weights,
+            k=k,
+            source=merged.source,
+            latency_ms=(time.perf_counter() - t0) * 1e3,
+            pages_read=merged.pages_read,
+            gir_stats=None,
+            region=merged.gir.polytope,
+        )
+
+    def topk_batch(self, requests: list) -> list[EngineResponse]:
+        """Serve a batch of read requests.
+
+        The cluster cache is probed in one batched membership pass; the
+        remaining requests fan out with **one** batched
+        :meth:`GIREngine.topk_batch` call per shard, then merge per
+        request. Answers are identical to issuing the requests through
+        :meth:`topk` one-by-one; cluster-cache *hit accounting* may
+        differ (a request in this batch does not see merged entries
+        cached by an earlier request of the same batch — it fans out
+        instead and caches its own merged entry; the LRU bounds the
+        duplicates).
+        """
+        reqs = list(requests)
+        if not reqs:
+            return []
+        W = np.stack([validate_weights(r.weights, self.d) for r in reqs])
+        ks = [r.k for r in reqs]
+        for k in ks:
+            self._validate_k(k)
+        t_lookup = time.perf_counter()
+        hits = (
+            self.cache.lookup_batch(W, ks, full_only=True)
+            if self.cache is not None
+            else [None] * len(reqs)
+        )
+        lookup_share_ms = (time.perf_counter() - t_lookup) * 1e3 / len(reqs)
+
+        responses: list[EngineResponse | None] = [None] * len(reqs)
+        pending = []
+        for i, hit in enumerate(hits):
+            if hit is not None:
+                t0 = time.perf_counter()
+                responses[i] = self._serve_cluster_hit(
+                    W[i], ks[i], hit, t0, extra_latency_ms=lookup_share_ms
+                )
+            else:
+                pending.append(i)
+        if pending:
+            t_fan = time.perf_counter()
+            per_shard = self._fan_out_batch(
+                [W[i] for i in pending], [ks[i] for i in pending]
+            )
+            fan_share_ms = (time.perf_counter() - t_fan) * 1e3 / len(pending)
+            for offset, i in enumerate(pending):
+                t0 = time.perf_counter()
+                answers = [
+                    self._to_answer(s, shard_resps[offset])
+                    for s, shard_resps in per_shard
+                ]
+                merged = merge_shard_answers(answers, W[i], ks[i])
+                self._cache_merged(merged)
+                self.requests_served += 1
+                responses[i] = EngineResponse(
+                    ids=merged.gir.topk.ids,
+                    scores=merged.gir.topk.scores,
+                    weights=W[i],
+                    k=ks[i],
+                    source=merged.source,
+                    latency_ms=(time.perf_counter() - t0) * 1e3
+                    + fan_share_ms
+                    + lookup_share_ms,
+                    pages_read=merged.pages_read,
+                    gir_stats=None,
+                    region=merged.gir.polytope,
+                )
+        return responses  # type: ignore[return-value]
+
+    def _validate_k(self, k: int) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if k > self.n_live:
+            raise ValueError(
+                f"k={k} exceeds live record count {self.n_live}"
+            )
+
+    def _serve_cluster_hit(
+        self,
+        weights: np.ndarray,
+        k: int,
+        hit,
+        t0: float,
+        extra_latency_ms: float = 0.0,
+    ) -> EngineResponse:
+        """Serve from a cluster-cache entry: zero fan-out, zero pages;
+        scores recomputed for the request's own weights."""
+        ids = hit.ids
+        scores = tuple(
+            float(s)
+            for s in self.scorer.score(self.points[list(ids)], weights)
+        )
+        self.requests_served += 1
+        return EngineResponse(
+            ids=ids,
+            scores=scores,
+            weights=weights,
+            k=k,
+            source=SOURCE_CACHE,
+            latency_ms=(time.perf_counter() - t0) * 1e3 + extra_latency_ms,
+            pages_read=0,
+            gir_stats=None,
+            region=self.cache.entry(hit.entry_key).polytope,
+        )
+
+    # -- fan-out --------------------------------------------------------------
+
+    def _fan_targets(self, k: int) -> list[tuple[int, int]]:
+        """(shard, local k) pairs of the non-empty shards; the local k is
+        clamped to the shard's live count (a shard holding fewer than
+        ``k`` records contributes its whole live set — the pool still
+        dominates every unseen record)."""
+        return [
+            (s, min(k, engine.n_live))
+            for s, engine in enumerate(self.shards)
+            if engine.n_live > 0
+        ]
+
+    def _fan_out(self, weights: np.ndarray, k: int) -> MergedAnswer:
+        """One read fan-out: every non-empty shard answers locally
+        (cache-first), concurrently in parallel mode; answers are merged
+        under the global tie-break."""
+        targets = self._fan_targets(k)
+        if self._pool is not None and len(targets) > 1:
+            futures = [
+                self._pool.submit(self.shards[s].topk, weights, ks)
+                for s, ks in targets
+            ]
+            resps = [f.result() for f in futures]
+        else:
+            resps = [self.shards[s].topk(weights, ks) for s, ks in targets]
+        self.fanouts += 1
+        answers = [
+            self._to_answer(s, resp)
+            for (s, _), resp in zip(targets, resps)
+        ]
+        return merge_shard_answers(answers, weights, k)
+
+    def _fan_out_batch(
+        self, weights_list: list[np.ndarray], ks: list[int]
+    ) -> list[tuple[int, list[EngineResponse]]]:
+        """Batched fan-out: one :meth:`GIREngine.topk_batch` per shard
+        over the whole pending request list. Returns ``(shard,
+        responses)`` pairs, responses aligned with the request list."""
+        targets = [
+            (
+                s,
+                [
+                    Request(weights=w, k=min(k, self.shards[s].n_live))
+                    for w, k in zip(weights_list, ks)
+                ],
+            )
+            for s, _ in self._fan_targets(max(ks))
+        ]
+        if self._pool is not None and len(targets) > 1:
+            futures = [
+                self._pool.submit(self.shards[s].topk_batch, shard_reqs)
+                for s, shard_reqs in targets
+            ]
+            resp_lists = [f.result() for f in futures]
+        else:
+            resp_lists = [
+                self.shards[s].topk_batch(shard_reqs)
+                for s, shard_reqs in targets
+            ]
+        self.fanouts += len(weights_list)
+        return [
+            (s, resps) for (s, _), resps in zip(targets, resp_lists)
+        ]
+
+    def _to_answer(self, shard: int, resp: EngineResponse) -> ShardAnswer:
+        """Lift a shard response into global-rid terms for the merge."""
+        engine = self.shards[shard]
+        self._shard_requests[shard] += 1
+        self._shard_latency_ms[shard] += resp.latency_ms
+        local_ids = list(resp.ids)
+        l2g = self._local_to_global[shard]
+        pts = engine.points[local_ids]
+        return ShardAnswer(
+            shard=shard,
+            ids=tuple(l2g[lid] for lid in local_ids),
+            scores=resp.scores,
+            tie_sums=tuple(float(x) for x in pts.sum(axis=1)),
+            points_g=engine.points_g[local_ids],
+            region=resp.region,
+            source=resp.source,
+            pages_read=resp.pages_read,
+            latency_ms=resp.latency_ms,
+        )
+
+    def _cache_merged(self, merged: MergedAnswer) -> None:
+        # subsume=False: merged regions are under-approximations, so two
+        # entries for the same ordered result can cover different,
+        # non-nested areas — GIRCache's subsumption rules (which assume
+        # maximal regions) would evict or skip coverage we want to keep.
+        if self.cache is not None:
+            self.cache.insert(merged.gir, kth_g=merged.kth_g, subsume=False)
+
+    # -- updates --------------------------------------------------------------
+
+    def insert(self, point: np.ndarray) -> UpdateResponse:
+        """Insert a record: route to the owning shard only, then apply the
+        selective (or flush) invalidation to that shard's cache *and* to
+        the cluster-level cache under the global rids."""
+        t0 = time.perf_counter()
+        point = validate_point(point, self.d)
+        gid = self.table.insert(point)
+        # Work from the *stored* (unit-cube-clipped) row from here on, so
+        # the cluster tier's g-image — and hence its exact-tie prescreen
+        # classification — is byte-identical to what the owning shard
+        # computes from its own stored copy.
+        stored = self.table.point(gid)
+        point_g = self.scorer.transform_one(stored)
+        shard = self.partitioner.route(point_g)
+        sub = self.shards[shard].insert(stored)
+        local = sub.rid
+        assert local == len(self._local_to_global[shard])
+        self._local_to_global[shard].append(gid)
+        self._rid_map.append((shard, local))
+        evicted, screened, lps = self._cluster_invalidate_insert(point_g, gid)
+        return self._finish_update(
+            "insert",
+            gid,
+            t0,
+            evicted=sub.evicted + evicted,
+            screened=sub.prescreen_screened + screened,
+            lps=sub.prescreen_lps + lps,
+        )
+
+    def delete(self, rid: int) -> UpdateResponse:
+        """Delete a live record by global rid: routed to its owning shard;
+        cluster-cache entries are evicted only if they served the rid."""
+        t0 = time.perf_counter()
+        self.table.delete(rid)
+        shard, local = self._rid_map[rid]
+        sub = self.shards[shard].delete(local)
+        if self.cache is None:
+            evicted = 0
+        elif self.invalidation == "flush":
+            evicted = self.cache.flush()
+        else:
+            # No tset_of: merged entries retain no search runs.
+            evicted = apply_delete_invalidation(self.cache, rid)
+        return self._finish_update(
+            "delete",
+            rid,
+            t0,
+            evicted=sub.evicted + evicted,
+            screened=sub.prescreen_screened,
+            lps=sub.prescreen_lps,
+        )
+
+    def _cluster_invalidate_insert(
+        self, point_g: np.ndarray, gid: int
+    ) -> tuple[int, int, int]:
+        """Apply the insert-invalidation policy to the cluster cache;
+        returns (evicted, prescreen_screened, lps_run). The same
+        prescreen → tie-break → LP sequence as :meth:`GIREngine.insert`
+        (:func:`~repro.core.caching.apply_insert_invalidation`), keyed by
+        global rids."""
+        if self.cache is None:
+            return 0, 0, 0
+        if self.invalidation == "flush":
+            return self.cache.flush(), 0, 0
+        rows = self.points
+        return apply_insert_invalidation(
+            self.cache,
+            point_g,
+            new_sum=float(rows[gid].sum()),
+            new_rid=gid,
+            kth_point=lambda rid: rows[rid],
+            kth_g=self._g_of,
+        )
+
+    def _g_of(self, rid: int) -> np.ndarray:
+        """g-space image of a global rid (from its owning shard's buffer)."""
+        shard, local = self._rid_map[rid]
+        return self.shards[shard].points_g[local]
+
+    def _finish_update(
+        self,
+        kind: str,
+        rid: int,
+        t0: float,
+        evicted: int,
+        screened: int,
+        lps: int,
+    ) -> UpdateResponse:
+        self.updates_applied += 1
+        self.update_evictions += evicted
+        entries = sum(len(engine.cache) for engine in self.shards)
+        if self.cache is not None:
+            entries += len(self.cache)
+        return UpdateResponse(
+            kind=kind,
+            rid=rid,
+            latency_ms=(time.perf_counter() - t0) * 1e3,
+            evicted=evicted,
+            cache_entries=entries,
+            policy=self.invalidation,
+            prescreen_screened=screened,
+            prescreen_lps=lps,
+        )
+
+    # -- workload runner -------------------------------------------------------
+
+    #: shard_stats() keys that are monotone counters (reported as per-run
+    #: deltas by :meth:`run`); the rest are end-of-run state.
+    _SHARD_COUNTER_KEYS = (
+        "requests",
+        "latency_ms_total",
+        "page_reads",
+        "cache_full_hits",
+        "cache_partial_hits",
+        "cache_misses",
+        "updates_applied",
+        "update_evictions",
+    )
+    _CLUSTER_COUNTER_KEYS = (
+        "requests_served",
+        "fanouts",
+        "updates_applied",
+        "update_evictions",
+        "cluster_full_hits",
+        "cluster_misses",
+    )
+
+    def run(self, workload: Workload | list, batch: bool = False) -> WorkloadReport:
+        """Serve a whole workload (reads and updates) through the cluster.
+
+        Identical in shape to :meth:`GIREngine.run`; the returned report
+        additionally carries the per-shard breakdown
+        (:attr:`WorkloadReport.shard_stats`) and the cluster-tier counters
+        (:attr:`WorkloadReport.cluster_stats`). Counter fields in both are
+        *per-run deltas* (snapshotted against the engine's lifetime meters
+        at entry), so per-shard page reads sum to the run's
+        ``pages_read_total`` even when the same cluster serves several
+        workloads; state fields (cache entries, live records) are the
+        end-of-run snapshot. With ``batch=True``, maximal runs of
+        consecutive reads go through :meth:`topk_batch` (one cluster-cache
+        membership pass, one batched per-shard call).
+        """
+        shard_base = self.shard_stats()
+        cluster_base = self.cluster_stats()
+        ops = list(workload)
+        kind = workload.kind if isinstance(workload, Workload) else "custom"
+        responses: list[EngineResponse] = []
+        updates: list[UpdateResponse] = []
+        update_ms = 0.0
+        t0 = time.perf_counter()
+        for op in op_batches(ops) if batch else ops:
+            if isinstance(op, list):
+                responses.extend(self.topk_batch(op))
+            elif isinstance(op, Request):
+                responses.append(self.topk(op.weights, op.k))
+            elif isinstance(op, InsertOp):
+                tu = time.perf_counter()
+                updates.append(self.insert(op.point))
+                update_ms += (time.perf_counter() - tu) * 1e3
+            elif isinstance(op, DeleteOp):
+                tu = time.perf_counter()
+                updates.append(self.delete(op.rid))
+                update_ms += (time.perf_counter() - tu) * 1e3
+            else:
+                raise TypeError(f"unknown workload operation {op!r}")
+        wall_ms = (time.perf_counter() - t0) * 1e3
+
+        def deltas(now: dict, before: dict, keys: tuple[str, ...]) -> dict:
+            return {
+                **now,
+                **{key: now[key] - before[key] for key in keys},
+            }
+
+        return WorkloadReport(
+            responses=responses,
+            wall_ms=wall_ms,
+            workload_kind=kind,
+            updates=updates,
+            update_wall_ms=update_ms,
+            shard_stats=[
+                deltas(now, before, self._SHARD_COUNTER_KEYS)
+                for now, before in zip(self.shard_stats(), shard_base)
+            ],
+            cluster_stats=deltas(
+                self.cluster_stats(), cluster_base, self._CLUSTER_COUNTER_KEYS
+            ),
+        )
+
+    # -- introspection --------------------------------------------------------
+
+    def shard_stats(self) -> list[dict]:
+        """Per-shard breakdown: fan-out traffic, page reads, cache state.
+
+        ``page_reads`` is each shard store's lifetime meter; summed over
+        shards it equals the cluster's total metered I/O (every metered
+        read happens inside some shard's serving path).
+        """
+        stats = []
+        for s, engine in enumerate(self.shards):
+            cache = engine.cache
+            stats.append(
+                {
+                    "shard": s,
+                    "live_records": engine.n_live,
+                    "requests": self._shard_requests[s],
+                    "latency_ms_total": self._shard_latency_ms[s],
+                    "page_reads": engine.tree.store.stats.page_reads,
+                    "cache_entries": len(cache),
+                    "cache_full_hits": cache.full_hits,
+                    "cache_partial_hits": cache.partial_hits,
+                    "cache_misses": cache.misses,
+                    "updates_applied": engine.updates_applied,
+                    "update_evictions": engine.update_evictions,
+                }
+            )
+        return stats
+
+    def cluster_stats(self) -> dict:
+        """Cluster-tier counters (cache, fan-outs, mode)."""
+        stats = {
+            "shards": self.n_shards,
+            "mode": "parallel" if self.parallel else "sequential",
+            "partitioner": self.partitioner.name,
+            "requests_served": self.requests_served,
+            "fanouts": self.fanouts,
+            "updates_applied": self.updates_applied,
+            "update_evictions": self.update_evictions,
+            "live_records": self.n_live,
+            "cluster_cache_enabled": self.cache is not None,
+        }
+        # `if self.cache` would test emptiness (GIRCache defines __len__),
+        # zeroing the counters whenever the cache happens to be empty.
+        if self.cache is not None:
+            stats["cluster_full_hits"] = self.cache.full_hits
+            stats["cluster_misses"] = self.cache.misses
+            stats["cluster_entries"] = len(self.cache)
+        else:
+            stats["cluster_full_hits"] = 0
+            stats["cluster_misses"] = 0
+            stats["cluster_entries"] = 0
+        return stats
+
+    def stats(self) -> dict:
+        """Cluster counters plus the per-shard breakdown."""
+        return {**self.cluster_stats(), "shard_stats": self.shard_stats()}

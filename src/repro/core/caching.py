@@ -75,6 +75,8 @@ __all__ = [
     "GIRCache",
     "invalidated_by_insert",
     "invalidated_by_delete",
+    "apply_insert_invalidation",
+    "apply_delete_invalidation",
 ]
 
 
@@ -113,6 +115,78 @@ def invalidated_by_delete(
     if rid in gir.topk.ids:
         return True
     return tset_ids is not None and rid in tset_ids
+
+
+def apply_insert_invalidation(
+    cache: "GIRCache",
+    point_g: np.ndarray,
+    new_sum: float,
+    new_rid: int,
+    kth_point,
+    kth_g,
+) -> tuple[int, int, int]:
+    """Run the selective insert-invalidation policy over a whole cache.
+
+    The one sequence both serving tiers share: vectorized prescreen →
+    tie-break resolution of exact-tie entries → invalidation LP on the
+    survivors → eviction. Returns ``(evicted, prescreen_screened,
+    lps_run)``.
+
+    Parameters
+    ----------
+    point_g:
+        g-space image of the inserted record.
+    new_sum / new_rid:
+        The inserted record's ``(coord-sum, rid)`` tie-break key, in the
+        rid space the cache's entries are keyed in (local rids for a
+        shard's cache, global rids for the cluster-level cache). The sum
+        must come from the *stored* row (unit-cube clipped), so shard and
+        cluster tiers resolve exact ties identically.
+    kth_point / kth_g:
+        Accessors ``rid -> data-space row`` / ``rid -> g-image`` for an
+        entry's k-th result record — how rows are fetched is the only
+        thing that differs between the tiers.
+    """
+    prescreen = cache.prescreen_insert(point_g)
+
+    def tie_wins(gir: GIRResult) -> bool:
+        # Exact score ties resolve by (coord-sum, rid) descending; the
+        # freshly inserted rid is always the highest.
+        kth = gir.topk.kth_id
+        return (new_sum, new_rid) > (float(kth_point(kth).sum()), kth)
+
+    stale = [key for key in prescreen.ties if tie_wins(cache.entry(key))]
+    lps = 0
+    for key in prescreen.candidates:
+        gir = cache.entry(key)
+        lps += 1
+        if invalidated_by_insert(
+            gir, point_g, kth_g(gir.topk.kth_id), tie_wins=tie_wins(gir)
+        ):
+            stale.append(key)
+    return cache.evict(stale), prescreen.screened, lps
+
+
+def apply_delete_invalidation(
+    cache: "GIRCache", rid: int, tset_of=None
+) -> int:
+    """Run the selective delete-invalidation policy over a whole cache.
+
+    Evicts every entry :func:`invalidated_by_delete` flags — the rid is
+    in the entry's cached result, or in the T-set of its retained search
+    run — and returns the eviction count. ``tset_of`` is an optional
+    ``entry key -> iterable of rids`` accessor for retained-run T-sets;
+    leave it ``None`` for tiers that retain no runs (the cluster-level
+    cache of merged answers).
+    """
+    stale = [
+        key
+        for key, gir in cache.items()
+        if invalidated_by_delete(
+            gir, rid, tset_ids=tset_of(key) if tset_of is not None else None
+        )
+    ]
+    return cache.evict(stale)
 
 
 @dataclass(frozen=True)
@@ -215,7 +289,12 @@ class GIRCache:
 
     # -- writes ---------------------------------------------------------------
 
-    def insert(self, gir: GIRResult, kth_g: np.ndarray | None = None) -> int:
+    def insert(
+        self,
+        gir: GIRResult,
+        kth_g: np.ndarray | None = None,
+        subsume: bool = True,
+    ) -> int:
         """Cache a computed GIR; returns its entry key.
 
         Subsumption is resolved in both directions. An existing same-``k``
@@ -234,29 +313,38 @@ class GIRCache:
         typically *wider* (fewer constraints) and still serves traffic the
         new, tighter region misses.
 
+        Both directions rest on regions being *maximal* for their ordered
+        result. Callers caching **under-approximated** regions — the
+        sharded cluster tier's merged entries — must pass
+        ``subsume=False``: two such entries can certify the same ordered
+        result under different, non-nested regions, so evicting (or
+        skipping) one would silently shrink the cache's coverage.
+
         ``kth_g`` — the g-image of the entry's k-th result record — enables
         the vectorized insert-invalidation prescreen for this entry (see
         :meth:`prescreen_insert`); optional for read-only deployments.
         """
-        k = gir.topk.k
-        same_k = [
-            key
-            for key, entry in self._entries.items()
-            if entry.topk.k == k and entry.weights.shape == gir.weights.shape
-        ]
         stale: list[int] = []
-        if same_k:
-            inside = gir.polytope.contains_batch(
-                np.stack([self._entries[key].weights for key in same_k])
-            )
-            stale = [key for key, flag in zip(same_k, inside) if flag]
-        if not stale:
-            # Reverse direction: is the new entry itself redundant?
-            host = self._subsuming_host(gir, same_k)
-            if host is not None:
-                self._touch(host)
-                self.subsumption_skips += 1
-                return host
+        if subsume:
+            k = gir.topk.k
+            same_k = [
+                key
+                for key, entry in self._entries.items()
+                if entry.topk.k == k
+                and entry.weights.shape == gir.weights.shape
+            ]
+            if same_k:
+                inside = gir.polytope.contains_batch(
+                    np.stack([self._entries[key].weights for key in same_k])
+                )
+                stale = [key for key, flag in zip(same_k, inside) if flag]
+            if not stale:
+                # Reverse direction: is the new entry itself redundant?
+                host = self._subsuming_host(gir, same_k)
+                if host is not None:
+                    self._touch(host)
+                    self.subsumption_skips += 1
+                    return host
         for key in stale:
             self._unregister(key)
         self.subsumption_evictions += len(stale)
@@ -292,7 +380,9 @@ class GIRCache:
 
     # -- lookups --------------------------------------------------------------
 
-    def lookup(self, weights: np.ndarray, k: int) -> CacheHit | None:
+    def lookup(
+        self, weights: np.ndarray, k: int, full_only: bool = False
+    ) -> CacheHit | None:
         """Serve a query from cache if its vector lies in some cached GIR.
 
         Membership of *all* entries is evaluated in one vectorized pass
@@ -303,9 +393,14 @@ class GIRCache:
         candidates the most recently used wins (exactly the order the
         entry-by-entry scan of :meth:`lookup_scan` produces). Returns
         ``None`` on a miss.
+
+        ``full_only`` makes a lookup that no entry can serve *in full*
+        count as a miss (no partial hit, no recency touch) — the mode of
+        callers that cannot complete a prefix, such as the sharded
+        cluster tier, whose merged entries have no resumable search state.
         """
         weights = np.asarray(weights, dtype=np.float64)
-        return self._resolve(self._members_of(weights), k)
+        return self._resolve(self._members_of(weights), k, full_only=full_only)
 
     def lookup_scan(self, weights: np.ndarray, k: int) -> CacheHit | None:
         """Entry-by-entry reference implementation of :meth:`lookup`.
@@ -346,6 +441,7 @@ class GIRCache:
         weights_batch: np.ndarray,
         ks: int | Sequence[int],
         stop_after_non_full: bool = False,
+        full_only: bool = False,
     ) -> list[CacheHit | None]:
         """Serve a whole batch of lookups from one membership matmul.
 
@@ -360,6 +456,10 @@ class GIRCache:
         possibly shorter list. The serving engine uses this to interleave
         pipeline computations (which mutate the cache) at exactly the
         positions a sequential run would.
+
+        ``full_only`` is forwarded to the per-query resolution (see
+        :meth:`lookup`): queries only a smaller-``k`` entry contains count
+        as misses instead of partial hits.
         """
         W = np.asarray(weights_batch, dtype=np.float64)
         if W.ndim != 2:
@@ -379,7 +479,7 @@ class GIRCache:
                 if membership is not None
                 else []
             )
-            hit = self._resolve(members, int(ks_arr[i]))
+            hit = self._resolve(members, int(ks_arr[i]), full_only=full_only)
             hits.append(hit)
             if stop_after_non_full and (hit is None or hit.partial):
                 break
@@ -394,9 +494,12 @@ class GIRCache:
         keys = index.keys()
         return [keys[i] for i in np.nonzero(mask)[0]]
 
-    def _resolve(self, member_keys: Sequence[int], k: int) -> CacheHit | None:
+    def _resolve(
+        self, member_keys: Sequence[int], k: int, full_only: bool = False
+    ) -> CacheHit | None:
         """Pick the serving entry among containing entries and account the
-        outcome — the selection rule shared by every lookup flavour."""
+        outcome — the selection rule shared by every lookup flavour.
+        ``full_only`` suppresses partial hits (counted as misses)."""
         best_full: tuple[int, int] | None = None  # (stamp, key)
         best_partial: tuple[int, int, int] | None = None  # (cached, stamp, key)
         for key in member_keys:
@@ -405,6 +508,8 @@ class GIRCache:
             if cached >= k:
                 if best_full is None or stamp > best_full[0]:
                     best_full = (stamp, key)
+            elif full_only:
+                continue
             elif best_partial is None or (cached, stamp) > best_partial[:2]:
                 best_partial = (cached, stamp, key)
         if best_full is not None:

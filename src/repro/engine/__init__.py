@@ -18,12 +18,15 @@ from repro.engine.engine import (
     UpdateResponse,
     WorkloadReport,
     percentile,
+    validate_point,
+    validate_weights,
 )
 from repro.engine.workload import (
     DeleteOp,
     InsertOp,
     Request,
     Workload,
+    as_generator,
     mixed_workload,
     op_batches,
     uniform_workload,
@@ -37,11 +40,14 @@ __all__ = [
     "WorkloadReport",
     "INVALIDATION_POLICIES",
     "percentile",
+    "validate_weights",
+    "validate_point",
     "Request",
     "InsertOp",
     "DeleteOp",
     "Workload",
     "op_batches",
+    "as_generator",
     "uniform_workload",
     "zipf_clustered_workload",
     "mixed_workload",

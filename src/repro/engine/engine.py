@@ -55,8 +55,8 @@ import numpy as np
 
 from repro.core.caching import (
     GIRCache,
-    invalidated_by_delete,
-    invalidated_by_insert,
+    apply_delete_invalidation,
+    apply_insert_invalidation,
 )
 from repro.core.gir import GIRResult, GIRStats
 from repro.core.pipeline import PHASE2_METHODS, ExecutionContext, run_pipeline
@@ -69,6 +69,7 @@ from repro.engine.workload import (
     frozen_array,
     op_batches,
 )
+from repro.geometry.polytope import Polytope
 from repro.index.bulkload import bulk_load_str
 from repro.index.rtree import RStarTree
 from repro.query.brs import BRSRun, brs_topk, resume_brs_topk
@@ -81,6 +82,8 @@ __all__ = [
     "GIREngine",
     "INVALIDATION_POLICIES",
     "percentile",
+    "validate_weights",
+    "validate_point",
 ]
 
 #: Response provenance markers.
@@ -107,6 +110,50 @@ def percentile(values: list[float], p: float) -> float:
     return float(np.percentile(values, p, method="inverted_cdf"))
 
 
+def validate_weights(weights: np.ndarray, d: int) -> np.ndarray:
+    """Check a query vector at the serving boundary; returns it as float64.
+
+    A malformed vector used to surface as an opaque downstream failure (a
+    shape error inside BRS, or NaNs silently poisoning the geometry);
+    rejecting it here gives the caller one clear :class:`ValueError`.
+    Rejected: wrong dimensionality, non-finite entries (NaN/inf), negative
+    entries, and all-nonpositive vectors (a zero preference ranks every
+    record identically — degenerate for top-k).
+    """
+    arr = np.asarray(weights, dtype=np.float64)
+    if arr.shape != (d,):
+        raise ValueError(
+            f"weights must be a vector of shape ({d},), got {arr.shape}"
+        )
+    if not np.isfinite(arr).all():
+        raise ValueError("weights must be finite (no NaN or inf entries)")
+    if (arr < 0).any():
+        raise ValueError("query weights must be non-negative")
+    if not (arr > 0).any():
+        raise ValueError(
+            "weights must have at least one positive entry "
+            "(an all-zero preference cannot rank records)"
+        )
+    return arr
+
+
+def validate_point(point: np.ndarray, d: int) -> np.ndarray:
+    """Check an insert's record at the serving boundary; returns float64.
+
+    Shape and finiteness are rejected here with a clear :class:`ValueError`
+    before any structure (table, tree, g-buffer) is touched; the unit-cube
+    range check stays with :class:`~repro.data.dataset.PointTable`.
+    """
+    arr = np.asarray(point, dtype=np.float64)
+    if arr.shape != (d,):
+        raise ValueError(
+            f"point must be a vector of shape ({d},), got {arr.shape}"
+        )
+    if not np.isfinite(arr).all():
+        raise ValueError("point must be finite (no NaN or inf entries)")
+    return arr
+
+
 @dataclass(frozen=True)
 class EngineResponse:
     """One served request, with its full cost accounting.
@@ -126,6 +173,11 @@ class EngineResponse:
     pages_read: int
     #: Pipeline cost breakdown; ``None`` for pure cache hits (no pipeline ran).
     gir_stats: GIRStats | None = None
+    #: The region of query space in which this exact (ordered) answer is
+    #: served: the cached entry's GIR on a hit, the freshly computed GIR
+    #: otherwise. A shared reference, not a copy — the sharded cluster
+    #: tier reads it to assemble the cross-shard merged region.
+    region: "Polytope | None" = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "weights", frozen_array(self.weights, "weights"))
@@ -166,6 +218,15 @@ class WorkloadReport:
     #: which differs by invalidation policy — cannot masquerade as read
     #: serving speed.
     update_wall_ms: float = 0.0
+    #: Per-shard breakdown of a sharded-cluster run (one dict per shard:
+    #: requests fanned out, page reads, latency, cache counters as
+    #: *per-run deltas*; cache entries / live records as end-of-run
+    #: state); empty for single-engine runs.
+    shard_stats: list[dict] = field(default_factory=list)
+    #: Cluster-tier counters of a sharded run (cluster-cache hits and
+    #: fan-outs as per-run deltas; mode/partitioner/entries as state);
+    #: empty for single-engine runs.
+    cluster_stats: dict = field(default_factory=dict)
 
     # -- derived aggregates ---------------------------------------------------
 
@@ -291,6 +352,10 @@ class WorkloadReport:
                     "prescreen_lps": self.prescreen_lps_total,
                 }
             )
+        if self.cluster_stats:
+            payload["cluster"] = dict(self.cluster_stats)
+        if self.shard_stats:
+            payload["shards"] = [dict(s) for s in self.shard_stats]
         return payload
 
     def summary(self) -> str:
@@ -315,6 +380,22 @@ class WorkloadReport:
             lines.append(
                 f"insert prescreen  : {self.prescreen_screened_total} entries "
                 f"cleared without an LP, {self.prescreen_lps_total} LPs run"
+            )
+        if self.cluster_stats:
+            cs = self.cluster_stats
+            lines.append(
+                f"cluster           : {len(self.shard_stats)} shards "
+                f"({cs.get('mode', '?')} fan-out), "
+                f"{cs.get('cluster_full_hits', 0)} cluster-cache hits, "
+                f"{cs.get('fanouts', 0)} fan-outs"
+            )
+        for s in self.shard_stats:
+            lines.append(
+                f"  shard {s.get('shard', '?')}         : "
+                f"{s.get('requests', 0)} requests, "
+                f"{s.get('page_reads', 0)} pages, "
+                f"{s.get('cache_entries', 0)} cached regions, "
+                f"{s.get('live_records', 0)} live records"
             )
         return "\n".join(lines)
 
@@ -422,8 +503,12 @@ class GIREngine:
         completed by resuming computation at the requested ``k``; a miss
         runs the full pipeline. Either way the response carries a complete
         ordered top-k and exact latency / page-read accounting.
+
+        Malformed query vectors (wrong dimension, NaN/inf, all-nonpositive)
+        are rejected with a :class:`ValueError` up front — see
+        :func:`validate_weights`.
         """
-        weights = np.asarray(weights, dtype=np.float64)
+        weights = validate_weights(weights, self.d)
         io_before = self.tree.store.stats.page_reads
         t0 = time.perf_counter()
         hit = self.cache.lookup(weights, k)
@@ -444,13 +529,15 @@ class GIREngine:
         work a mid-batch pipeline run can invalidate.
         """
         reqs = list(requests)
+        # Validate the whole batch before serving anything: a malformed
+        # request must fail the call up front, not abort mid-batch after
+        # earlier windows already mutated the cache and the counters.
+        validated = [validate_weights(r.weights, self.d) for r in reqs]
         responses: list[EngineResponse] = []
         i = 0
         while i < len(reqs):
             rest = reqs[i : i + LOOKUP_WINDOW]
-            W = np.stack(
-                [np.asarray(r.weights, dtype=np.float64) for r in rest]
-            )
+            W = np.stack(validated[i : i + LOOKUP_WINDOW])
             ks = [r.k for r in rest]
             t_lookup = time.perf_counter()
             hits = self.cache.lookup_batch(W, ks, stop_after_non_full=True)
@@ -494,12 +581,14 @@ class GIREngine:
             )
             source = SOURCE_CACHE
             gir_stats = None
+            region = self.cache.entry(hit.entry_key).polytope
         else:
             gir = self._compute_and_cache(weights, k, hit)
             ids = gir.topk.ids
             scores = gir.topk.scores
             source = SOURCE_COMPLETED if hit is not None else SOURCE_COMPUTED
             gir_stats = gir.stats
+            region = gir.polytope
 
         latency_ms = (time.perf_counter() - t0) * 1e3 + extra_latency_ms
         pages_read = self.tree.store.stats.page_reads - io_before
@@ -513,6 +602,7 @@ class GIREngine:
             latency_ms=latency_ms,
             pages_read=pages_read,
             gir_stats=gir_stats,
+            region=region,
         )
 
     def _compute_and_cache(self, weights: np.ndarray, k: int, hit) -> GIRResult:
@@ -583,9 +673,13 @@ class GIREngine:
         every entry whose vertex-set score bound proves it undisturbable,
         so the LP cost scales with the prescreen's survivors, not the
         cache size.
+
+        Malformed points (wrong dimension, NaN/inf) are rejected with a
+        :class:`ValueError` before any structure is touched — see
+        :func:`validate_point`.
         """
         t0 = time.perf_counter()
-        point = np.asarray(point, dtype=np.float64)
+        point = validate_point(point, self.d)
         rid = self.table.insert(point)
         self.tree.insert(self.table.point(rid), rid)
         point_g = self._append_g(self.table.point(rid))
@@ -593,34 +687,14 @@ class GIREngine:
         if self.invalidation == "flush":
             evicted = self.cache.flush()
         else:
-            prescreen = self.cache.prescreen_insert(point_g)
-            new_sum = float(self.points[rid].sum())
-
-            def tie_wins(gir) -> bool:
-                # Exact score ties resolve by (coord-sum, rid) descending;
-                # the fresh rid is always the highest.
-                kth_id = gir.topk.kth_id
-                return (new_sum, rid) > (
-                    float(self.points[kth_id].sum()), kth_id,
-                )
-
-            stale = [
-                key
-                for key in prescreen.ties
-                if tie_wins(self.cache.entry(key))
-            ]
-            for key in prescreen.candidates:
-                gir = self.cache.entry(key)
-                lps += 1
-                if invalidated_by_insert(
-                    gir,
-                    point_g,
-                    self._g_buf[gir.topk.kth_id],
-                    tie_wins=tie_wins(gir),
-                ):
-                    stale.append(key)
-            evicted = self.cache.evict(stale)
-            screened = prescreen.screened
+            evicted, screened, lps = apply_insert_invalidation(
+                self.cache,
+                point_g,
+                new_sum=float(self.points[rid].sum()),
+                new_rid=rid,
+                kth_point=lambda kid: self.points[kid],
+                kth_g=lambda kid: self._g_buf[kid],
+            )
             self.prescreen_screened += screened
             self.prescreen_lps += lps
         self._drop_stale_runs()
@@ -650,20 +724,15 @@ class GIREngine:
         if self.invalidation == "flush":
             evicted = self.cache.flush()
         else:
-            stale = [
-                key
-                for key, gir in self.cache.items()
-                if invalidated_by_delete(
-                    gir,
-                    rid,
-                    tset_ids=(
-                        run.encountered
-                        if (run := self._runs.get(key)) is not None
-                        else None
-                    ),
-                )
-            ]
-            evicted = self.cache.evict(stale)
+            evicted = apply_delete_invalidation(
+                self.cache,
+                rid,
+                tset_of=lambda key: (
+                    run.encountered
+                    if (run := self._runs.get(key)) is not None
+                    else None
+                ),
+            )
         self._drop_stale_runs()
         return self._finish_update("delete", rid, t0, evicted)
 

@@ -33,6 +33,7 @@ import numpy as np
 
 __all__ = [
     "frozen_array",
+    "as_generator",
     "Request",
     "InsertOp",
     "DeleteOp",
@@ -42,6 +43,24 @@ __all__ = [
     "zipf_clustered_workload",
     "mixed_workload",
 ]
+
+def as_generator(rng: "int | np.integer | np.random.Generator | None") -> np.random.Generator:
+    """Normalise a seed-or-generator argument into a ``Generator``.
+
+    All workload generators accept either form, so call sites can pass a
+    plain int seed (``uniform_workload(3, 100, rng=7)``) without first
+    constructing ``np.random.default_rng(7)`` themselves, while callers
+    that thread one generator through several generators keep doing so. A
+    ``Generator`` instance is returned unchanged (no reseeding).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if rng is not None and not isinstance(rng, (int, np.integer)):
+        raise TypeError(
+            f"rng must be an int seed, a numpy Generator or None, "
+            f"got {type(rng).__name__}"
+        )
+    return np.random.default_rng(rng)
 
 
 def frozen_array(value: np.ndarray, shape_name: str) -> np.ndarray:
@@ -148,10 +167,13 @@ def uniform_workload(
     d: int,
     count: int,
     k: int = 10,
-    rng: np.random.Generator | None = None,
+    rng: "int | np.random.Generator | None" = None,
 ) -> Workload:
-    """I.i.d. uniform query vectors away from the query-space walls."""
-    rng = rng or np.random.default_rng()
+    """I.i.d. uniform query vectors away from the query-space walls.
+
+    ``rng`` accepts an int seed or a ready generator (:func:`as_generator`).
+    """
+    rng = as_generator(rng)
     requests = [
         Request(weights=rng.random(d) * 0.8 + 0.1, k=k) for _ in range(count)
     ]
@@ -169,7 +191,7 @@ def zipf_clustered_workload(
     clusters: int = 8,
     zipf_s: float = 1.1,
     spread: float = 0.01,
-    rng: np.random.Generator | None = None,
+    rng: "int | np.random.Generator | None" = None,
 ) -> Workload:
     """Zipf-popular preference archetypes with per-user Gaussian tweaks.
 
@@ -182,10 +204,12 @@ def zipf_clustered_workload(
         ``P(rank r) ∝ r^{-s}``. Higher values concentrate traffic.
     spread:
         Standard deviation of the per-query tweak around the archetype.
+    rng:
+        Int seed or ready generator (:func:`as_generator`).
     """
     if clusters <= 0:
         raise ValueError("clusters must be positive")
-    rng = rng or np.random.default_rng()
+    rng = as_generator(rng)
     centres = rng.random((clusters, d)) * 0.7 + 0.15
     ranks = np.arange(1, clusters + 1, dtype=np.float64)
     probs = ranks**-zipf_s
@@ -223,7 +247,7 @@ def mixed_workload(
     clusters: int = 8,
     zipf_s: float = 1.1,
     spread: float = 0.01,
-    rng: np.random.Generator | None = None,
+    rng: "int | np.random.Generator | None" = None,
 ) -> Workload:
     """A read stream with update bursts blended in.
 
@@ -248,6 +272,8 @@ def mixed_workload(
         Fraction of updates that are inserts (the rest are deletes).
     batch_size:
         Maximum length of one update burst.
+    rng:
+        Int seed or ready generator (:func:`as_generator`).
     """
     if not 0.0 <= update_fraction < 1.0:
         raise ValueError("update_fraction must be in [0, 1)")
@@ -257,7 +283,7 @@ def mixed_workload(
         raise ValueError("batch_size must be positive")
     if base_n <= 2 * k:
         raise ValueError("base_n must exceed 2k so deletes stay safe")
-    rng = rng or np.random.default_rng()
+    rng = as_generator(rng)
     if read_kind == "uniform":
         reads = uniform_workload(d, count, k=k, rng=rng).requests
     elif read_kind == "zipf_clustered":

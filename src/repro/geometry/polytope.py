@@ -19,6 +19,8 @@ intersection):
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 from scipy.optimize import linprog
 from scipy.spatial import ConvexHull, HalfspaceIntersection, QhullError
@@ -61,6 +63,33 @@ class Polytope:
         A = np.vstack([eye, -eye])
         b = np.concatenate([np.ones(d), np.zeros(d)])
         return cls(A, b)
+
+    @classmethod
+    def intersection(cls, polytopes: "Sequence[Polytope]") -> "Polytope":
+        """Intersection of several polytopes over the same query space.
+
+        Pure row stacking: the result's constraint rows are the rows of
+        every input in order (``polytopes[0]`` first), so callers that
+        track row identity (e.g. via an offset) can still map rows back to
+        their source. Redundant duplicates — such as each input's unit-box
+        rows — are kept; they cost a few extra matvec rows but preserve
+        the identity bookkeeping. This is the primitive behind the sharded
+        serving tier's cross-shard region merge: the global result is
+        stable wherever *every* shard's local region holds (plus the
+        merge-order half-spaces the cluster adds on top).
+        """
+        polys = list(polytopes)
+        if not polys:
+            raise ValueError("need at least one polytope to intersect")
+        d = polys[0].d
+        if any(p.d != d for p in polys):
+            raise ValueError("all polytopes must share one dimensionality")
+        if len(polys) == 1:
+            return cls(polys[0].A.copy(), polys[0].b.copy())
+        return cls(
+            np.vstack([p.A for p in polys]),
+            np.concatenate([p.b for p in polys]),
+        )
 
     def with_constraints(self, normals: np.ndarray) -> "Polytope":
         """Intersect with half-spaces ``normal · x ≥ 0`` (GIR conditions).

@@ -13,6 +13,7 @@ query processing.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
@@ -74,6 +75,13 @@ class PageStore:
         buffering, matching the paper's setup.
     latency_ms_per_page:
         Simulated cost of one page read, used by :attr:`IOStats.io_time_ms`.
+    sleep_ms_per_page:
+        When positive, every metered page read *actually sleeps* this many
+        milliseconds instead of only counting. Accounting-only mode (the
+        default ``0.0``) keeps benchmarks fast; the real-latency mode is
+        what makes wall-clock fan-out comparisons honest — a sharded
+        serving tier can only overlap page waits that really happen.
+        Buffer hits do not sleep (no disk access).
     """
 
     def __init__(
@@ -81,13 +89,17 @@ class PageStore:
         page_size: int = DEFAULT_PAGE_SIZE,
         buffer_pages: int = 0,
         latency_ms_per_page: float = DEFAULT_PAGE_LATENCY_MS,
+        sleep_ms_per_page: float = 0.0,
     ) -> None:
         if page_size < 256:
             raise ValueError("page_size must be at least 256 bytes")
         if buffer_pages < 0:
             raise ValueError("buffer_pages must be non-negative")
+        if sleep_ms_per_page < 0:
+            raise ValueError("sleep_ms_per_page must be non-negative")
         self.page_size = int(page_size)
         self.buffer_pages = int(buffer_pages)
+        self.sleep_ms_per_page = float(sleep_ms_per_page)
         self.stats = IOStats(latency_ms_per_page=latency_ms_per_page)
         self._pages: dict[int, "Node"] = {}
         self._buffer: OrderedDict[int, None] = OrderedDict()
@@ -124,6 +136,8 @@ class PageStore:
             self.stats.leaf_reads += 1
         else:
             self.stats.internal_reads += 1
+        if self.sleep_ms_per_page > 0.0:
+            time.sleep(self.sleep_ms_per_page / 1e3)
         if self.buffer_pages > 0:
             self._buffer[node_id] = None
             self._buffer.move_to_end(node_id)

@@ -1,0 +1,427 @@
+"""Tests for the sharded serving tier (`repro.cluster`).
+
+The headline property: a :class:`ShardedGIREngine` — any shard count, any
+partitioner, sequential or parallel fan-out, per-request or batched — is
+*observably identical* to a single :class:`GIREngine` over the
+unpartitioned data: same rid sequences, same scores, on read-only and
+mixed read/write workloads alike. On top of that, every cluster-level
+cached region must be a sound under-approximation of the true immutable
+region: re-querying anywhere inside it reproduces the cached ordered
+answer against a ground-truth linear scan of the live records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    KDSplitPartitioner,
+    PARTITIONERS,
+    RoundRobinPartitioner,
+    ShardedGIREngine,
+    make_partitioner,
+)
+from repro.data.synthetic import independent
+from repro.engine import GIREngine, mixed_workload, uniform_workload, zipf_clustered_workload
+from repro.index.bulkload import bulk_load_str
+from repro.query.linear_scan import scan_topk
+
+N, D, K = 700, 3, 6
+
+
+@pytest.fixture(scope="module")
+def data():
+    return independent(N, D, seed=5)
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {
+        "uniform": uniform_workload(D, 25, k=K, rng=101),
+        "zipf": zipf_clustered_workload(D, 40, k=K, clusters=4, rng=102),
+        "mixed": mixed_workload(
+            D, 40, base_n=N, k=K, update_fraction=0.25, rng=103
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def reference_reports(data, workloads):
+    """Single-engine reports, one fresh engine per workload."""
+    reports = {}
+    for name, wl in workloads.items():
+        engine = GIREngine(data, bulk_load_str(data), cache_capacity=64)
+        reports[name] = engine.run(wl)
+    return reports
+
+
+def assert_equivalent(report, reference):
+    assert len(report.responses) == len(reference.responses)
+    for r, s in zip(report.responses, reference.responses):
+        assert r.ids == s.ids
+        np.testing.assert_allclose(r.scores, s.scores, rtol=0, atol=1e-12)
+        assert r.k == s.k
+    assert len(report.updates) == len(reference.updates)
+    for u, v in zip(report.updates, reference.updates):
+        assert (u.kind, u.rid) == (v.kind, v.rid)
+
+
+class TestEquivalence:
+    """Sharded answers must be byte-identical to the single engine's."""
+
+    @pytest.mark.parametrize("workload_name", ["uniform", "zipf", "mixed"])
+    @pytest.mark.parametrize("shards", [2, 4])
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_matches_single_engine(
+        self, data, workloads, reference_reports, workload_name, shards, parallel
+    ):
+        with ShardedGIREngine(
+            data, shards=shards, partitioner="round_robin", parallel=parallel
+        ) as engine:
+            report = engine.run(workloads[workload_name])
+        assert_equivalent(report, reference_reports[workload_name])
+
+    @pytest.mark.parametrize("workload_name", ["zipf", "mixed"])
+    def test_kd_partitioner_matches(
+        self, data, workloads, reference_reports, workload_name
+    ):
+        with ShardedGIREngine(data, shards=4, partitioner="kd") as engine:
+            report = engine.run(workloads[workload_name])
+        assert_equivalent(report, reference_reports[workload_name])
+
+    @pytest.mark.parametrize("workload_name", ["zipf", "mixed"])
+    def test_batched_serving_matches(
+        self, data, workloads, reference_reports, workload_name
+    ):
+        with ShardedGIREngine(data, shards=2) as engine:
+            report = engine.run(workloads[workload_name], batch=True)
+        assert_equivalent(report, reference_reports[workload_name])
+
+    def test_cluster_cache_disabled_matches(
+        self, data, workloads, reference_reports
+    ):
+        with ShardedGIREngine(
+            data, shards=2, cluster_cache_capacity=0
+        ) as engine:
+            report = engine.run(workloads["zipf"])
+        assert engine.cache is None
+        assert engine.fanouts == len(workloads["zipf"])
+        assert_equivalent(report, reference_reports["zipf"])
+
+
+class TestMergedRegions:
+    """Every cluster-level cached region under-approximates the true
+    immutable region: any vector inside it reproduces the cached answer."""
+
+    @pytest.mark.parametrize("workload_name", ["uniform", "zipf", "mixed"])
+    def test_cached_regions_sound(self, data, workloads, workload_name, rng):
+        with ShardedGIREngine(data, shards=4, partitioner="kd") as engine:
+            engine.run(workloads[workload_name])
+            assert len(engine.cache) > 0
+            checked = 0
+            for _key, gir in engine.cache.items():
+                for q in gir.polytope.sample(2, rng):
+                    if not gir.polytope.contains(q):
+                        continue  # numerical edge of a thin region
+                    truth = scan_topk(
+                        engine.points, q, gir.topk.k, live=engine.live_mask
+                    )
+                    assert truth.ids == gir.topk.ids
+                    checked += 1
+            assert checked > 0
+
+    def test_response_regions_sound(self, data, workloads, rng):
+        """Fan-out responses carry the merged region; perturbed weights
+        inside it must reproduce the response's exact ordered answer."""
+        with ShardedGIREngine(data, shards=2) as engine:
+            report = engine.run(workloads["zipf"])
+        checked = 0
+        for resp in report.responses:
+            if resp.source == "cache":
+                continue
+            for q in resp.region.sample(2, rng):
+                if not resp.region.contains(q):
+                    continue
+                truth = scan_topk(np.asarray(data.points), q, resp.k)
+                assert truth.ids == resp.ids[: resp.k]
+                checked += 1
+        assert checked > 0
+
+
+class TestAccounting:
+    def test_shard_pages_sum_to_cluster_total(self, data, workloads):
+        with ShardedGIREngine(data, shards=4) as engine:
+            report = engine.run(workloads["zipf"])
+        shard_pages = sum(s["page_reads"] for s in report.shard_stats)
+        assert shard_pages == report.pages_read_total
+        assert len(report.shard_stats) == 4
+        assert report.cluster_stats["shards"] == 4
+        assert report.cluster_stats["fanouts"] + report.cluster_stats[
+            "cluster_full_hits"
+        ] == len(workloads["zipf"])
+
+    def test_reused_engine_reports_per_run_deltas(self, data, workloads):
+        """A second run() on the same cluster must still satisfy the
+        per-shard-sums-to-total invariant (counters are per-run deltas,
+        not lifetime meters)."""
+        with ShardedGIREngine(data, shards=2) as engine:
+            first = engine.run(workloads["zipf"])
+            second = engine.run(workloads["uniform"])
+        for report in (first, second):
+            shard_pages = sum(s["page_reads"] for s in report.shard_stats)
+            assert shard_pages == report.pages_read_total
+            assert (
+                report.cluster_stats["requests_served"]
+                == len(report.responses)
+            )
+
+    def test_cluster_entries_not_subsumption_evicted(self, data):
+        """Merged regions are under-approximations: caching a second
+        answer for the same ordered result must not evict the first
+        (coverage would silently shrink)."""
+        with ShardedGIREngine(data, shards=2) as engine:
+            q = np.array([0.55, 0.45, 0.65])
+            engine.topk(q, K)
+            entries_before = len(engine.cache)
+            # A nearby vector outside the (tight) merged region typically
+            # produces the same ordered result with a different region;
+            # both entries must survive.
+            engine.topk(q + 0.08, K)
+            assert engine.cache.subsumption_evictions == 0
+            assert engine.cache.subsumption_skips == 0
+            assert len(engine.cache) >= entries_before
+
+    def test_report_dict_carries_cluster_sections(self, data, workloads):
+        with ShardedGIREngine(data, shards=2) as engine:
+            payload = engine.run(workloads["uniform"]).to_dict()
+        assert "cluster" in payload and "shards" in payload
+        assert len(payload["shards"]) == 2
+        assert payload["cluster"]["mode"] == "sequential"
+
+    def test_cluster_cache_hit_is_free(self, data):
+        with ShardedGIREngine(data, shards=2) as engine:
+            q = np.array([0.5, 0.4, 0.7])
+            first = engine.topk(q, K)
+            again = engine.topk(q, K)
+        assert first.source in ("computed", "completed")
+        assert again.source == "cache"
+        assert again.pages_read == 0
+        assert again.ids == first.ids
+        assert engine.fanouts == 1
+
+
+class TestRoutedWrites:
+    def test_insert_touches_owning_shard_only(self, data):
+        with ShardedGIREngine(data, shards=4) as engine:
+            before = [eng.n_live for eng in engine.shards]
+            resp = engine.insert(np.array([0.5, 0.5, 0.5]))
+            after = [eng.n_live for eng in engine.shards]
+        assert resp.kind == "insert" and resp.rid == N
+        grown = [a - b for a, b in zip(after, before)]
+        assert sorted(grown) == [0, 0, 0, 1]
+        shard, local = engine.locate(N)
+        assert grown[shard] == 1
+        assert engine.shards[shard].table.is_live(local)
+
+    def test_delete_routes_by_global_rid(self, data):
+        with ShardedGIREngine(data, shards=4) as engine:
+            rid = 123
+            shard, local = engine.locate(rid)
+            assert engine.shards[shard].table.is_live(local)
+            resp = engine.delete(rid)
+            assert resp.kind == "delete" and resp.rid == rid
+            assert not engine.shards[shard].table.is_live(local)
+            assert engine.n_live == N - 1
+            with pytest.raises(KeyError):
+                engine.delete(rid)  # already tombstoned
+
+    def test_insert_can_evict_cluster_entry(self, data):
+        """A record inserted on top of a cached region's top-k must evict
+        the affected cluster-level entry (selective invalidation)."""
+        with ShardedGIREngine(data, shards=2) as engine:
+            q = np.array([0.6, 0.5, 0.7])
+            first = engine.topk(q, K)
+            assert len(engine.cache) == 1
+            resp = engine.insert(np.ones(D))  # dominates everything
+            assert resp.evicted >= 1
+            assert len(engine.cache) == 0
+            again = engine.topk(q, K)
+            assert again.ids[0] == N  # the new record tops the list
+            assert again.ids[1:] == first.ids[: K - 1]
+
+    def test_flush_policy_drops_everything(self, data):
+        with ShardedGIREngine(
+            data, shards=2, invalidation="flush"
+        ) as engine:
+            engine.topk(np.array([0.6, 0.5, 0.7]), K)
+            assert len(engine.cache) == 1
+            engine.insert(np.array([0.01, 0.01, 0.01]))
+            assert len(engine.cache) == 0
+
+
+class TestPartitioners:
+    def test_round_robin_balances(self):
+        p = RoundRobinPartitioner(4)
+        assignment = p.assign_initial(np.zeros((10, 2)))
+        counts = np.bincount(assignment, minlength=4)
+        assert counts.tolist() == [3, 3, 2, 2]
+        # Inserts continue the cycle at rid n.
+        assert [p.route(np.zeros(2)) for _ in range(4)] == [2, 3, 0, 1]
+
+    def test_kd_split_balances_and_routes(self, rng):
+        g = rng.random((257, 3))
+        p = KDSplitPartitioner(4)
+        assignment = p.assign_initial(g)
+        counts = np.bincount(assignment, minlength=4)
+        assert counts.min() >= 257 // 4 - 1 and counts.max() <= 257 // 4 + 2
+        # Routing a fresh point lands in exactly one shard, deterministically.
+        q = rng.random(3)
+        assert p.route(q) == p.route(q)
+        assert 0 <= p.route(q) < 4
+
+    def test_kd_route_before_build_fails(self):
+        with pytest.raises(RuntimeError):
+            KDSplitPartitioner(2).route(np.zeros(2))
+
+    def test_registry_and_validation(self):
+        assert set(PARTITIONERS) == {"round_robin", "kd"}
+        with pytest.raises(ValueError, match="unknown partitioner"):
+            make_partitioner("nope", 2)
+        with pytest.raises(ValueError, match="configured for"):
+            make_partitioner(RoundRobinPartitioner(2), 4)
+
+    def test_more_shards_than_records_rejected(self):
+        with pytest.raises(ValueError, match="at least one record per shard"):
+            ShardedGIREngine(independent(3, 2, seed=1), shards=8)
+
+
+class TestMergeLayer:
+    """Unit-level checks of the pool-and-rank merge."""
+
+    @staticmethod
+    def make_answer(shard, ids, scores, points, region):
+        from repro.cluster import ShardAnswer
+
+        pts = np.asarray(points, dtype=np.float64)
+        return ShardAnswer(
+            shard=shard,
+            ids=tuple(ids),
+            scores=tuple(scores),
+            tie_sums=tuple(float(p.sum()) for p in pts),
+            points_g=pts,
+            region=region,
+            source="computed",
+            pages_read=3,
+            latency_ms=1.0,
+        )
+
+    def test_merge_interleaves_and_adds_frontier(self):
+        from repro.cluster import merge_shard_answers
+        from repro.geometry.polytope import Polytope
+
+        box = Polytope.from_unit_box(2)
+        w = np.array([0.5, 0.5])
+        # Shard 0 candidates score 0.9, 0.5; shard 1: 0.7, 0.3.
+        a0 = self.make_answer(
+            0, [10, 11], [0.9, 0.5], [[0.9, 0.9], [0.5, 0.5]], box
+        )
+        a1 = self.make_answer(
+            1, [20, 21], [0.7, 0.3], [[0.7, 0.7], [0.3, 0.3]], box
+        )
+        merged = merge_shard_answers([a0, a1], w, 3)
+        assert merged.gir.topk.ids == (10, 20, 11)
+        assert merged.selected_per_shard == (2, 1)
+        # 2 order half-spaces + shard 1's frontier (rid 21) vs the k-th (11).
+        kinds = [hs.kind for hs in merged.gir.halfspaces]
+        assert kinds == ["order", "order", "separation"]
+        frontier = merged.gir.halfspaces[-1]
+        assert (frontier.upper, frontier.lower) == (11, 21)
+        assert merged.pages_read == 6
+        # The merged region contains the query vector and excludes vectors
+        # that would reorder the merged list.
+        assert merged.gir.polytope.contains(w)
+        # Duplicate unit-box rows of the second region are deduplicated:
+        # one box (4 rows at d=2) + 3 merge half-spaces, nothing else.
+        assert merged.gir._hs_row_offset == 4
+        assert merged.gir.polytope.m == 4 + 3
+
+    def test_pool_smaller_than_k_rejected(self):
+        from repro.cluster import merge_shard_answers
+        from repro.geometry.polytope import Polytope
+
+        box = Polytope.from_unit_box(2)
+        a = self.make_answer(0, [1], [0.5], [[0.5, 0.5]], box)
+        with pytest.raises(ValueError, match="pooled only"):
+            merge_shard_answers([a], np.array([0.5, 0.5]), 2)
+
+    def test_source_derivation(self):
+        from dataclasses import replace
+
+        from repro.cluster.merge import _merged_source
+        from repro.geometry.polytope import Polytope
+
+        base = self.make_answer(
+            0, [1], [0.5], [[0.5, 0.5]], Polytope.from_unit_box(2)
+        )
+
+        def fake(src):
+            return replace(base, source=src)
+
+        assert _merged_source([fake("cache"), fake("cache")]) == "cache"
+        assert _merged_source([fake("cache"), fake("computed")]) == "computed"
+        assert _merged_source([fake("cache"), fake("completed")]) == "completed"
+
+
+class TestClusterBench:
+    def test_mini_benchmark_payload(self, tmp_path):
+        from repro.bench.cluster_bench import (
+            ClusterBenchConfig,
+            run_cluster_benchmark,
+        )
+
+        config = ClusterBenchConfig(
+            n=400,
+            d=2,
+            k=4,
+            queries=12,
+            shard_counts=(1, 2),
+            page_sleep_ms=0.0,
+            cache_capacity=16,
+            cluster_cache_capacity=16,
+        )
+        out = tmp_path / "cluster.json"
+        payload = run_cluster_benchmark(config, out)
+        assert out.exists()
+        assert payload["equivalence"]["all_match"]
+        assert payload["equivalence"]["accounting_ok"]
+        assert {(r["shard_count"], r["mode"]) for r in payload["runs"]} == {
+            (1, "sequential"),
+            (1, "parallel"),
+            (2, "sequential"),
+            (2, "parallel"),
+        }
+        # No 4-shard run in this mini grid => no headline ratio.
+        assert payload["parallel_speedup_at_4"] is None
+
+
+class TestClusterValidation:
+    def test_bad_weights_rejected(self, data):
+        with ShardedGIREngine(data, shards=2) as engine:
+            with pytest.raises(ValueError, match="shape"):
+                engine.topk(np.array([0.5, 0.5]), K)
+            with pytest.raises(ValueError, match="finite"):
+                engine.topk(np.array([0.5, np.nan, 0.5]), K)
+            with pytest.raises(ValueError, match="positive entry"):
+                engine.topk(np.zeros(D), K)
+            with pytest.raises(ValueError, match="k must be positive"):
+                engine.topk(np.array([0.5, 0.5, 0.5]), 0)
+            with pytest.raises(ValueError, match="exceeds live"):
+                engine.topk(np.array([0.5, 0.5, 0.5]), N + 1)
+
+    def test_bad_point_rejected(self, data):
+        with ShardedGIREngine(data, shards=2) as engine:
+            with pytest.raises(ValueError, match="shape"):
+                engine.insert(np.array([0.5]))
+            with pytest.raises(ValueError, match="finite"):
+                engine.insert(np.array([0.5, np.inf, 0.5]))

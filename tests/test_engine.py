@@ -201,3 +201,131 @@ class TestWorkloadGenerators:
         assert percentile(values, 1) == 1.0
         with pytest.raises(ValueError):
             percentile([], 50)
+
+
+class TestGeneratorRngUnification:
+    """Every generator accepts an int seed or a Generator interchangeably."""
+
+    def test_uniform_seed_equals_generator(self):
+        a = uniform_workload(3, 20, k=5, rng=42)
+        b = uniform_workload(3, 20, k=5, rng=np.random.default_rng(42))
+        for ra, rb in zip(a, b):
+            assert np.array_equal(ra.weights, rb.weights)
+
+    def test_zipf_seed_equals_generator(self):
+        a = zipf_clustered_workload(3, 30, clusters=4, rng=7)
+        b = zipf_clustered_workload(
+            3, 30, clusters=4, rng=np.random.default_rng(7)
+        )
+        for ra, rb in zip(a, b):
+            assert np.array_equal(ra.weights, rb.weights)
+
+    def test_mixed_seed_equals_generator(self):
+        from repro.engine import DeleteOp, InsertOp, mixed_workload
+
+        a = mixed_workload(3, 40, base_n=200, k=5, rng=11)
+        b = mixed_workload(
+            3, 40, base_n=200, k=5, rng=np.random.default_rng(11)
+        )
+        assert len(a) == len(b)
+        for oa, ob in zip(a, b):
+            assert type(oa) is type(ob)
+            if isinstance(oa, Request):
+                assert np.array_equal(oa.weights, ob.weights)
+            elif isinstance(oa, InsertOp):
+                assert np.array_equal(oa.point, ob.point)
+            elif isinstance(oa, DeleteOp):
+                assert oa.rid == ob.rid
+
+    def test_numpy_integer_seed_accepted(self):
+        wl = uniform_workload(2, 3, rng=np.int64(5))
+        ref = uniform_workload(2, 3, rng=5)
+        for ra, rb in zip(wl, ref):
+            assert np.array_equal(ra.weights, rb.weights)
+
+    def test_generator_instance_not_reseeded(self):
+        from repro.engine import as_generator
+
+        gen = np.random.default_rng(1)
+        assert as_generator(gen) is gen
+
+    def test_bad_rng_type_rejected(self):
+        from repro.engine import as_generator
+
+        with pytest.raises(TypeError, match="int seed"):
+            as_generator("not-a-seed")
+
+
+class TestInputValidation:
+    """topk/insert reject malformed input with a clear ValueError instead
+    of an opaque downstream geometry failure."""
+
+    @pytest.fixture(scope="class")
+    def engine(self):
+        data = independent(300, 3, seed=9)
+        return GIREngine(data, bulk_load_str(data))
+
+    def test_wrong_dimension_rejected(self, engine):
+        with pytest.raises(ValueError, match=r"shape \(3,\)"):
+            engine.topk(np.array([0.5, 0.5]), 5)
+
+    def test_nan_weights_rejected(self, engine):
+        with pytest.raises(ValueError, match="finite"):
+            engine.topk(np.array([0.5, np.nan, 0.5]), 5)
+
+    def test_inf_weights_rejected(self, engine):
+        with pytest.raises(ValueError, match="finite"):
+            engine.topk(np.array([0.5, np.inf, 0.5]), 5)
+
+    def test_all_nonpositive_weights_rejected(self, engine):
+        with pytest.raises(ValueError, match="positive entry"):
+            engine.topk(np.zeros(3), 5)
+
+    def test_negative_weights_rejected(self, engine):
+        with pytest.raises(ValueError, match="non-negative"):
+            engine.topk(np.array([0.5, -0.1, 0.5]), 5)
+
+    def test_batch_validates_too(self, engine):
+        reqs = [Request(weights=np.array([0.5, 0.4, 0.6]), k=3)]
+        bad = Request.__new__(Request)  # bypass Request's own checks
+        object.__setattr__(bad, "weights", np.array([0.5, 0.4]))
+        object.__setattr__(bad, "k", 3)
+        with pytest.raises(ValueError, match="shape"):
+            engine.topk_batch(reqs + [bad])
+
+    def test_batch_validates_before_serving_anything(self, engine):
+        """A malformed request anywhere in the batch fails the whole call
+        up front — no prefix is served, no counters move (a mid-batch
+        abort would leave the caller unable to tell what took effect)."""
+        bad = Request.__new__(Request)
+        object.__setattr__(bad, "weights", np.array([0.5, np.nan, 0.6]))
+        object.__setattr__(bad, "k", 3)
+        reqs = [
+            Request(weights=np.array([0.5, 0.4, 0.6]), k=3)
+            for _ in range(5)
+        ] + [bad]
+        served_before = engine.requests_served
+        stats_before = engine.cache.stats()
+        with pytest.raises(ValueError, match="finite"):
+            engine.topk_batch(reqs)
+        assert engine.requests_served == served_before
+        assert engine.cache.stats() == stats_before
+
+    def test_insert_wrong_dimension_rejected(self, engine):
+        with pytest.raises(ValueError, match=r"shape \(3,\)"):
+            engine.insert(np.array([0.5, 0.5, 0.5, 0.5]))
+
+    def test_insert_nan_rejected(self, engine):
+        with pytest.raises(ValueError, match="finite"):
+            engine.insert(np.array([0.5, np.nan, 0.5]))
+
+    def test_rejected_insert_leaves_engine_intact(self, engine):
+        live_before = engine.n_live
+        tree_size = engine.tree.size
+        with pytest.raises(ValueError):
+            engine.insert(np.array([np.nan, 0.5, 0.5]))
+        assert engine.n_live == live_before
+        assert engine.tree.size == tree_size
+        # Still fully serviceable after the rejection.
+        resp = engine.topk(np.array([0.5, 0.4, 0.6]), 4)
+        assert len(resp.ids) == 4

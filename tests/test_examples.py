@@ -52,3 +52,10 @@ class TestExamples:
         out = run_example("dynamic_engine.py", "3000")
         assert "GIR-aware invalidation vs flush-on-write" in out
         assert "all exact" in out
+
+    def test_sharded_serving(self):
+        out = run_example("sharded_serving.py", "3000")
+        assert "4-shard cluster (sequential fan-out)" in out
+        assert "4-shard cluster (parallel fan-out)" in out
+        assert "shard 3" in out
+        assert "all exact" in out

@@ -93,6 +93,95 @@ class TestCapacityMathIsReal:
             encode_node(internal_node(rng, d, internal_cap + 1), DEFAULT_PAGE_SIZE, d)
 
 
+class TestRoundTripProperty:
+    """Randomized encode/decode round-trips across d and page sizes.
+
+    For every (d, page size) cell, random leaf and internal nodes at
+    random fill levels must survive the byte round-trip with their full
+    payload — entry order, child ids, exact float64 coordinates.
+    """
+
+    PAGE_SIZES = [512, 1024, DEFAULT_PAGE_SIZE]
+
+    @staticmethod
+    def byte_fit(page_size: int, d: int, leaf: bool) -> int:
+        """Entries that genuinely fit the page — NOT node_capacities(),
+        which floors at 4 for degenerate (tiny page, large d) configs."""
+        from repro.index.node import PAGE_HEADER_BYTES
+
+        entry = 8 + 8 * d if leaf else 8 + 16 * d
+        return (page_size - PAGE_HEADER_BYTES) // entry
+
+    @pytest.mark.parametrize("page_size", PAGE_SIZES)
+    @pytest.mark.parametrize("d", [2, 3, 5, 8])
+    def test_leaf_round_trip(self, rng, d, page_size):
+        leaf_cap = self.byte_fit(page_size, d, leaf=True)
+        for _ in range(5):
+            count = int(rng.integers(0, leaf_cap + 1))
+            node = leaf_node(rng, d, count, node_id=int(rng.integers(1 << 30)))
+            back = decode_node(encode_node(node, page_size, d), d)
+            assert back.node_id == node.node_id
+            assert back.level == node.level
+            assert [e.child_id for e in back.entries] == [
+                e.child_id for e in node.entries
+            ]
+            for a, b in zip(node.entries, back.entries):
+                assert np.array_equal(a.mbb.lo, b.mbb.lo)
+                assert np.array_equal(a.mbb.hi, b.mbb.hi)
+
+    @pytest.mark.parametrize("page_size", PAGE_SIZES)
+    @pytest.mark.parametrize("d", [2, 3, 5, 8])
+    def test_internal_round_trip(self, rng, d, page_size):
+        internal_cap = self.byte_fit(page_size, d, leaf=False)
+        for _ in range(5):
+            count = int(rng.integers(0, internal_cap + 1))
+            node = internal_node(rng, d, count)
+            back = decode_node(encode_node(node, page_size, d), d)
+            assert back.level == node.level
+            for a, b in zip(node.entries, back.entries):
+                assert a.child_id == b.child_id
+                assert np.array_equal(a.mbb.lo, b.mbb.lo)
+                assert np.array_equal(a.mbb.hi, b.mbb.hi)
+
+
+class TestOverflowBoundary:
+    """The exact fit/overflow boundary of the page layout.
+
+    The byte arithmetic is explicit: a leaf entry is ``8 + 8d`` bytes, an
+    internal entry ``8 + 16d``, after a 32-byte header. The last entry
+    that fits must encode; one more must raise ``PageOverflowError``
+    naming the offender — at *every* page size, not only the default.
+    """
+
+    @pytest.mark.parametrize("page_size", [512, 1024, DEFAULT_PAGE_SIZE])
+    @pytest.mark.parametrize("d", [2, 4, 8])
+    def test_leaf_boundary_exact(self, rng, d, page_size):
+        from repro.index.node import PAGE_HEADER_BYTES
+
+        max_fit = (page_size - PAGE_HEADER_BYTES) // (8 + 8 * d)
+        page = encode_node(leaf_node(rng, d, max_fit), page_size, d)
+        assert len(page) == page_size
+        with pytest.raises(PageOverflowError, match="bytes > page size"):
+            encode_node(leaf_node(rng, d, max_fit + 1), page_size, d)
+
+    @pytest.mark.parametrize("page_size", [512, DEFAULT_PAGE_SIZE])
+    @pytest.mark.parametrize("d", [2, 4])
+    def test_internal_boundary_exact(self, rng, d, page_size):
+        from repro.index.node import PAGE_HEADER_BYTES
+
+        max_fit = (page_size - PAGE_HEADER_BYTES) // (8 + 16 * d)
+        encode_node(internal_node(rng, d, max_fit), page_size, d)
+        with pytest.raises(PageOverflowError, match="bytes > page size"):
+            encode_node(internal_node(rng, d, max_fit + 1), page_size, d)
+
+    def test_overflow_error_is_a_value_error(self, rng):
+        """Callers catching ValueError keep working (PageOverflowError
+        subclasses it)."""
+        node = leaf_node(rng, 8, 64)
+        with pytest.raises(ValueError):
+            encode_node(node, 512, 8)
+
+
 class TestWholeTreeRoundTrip:
     def test_every_node_of_a_bulk_loaded_tree_serialises(self, rng):
         data = independent(3_000, 3, seed=33)
