@@ -6,8 +6,11 @@ benchmark instead and writes its JSON report (default: ``benchmarks/``);
 update-throughput benchmark, comparing GIR-aware selective cache
 invalidation against the flush-on-write baseline;
 ``python -m repro.bench --cluster`` runs the sharded fan-out benchmark
-(1/2/4/8 shards, sequential vs parallel, gated on merged-result
-equivalence with the single engine).
+(1/2/4/8 shards, sequential vs thread fan-out, gated on merged-result
+equivalence with the single engine); ``--cluster --backend process``
+adds the process-shard fan-out column in the CPU-bound (zero page-sleep)
+regime. ``--family {IND,COR,ANTI}`` selects the synthetic data family
+for the engine and cluster benchmarks.
 """
 
 from __future__ import annotations
@@ -67,7 +70,29 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help=(
             "run the sharded-cluster fan-out benchmark (1/2/4/8 shards, "
-            "sequential vs parallel; see repro.bench.cluster_bench)"
+            "sequential vs thread vs process fan-out; see "
+            "repro.bench.cluster_bench)"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        default="inproc",
+        choices=["inproc", "process"],
+        help=(
+            "with --cluster: shard execution backend grid. 'inproc' sweeps "
+            "sequential + thread fan-out over real-latency page stores; "
+            "'process' adds one-worker-process-per-shard fan-out and turns "
+            "page sleeping off (the CPU-bound regime process shards exist "
+            "for)"
+        ),
+    )
+    parser.add_argument(
+        "--family",
+        default="IND",
+        choices=["IND", "COR", "ANTI"],
+        help=(
+            "with --engine/--cluster: synthetic data family (the paper's "
+            "IND/COR/ANTI distributions; default IND)"
         ),
     )
     args = parser.parse_args(argv)
@@ -75,6 +100,20 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--updates requires --engine")
     if args.cluster and (args.engine or args.figure is not None):
         parser.error("--cluster is mutually exclusive with --engine/--figure")
+    if args.backend != "inproc" and not args.cluster:
+        parser.error("--backend requires --cluster")
+    if args.family != "IND" and not (args.engine or args.cluster):
+        parser.error("--family requires --engine or --cluster")
+
+    def report_name(base: str) -> str:
+        parts = [base]
+        if args.cluster and args.backend != "inproc":
+            parts.append(args.backend)
+        if args.family != "IND":
+            parts.append(args.family.lower())
+        parts.append(args.scale)
+        return "_".join(parts) + ".json"
+
     if args.cluster:
         from repro.bench.cluster_bench import (
             ClusterBenchConfig,
@@ -87,8 +126,18 @@ def main(argv: list[str] | None = None) -> int:
             n=scale.n_default,
             k=scale.k_default,
             queries=scale.cluster_queries,
+            family=args.family,
+            backend=args.backend,
+            # Process fan-out targets the CPU-bound regime: no simulated
+            # page sleeps, pure compute (the thread grid keeps the
+            # real-latency default so it has waits to overlap).
+            page_sleep_ms=(
+                0.0
+                if args.backend == "process"
+                else ClusterBenchConfig.page_sleep_ms
+            ),
         )
-        out_path = out_dir / f"cluster_fanout_{args.scale}.json"
+        out_path = out_dir / report_name("cluster_fanout")
         payload = run_cluster_benchmark(config, out_path)
         print(json.dumps(payload, indent=2))
         print(f"\n[cluster benchmark report written to {out_path}]")
@@ -108,8 +157,9 @@ def main(argv: list[str] | None = None) -> int:
                 n=scale.n_default,
                 k=scale.k_default,
                 ops=scale.engine_update_ops,
+                family=args.family,
             )
-            out_path = out_dir / f"engine_updates_{args.scale}.json"
+            out_path = out_dir / report_name("engine_updates")
             payload = run_update_benchmark(config, out_path)
         else:
             from repro.bench.engine_bench import (
@@ -121,8 +171,9 @@ def main(argv: list[str] | None = None) -> int:
                 n=scale.n_default,
                 k=scale.k_default,
                 queries=scale.engine_queries,
+                family=args.family,
             )
-            out_path = out_dir / f"engine_throughput_{args.scale}.json"
+            out_path = out_dir / report_name("engine_throughput")
             payload = run_engine_benchmark(config, out_path)
         print(json.dumps(payload, indent=2))
         print(f"\n[engine benchmark report written to {out_path}]")

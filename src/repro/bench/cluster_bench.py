@@ -2,7 +2,7 @@
 
 ``python -m repro.bench --cluster`` replays one fixed workload through a
 grid of :class:`~repro.cluster.ShardedGIREngine` configurations —
-every shard count × {sequential, parallel} fan-out — plus a single
+every shard count × fan-out mode — plus a single
 :class:`~repro.engine.GIREngine` reference over the unpartitioned data,
 and writes a JSON report with:
 
@@ -12,13 +12,26 @@ and writes a JSON report with:
 * **per-shard breakdowns**: cache hits, page reads, fanned-out requests
   and latency per shard, with the accounting cross-checked to sum to the
   cluster totals;
-* **wall-clock**: sequential vs parallel fan-out per shard count. The
-  shard stores run in *real-latency* mode
-  (:class:`~repro.index.storage.PageStore` ``sleep_ms_per_page``), so a
-  page read actually waits — the regime the paper's disk-resident setup
-  models — and the parallel fan-out has real waits to overlap. The
-  headline field ``parallel_speedup_at_4`` is the sequential/parallel
-  wall-time ratio at 4 shards.
+* **wall-clock** per fan-out mode and shard count.
+
+Fan-out modes (see :mod:`repro.cluster.backends`):
+
+* ``sequential`` — in-process shards, one after another (the baseline);
+* ``thread``     — in-process shards on a thread pool: overlaps
+  *page-store waits* (run the stores in real-latency mode,
+  ``page_sleep_ms > 0``, so there are genuine waits to overlap) but
+  serializes CPU-bound phase-2 work on the GIL;
+* ``process``    — one worker process per shard
+  (``ClusterBenchConfig(backend="process")``): CPU-bound work runs
+  genuinely in parallel, which is the regime to measure with
+  ``page_sleep_ms = 0`` (no sleeping, pure compute). Needs > 1 CPU to
+  show a wall-clock win, so the payload records ``host.cpu_count``.
+
+The headline fields: ``parallel_speedup_at_4`` (sequential / thread wall
+time at 4 shards) and, when the process mode runs,
+``process_speedup_at_4`` (sequential / process) plus
+``process_beats_sequential_at`` (the shard counts where process fan-out
+won).
 
 The single-engine reference runs with accounting-only I/O (no sleeping):
 it exists for answer equivalence, not for a timing comparison.
@@ -27,12 +40,14 @@ it exists for answer equivalence, not for a timing comparison.
 from __future__ import annotations
 
 import json
+import os
+import platform
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from repro.cluster import ShardedGIREngine
-from repro.data.synthetic import independent
+from repro.data.synthetic import make_synthetic
 from repro.engine import GIREngine, zipf_clustered_workload, uniform_workload
 from repro.index.bulkload import bulk_load_str
 
@@ -48,16 +63,24 @@ class ClusterBenchConfig:
     k: int = 10
     queries: int = 240
     workload: str = "zipf_clustered"  # or "uniform"
+    #: Synthetic data family: ``"IND"``, ``"COR"`` or ``"ANTI"`` (the
+    #: paper's families; ANTI's wide skylines make phase-2 CPU-heavy —
+    #: the interesting regime for process fan-out).
+    family: str = "IND"
     clusters: int = 8
     zipf_s: float = 1.1
     spread: float = 0.02
     shard_counts: tuple[int, ...] = (1, 2, 4, 8)
     partitioner: str = "kd"
+    #: ``"inproc"`` sweeps sequential + thread fan-out; ``"process"``
+    #: adds the process-backed mode to the grid.
+    backend: str = "inproc"
     cache_capacity: int = 64
     cluster_cache_capacity: int = 128
     #: Real latency per metered page read in the shard stores (ms). The
     #: default models a fast networked/SSD page fetch; 0 disables sleeping
-    #: (then the wall-clock comparison degenerates to pure CPU).
+    #: (then the wall-clock comparison is pure CPU — the process-backend
+    #: regime).
     page_sleep_ms: float = 0.5
     method: str = "fp"
     seed: int = 9
@@ -84,13 +107,26 @@ def _make_workload(config: ClusterBenchConfig):
     )
 
 
+def _mode_grid(config: ClusterBenchConfig) -> list[tuple[str, str, bool]]:
+    """(mode label, backend, parallel) columns of the sweep."""
+    modes = [("sequential", "inproc", False), ("thread", "inproc", True)]
+    if config.backend == "process":
+        modes.append(("process", "process", True))
+    elif config.backend != "inproc":
+        raise ValueError(
+            f"unknown benchmark backend {config.backend!r}; "
+            "expected 'inproc' or 'process'"
+        )
+    return modes
+
+
 def run_cluster_benchmark(
     config: ClusterBenchConfig = ClusterBenchConfig(),
     out_path: str | Path | None = None,
 ) -> dict:
     """Run the full shard-count × fan-out-mode grid; return (and save)
     the report payload."""
-    data = independent(n=config.n, d=config.d, seed=config.seed)
+    data = make_synthetic(config.family, config.n, config.d, seed=config.seed)
     workload = _make_workload(config)
 
     reference = GIREngine(
@@ -108,11 +144,12 @@ def run_cluster_benchmark(
     all_match = True
     accounting_ok = True
     for shards in config.shard_counts:
-        for parallel in (False, True):
+        for mode, backend, parallel in _mode_grid(config):
             with ShardedGIREngine(
                 data,
                 shards=shards,
                 partitioner=config.partitioner,
+                backend=backend,
                 parallel=parallel,
                 method=config.method,
                 cache_capacity=config.cache_capacity,
@@ -135,7 +172,8 @@ def run_cluster_benchmark(
                         # Distinct from to_dict()'s "shards" key (the
                         # per-shard breakdown list).
                         "shard_count": shards,
-                        "mode": "parallel" if parallel else "sequential",
+                        "mode": mode,
+                        "backend": backend,
                         "matches_reference": matches,
                         "shard_accounting_sums": sums_ok,
                         **report.to_dict(),
@@ -148,10 +186,22 @@ def run_cluster_benchmark(
                 return run["wall_ms"]
         return None
 
-    seq4, par4 = wall_of(4, "sequential"), wall_of(4, "parallel")
+    seq4, thr4 = wall_of(4, "sequential"), wall_of(4, "thread")
+    proc4 = wall_of(4, "process")
+    process_wins = [
+        shards
+        for shards in config.shard_counts
+        if (seq := wall_of(shards, "sequential")) is not None
+        and (proc := wall_of(shards, "process")) is not None
+        and proc < seq
+    ]
     payload = {
         "benchmark": "cluster_fanout",
         "config": asdict(config),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+        },
         "reference": {
             **ref_report.to_dict(),
             "wall_ms_unslept": ref_wall_ms,
@@ -163,8 +213,12 @@ def run_cluster_benchmark(
             "requests": len(ref_ids),
         },
         "parallel_speedup_at_4": (
-            seq4 / par4 if seq4 and par4 else None
+            seq4 / thr4 if seq4 and thr4 else None
         ),
+        "process_speedup_at_4": (
+            seq4 / proc4 if seq4 and proc4 else None
+        ),
+        "process_beats_sequential_at": process_wins,
     }
     if out_path is not None:
         out_path = Path(out_path)

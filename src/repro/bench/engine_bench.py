@@ -39,7 +39,7 @@ import numpy as np
 
 from repro.core.caching import GIRCache
 from repro.core.gir import compute_gir
-from repro.data.synthetic import independent
+from repro.data.synthetic import independent, make_synthetic
 from repro.engine import (
     DeleteOp,
     GIREngine,
@@ -72,6 +72,10 @@ class EngineBenchConfig:
     k: int = 10
     queries: int = 400
     workload: str = "zipf_clustered"  # or "uniform"
+    #: Synthetic data family: ``"IND"``, ``"COR"`` or ``"ANTI"`` (see
+    #: :mod:`repro.data.synthetic`; COR widens GIRs and lifts hit rates,
+    #: ANTI narrows them and stresses the pipeline).
+    family: str = "IND"
     clusters: int = 8
     zipf_s: float = 1.1
     spread: float = 0.01
@@ -91,7 +95,7 @@ def run_engine_benchmark(
     throughput) with the engine/cache counters and the run configuration.
     """
     rng = np.random.default_rng(config.seed)
-    data = independent(n=config.n, d=config.d, seed=config.seed)
+    data = make_synthetic(config.family, config.n, config.d, seed=config.seed)
     tree = bulk_load_str(data)
     engine = GIREngine(
         data,
@@ -253,6 +257,8 @@ class UpdateBenchConfig:
     n: int = 4_000
     d: int = 3
     k: int = 10
+    #: Synthetic data family: ``"IND"``, ``"COR"`` or ``"ANTI"``.
+    family: str = "IND"
     ops: int = 250
     update_fraction: float = 0.2
     insert_ratio: float = 0.5
@@ -354,7 +360,7 @@ def run_update_benchmark(
     ``gir_evicts_fewer``.
     """
     rng = np.random.default_rng(config.seed)
-    data = independent(n=config.n, d=config.d, seed=config.seed)
+    data = make_synthetic(config.family, config.n, config.d, seed=config.seed)
     workload = mixed_workload(
         config.d,
         config.ops,

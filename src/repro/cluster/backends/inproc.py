@@ -1,0 +1,73 @@
+"""`InProcBackend` — the shard engine lives in the router's process.
+
+The default backend and the reference the others are measured against:
+zero transport cost, zero serialization, direct object sharing (a reply's
+``region`` is the very polytope the shard's cache holds). Thread fan-out
+over in-process backends overlaps page-store waits but serializes
+CPU-bound phase-2 work on the GIL — escaping that is what
+:class:`~repro.cluster.backends.process.ProcessBackend` is for.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.backends.base import (
+    ShardBackend,
+    ShardReply,
+    ShardSpec,
+    ShardUpdate,
+    build_shard_engine,
+    engine_shard_stats,
+    guarded_engine_write,
+    reply_from_response,
+    update_from_response,
+)
+from repro.engine.engine import GIREngine
+from repro.engine.workload import Request
+
+__all__ = ["InProcBackend"]
+
+
+class InProcBackend(ShardBackend):
+    """Direct calls into a locally owned :class:`GIREngine`."""
+
+    name = "inproc"
+
+    def __init__(self) -> None:
+        self.engine: GIREngine | None = None
+
+    def build(self, spec: ShardSpec) -> None:
+        if self.engine is not None:
+            raise RuntimeError("backend already built")
+        self.engine = build_shard_engine(spec)
+
+    def topk(self, weights: np.ndarray, k: int) -> ShardReply:
+        return reply_from_response(self.engine, self.engine.topk(weights, k))
+
+    def topk_batch(
+        self, requests: Sequence[tuple[np.ndarray, int]]
+    ) -> list[ShardReply]:
+        engine = self.engine
+        responses = engine.topk_batch(
+            [Request(weights=w, k=k) for w, k in requests]
+        )
+        return [reply_from_response(engine, resp) for resp in responses]
+
+    def insert(self, point: np.ndarray) -> ShardUpdate:
+        return update_from_response(
+            guarded_engine_write(self.engine, "insert", point)
+        )
+
+    def delete(self, rid: int) -> ShardUpdate:
+        return update_from_response(
+            guarded_engine_write(self.engine, "delete", rid)
+        )
+
+    def stats(self) -> dict:
+        return engine_shard_stats(self.engine)
+
+    def close(self) -> None:
+        """Nothing to release: the engine is plain in-process state."""

@@ -1,0 +1,288 @@
+"""`ProcessBackend` — one long-lived worker process per shard.
+
+Python threads cannot overlap the CPU-bound parts of GIR serving (phase-2
+half-space computation, merge preparation, LP-based invalidation all hold
+the GIL); a worker *process* can. Each backend forks/spawns one worker
+that owns the full shard engine — R*-tree, page store, point table,
+GIRCache, retained BRS runs — for the cluster's lifetime, so every cached
+region and warm structure survives across requests exactly as in-process
+shards do. Router and worker speak the versioned frame format of
+:mod:`repro.cluster.wire` over a ``multiprocessing`` pipe:
+
+* one outstanding request per worker at a time (the router's fan-out
+  parallelism comes from having N workers, not from pipelining one);
+* float payloads are bit-exact on the wire, so answers are byte-identical
+  to :class:`~repro.cluster.backends.inproc.InProcBackend`;
+* a worker-side exception is caught, serialized (type, message,
+  traceback) and re-raised router-side as
+  :class:`~repro.cluster.wire.WorkerFailure` — the worker survives and
+  keeps serving.
+
+The start method prefers ``fork`` on Linux (no re-import of numpy/scipy
+per worker; the parent creates workers before any fan-out threads exist)
+and uses ``spawn`` everywhere else (macOS frameworks are not fork-safe);
+``spawn`` requires the spec's scorer to be picklable, which the wire
+format enforces for every start method so behaviour cannot differ by
+platform. The usual ``spawn`` caveats apply: the entry script must be
+importable (guard it with ``if __name__ == "__main__"``), and building a
+spawn-backed cluster from a REPL/stdin ``__main__`` will fail.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import threading
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster import wire
+from repro.cluster.backends.base import (
+    ShardBackend,
+    ShardReply,
+    ShardSpec,
+    ShardUpdate,
+    build_shard_engine,
+    engine_shard_stats,
+    guarded_engine_write,
+    reply_from_response,
+    update_from_response,
+)
+
+__all__ = ["ProcessBackend", "default_start_method"]
+
+
+def default_start_method() -> str:
+    """``"fork"`` on Linux (cheap: no per-worker numpy/scipy re-import),
+    ``"spawn"`` everywhere else.
+
+    Fork is restricted to Linux deliberately: on macOS the system
+    frameworks numpy links against (Accelerate, libdispatch) are not
+    fork-safe — the same reason CPython moved the platform default to
+    spawn — so a forked worker could crash or hang inside its very first
+    ``scorer.transform``. The wire format keeps both paths equivalent
+    (the build spec is fully serialized either way).
+    """
+    if (
+        sys.platform.startswith("linux")
+        and "fork" in multiprocessing.get_all_start_methods()
+    ):
+        return "fork"
+    return "spawn"
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: decode a frame, act on the shard engine, reply.
+
+    Runs until an orderly ``MSG_SHUTDOWN`` (acknowledged, then exit) or
+    the pipe closes (router died — exit silently). Per-request exceptions
+    are reported as error frames, not crashes: a worker holding a warm
+    shard must outlive a caller's bad request — with one exception. A
+    *dirty* write failure (the engine mutated before raising, see
+    :class:`~repro.cluster.backends.base.ShardWriteError`) leaves the
+    shard's state untrustworthy, so the worker marks itself broken and
+    refuses everything but stats and shutdown from then on; the router
+    fail-stops on its side too.
+    """
+    engine = None
+    broken: str | None = None
+    try:
+        while True:
+            try:
+                frame = conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            try:
+                msg, reader = wire.decode_frame(frame)
+                if msg == wire.MSG_SHUTDOWN:
+                    conn.send_bytes(wire.encode_frame(wire.MSG_READY))
+                    break
+                if broken is not None and msg != wire.MSG_STATS:
+                    raise RuntimeError(
+                        f"shard engine diverged during an earlier write "
+                        f"({broken}); the worker refuses further operations"
+                    )
+                if msg == wire.MSG_BUILD:
+                    spec = wire.decode_build(reader)
+                    engine = build_shard_engine(spec)
+                    reply = wire.encode_frame(wire.MSG_READY)
+                elif engine is None:
+                    raise RuntimeError(
+                        f"message type {msg} before MSG_BUILD"
+                    )
+                elif msg == wire.MSG_TOPK:
+                    weights, k = wire.decode_topk(reader)
+                    resp = engine.topk(weights, k)
+                    reply = wire.encode_frame(
+                        wire.MSG_REPLY_TOPK,
+                        wire.encode_reply(reply_from_response(engine, resp)),
+                    )
+                elif msg == wire.MSG_TOPK_BATCH:
+                    requests = wire.decode_topk_batch(reader)
+                    from repro.engine.workload import Request
+
+                    responses = engine.topk_batch(
+                        [Request(weights=w, k=k) for w, k in requests]
+                    )
+                    reply = wire.encode_frame(
+                        wire.MSG_REPLY_BATCH,
+                        wire.encode_batch_reply(
+                            reply_from_response(engine, resp)
+                            for resp in responses
+                        ),
+                    )
+                elif msg == wire.MSG_INSERT:
+                    sub = guarded_engine_write(
+                        engine, "insert", wire.decode_insert(reader)
+                    )
+                    reply = wire.encode_frame(
+                        wire.MSG_REPLY_UPDATE,
+                        wire.encode_update(update_from_response(sub)),
+                    )
+                elif msg == wire.MSG_DELETE:
+                    sub = guarded_engine_write(
+                        engine, "delete", wire.decode_delete(reader)
+                    )
+                    reply = wire.encode_frame(
+                        wire.MSG_REPLY_UPDATE,
+                        wire.encode_update(update_from_response(sub)),
+                    )
+                elif msg == wire.MSG_STATS:
+                    reply = wire.encode_frame(
+                        wire.MSG_REPLY_STATS,
+                        wire.encode_stats(engine_shard_stats(engine)),
+                    )
+                else:
+                    raise RuntimeError(
+                        f"unexpected message type {msg} in a worker"
+                    )
+            except Exception as exc:  # noqa: BLE001 - reported to the router
+                if getattr(exc, "dirty", False):
+                    broken = str(exc)
+                reply = wire.encode_frame(
+                    wire.MSG_REPLY_ERROR, wire.encode_error(exc)
+                )
+            try:
+                conn.send_bytes(reply)
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        conn.close()
+
+
+class ProcessBackend(ShardBackend):
+    """A shard served by a dedicated worker process (see module docstring).
+
+    Parameters
+    ----------
+    start_method:
+        ``multiprocessing`` start method; default
+        :func:`default_start_method`.
+    """
+
+    name = "process"
+
+    def __init__(self, start_method: str | None = None) -> None:
+        self._start_method = start_method or default_start_method()
+        self._proc: multiprocessing.process.BaseProcess | None = None
+        self._conn = None
+        #: One outstanding request per worker: the lock serializes the
+        #: send/recv pair so thread fan-out from the router stays safe.
+        self._lock = threading.Lock()
+
+    def build(self, spec: ShardSpec) -> None:
+        if self._proc is not None:
+            raise RuntimeError("backend already built")
+        # Encode the spec *before* starting the worker so an unpicklable
+        # scorer fails fast with no orphan process.
+        payload = wire.encode_build(spec)
+        ctx = multiprocessing.get_context(self._start_method)
+        self._conn, child = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=_worker_main,
+            args=(child,),
+            name=f"gir-shard-worker-{spec.shard}",
+            daemon=True,
+        )
+        self._proc.start()
+        child.close()
+        self._request(wire.MSG_BUILD, payload, expect=wire.MSG_READY)
+
+    def _request(self, msg: int, payload: bytes, expect: int) -> wire.Reader:
+        if self._conn is None:
+            raise RuntimeError("backend is not running (closed or unbuilt)")
+        with self._lock:
+            try:
+                self._conn.send_bytes(wire.encode_frame(msg, payload))
+                frame = self._conn.recv_bytes()
+            except (EOFError, OSError) as exc:
+                raise RuntimeError(
+                    f"shard worker {self._proc.name if self._proc else '?'} "
+                    f"died mid-request"
+                ) from exc
+        reply_msg, reader = wire.decode_frame(frame)
+        if reply_msg == wire.MSG_REPLY_ERROR:
+            raise wire.decode_error(reader)
+        if reply_msg != expect:
+            raise wire.WireError(
+                f"expected reply type {expect}, got {reply_msg}"
+            )
+        return reader
+
+    # -- the shard contract ----------------------------------------------------
+
+    def topk(self, weights: np.ndarray, k: int) -> ShardReply:
+        reader = self._request(
+            wire.MSG_TOPK, wire.encode_topk(weights, k), wire.MSG_REPLY_TOPK
+        )
+        return wire.decode_reply(reader)
+
+    def topk_batch(
+        self, requests: Sequence[tuple[np.ndarray, int]]
+    ) -> list[ShardReply]:
+        reader = self._request(
+            wire.MSG_TOPK_BATCH,
+            wire.encode_topk_batch(list(requests)),
+            wire.MSG_REPLY_BATCH,
+        )
+        return wire.decode_batch_reply(reader)
+
+    def insert(self, point: np.ndarray) -> ShardUpdate:
+        reader = self._request(
+            wire.MSG_INSERT, wire.encode_insert(point), wire.MSG_REPLY_UPDATE
+        )
+        return wire.decode_update(reader)
+
+    def delete(self, rid: int) -> ShardUpdate:
+        reader = self._request(
+            wire.MSG_DELETE, wire.encode_delete(rid), wire.MSG_REPLY_UPDATE
+        )
+        return wire.decode_update(reader)
+
+    def stats(self) -> dict:
+        reader = self._request(wire.MSG_STATS, b"", wire.MSG_REPLY_STATS)
+        return wire.decode_stats(reader)
+
+    def close(self) -> None:
+        """Orderly worker shutdown; escalates to terminate on a hang."""
+        proc, conn = self._proc, self._conn
+        self._proc, self._conn = None, None
+        if conn is not None:
+            try:
+                conn.send_bytes(wire.encode_frame(wire.MSG_SHUTDOWN))
+                conn.recv_bytes()  # MSG_READY ack (best effort)
+            except (EOFError, OSError, ValueError):
+                pass
+            conn.close()
+        if proc is not None:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - hang safety net
+                proc.terminate()
+                proc.join(timeout=5.0)
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,4 +1,4 @@
-"""`ShardedGIREngine` — the sharded serving tier over N `GIREngine` shards.
+"""`ShardedGIREngine` — the sharded serving tier over N shard backends.
 
 One :class:`~repro.engine.GIREngine` serves from one R*-tree and one GIR
 cache; both its data size and its query throughput stop scaling with the
@@ -7,11 +7,20 @@ a full, independent ``GIREngine`` (own R*-tree over its own simulated page
 store, own point table, own :class:`~repro.core.caching.GIRCache`) — and
 serves the *global* top-k on top:
 
+* **shards execute behind a pluggable backend**
+  (:mod:`repro.cluster.backends`): the router speaks only the narrow
+  :class:`~repro.cluster.backends.ShardBackend` contract —
+  ``build / topk / topk_batch / insert / delete / stats / close`` over
+  plain serializable data — so the same cluster runs its shards in-process
+  (``backend="inproc"``, the default) or in one long-lived worker process
+  per shard (``backend="process"``, speaking the versioned wire format of
+  :mod:`repro.cluster.wire`), with byte-identical answers either way;
 * **reads fan out**: every non-empty shard answers its local top-k
-  (cache-first, exactly as a standalone engine would), either
-  sequentially or concurrently on a thread pool (``parallel=True``;
-  per-shard work is independent, and with a real-latency page store the
-  fan-out genuinely overlaps the page waits);
+  (cache-first, exactly as a standalone engine would), sequentially or
+  concurrently on a thread pool (``parallel=True``). With in-process
+  shards the threads overlap real page-store waits; with process shards
+  they merely wait on the pipes while the workers run CPU-bound phase-2
+  work genuinely in parallel, outside the router's GIL;
 * **the merge layer** (:mod:`repro.cluster.merge`) pools the per-shard
   candidates into the global ordered top-k — byte-identical to a single
   engine over the unpartitioned data — and assembles its stability region
@@ -42,6 +51,13 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from repro.cluster.backends import (
+    InProcBackend,
+    ShardBackend,
+    ShardReply,
+    ShardSpec,
+    make_backend,
+)
 from repro.cluster.merge import MergedAnswer, ShardAnswer, merge_shard_answers
 from repro.cluster.partition import Partitioner, make_partitioner
 from repro.core.caching import (
@@ -49,7 +65,7 @@ from repro.core.caching import (
     apply_delete_invalidation,
     apply_insert_invalidation,
 )
-from repro.data.dataset import Dataset, PointTable
+from repro.data.dataset import Dataset, PointTable, grow_rows
 from repro.engine.engine import (
     EngineResponse,
     GIREngine,
@@ -67,8 +83,6 @@ from repro.engine.workload import (
     Workload,
     op_batches,
 )
-from repro.index.bulkload import bulk_load_str
-from repro.index.storage import PageStore
 from repro.scoring import LinearScoring, ScoringFunction
 
 __all__ = ["ShardedGIREngine"]
@@ -83,14 +97,23 @@ class ShardedGIREngine:
         The :class:`Dataset` (or raw ``(n, d)`` array) to serve; must hold
         at least ``shards`` records.
     shards:
-        Number of shards; each becomes an independent :class:`GIREngine`.
+        Number of shards; each becomes an independent :class:`GIREngine`
+        living behind a shard backend.
     partitioner:
         ``"round_robin"`` (default), ``"kd"`` (median splits of g-space),
         or a ready :class:`~repro.cluster.partition.Partitioner`.
+    backend:
+        Shard execution home: ``"inproc"`` (default — shard engines live
+        in this process), ``"process"`` (one worker process per shard,
+        requests crossing the :mod:`repro.cluster.wire` format), or a
+        :class:`~repro.cluster.backends.ShardBackend` subclass. Answers
+        and accounting are byte-identical across backends.
     parallel:
         Fan reads out on a thread pool (one worker per shard) instead of
         sequentially. Answers and all accounting are identical either
-        way; only wall-clock changes.
+        way; only wall-clock changes. With ``backend="process"`` the
+        threads only block on pipes, so per-shard CPU work overlaps for
+        real.
     cache_capacity:
         LRU capacity of each *shard's* GIR cache.
     cluster_cache_capacity:
@@ -102,7 +125,8 @@ class ShardedGIREngine:
         reads accounting-only.
     method / scorer / retain_runs / invalidation:
         Forwarded to every shard engine (one shared scorer instance keeps
-        g-space identical across shards).
+        g-space identical across shards; the process backend pickles it
+        into each worker).
     """
 
     def __init__(
@@ -111,6 +135,7 @@ class ShardedGIREngine:
         *,
         shards: int = 4,
         partitioner: "str | Partitioner" = "round_robin",
+        backend: "str | type[ShardBackend]" = "inproc",
         parallel: bool = False,
         method: str = "fp",
         scorer: ScoringFunction | None = None,
@@ -139,40 +164,69 @@ class ShardedGIREngine:
         self.invalidation = invalidation
         self.parallel = bool(parallel)
         self.partitioner = make_partitioner(partitioner, self.n_shards)
+        self.backend_name = (
+            backend if isinstance(backend, str) else getattr(backend, "name", "custom")
+        )
 
         #: Global mirror of the record table: the cluster's public rids.
         #: Keeps the full point rows addressable for cluster-cache
         #: rescoring and for ground-truth oracles, at one extra copy of
         #: the data (the shards own theirs).
         self.table = PointTable.from_dataset(data)
+        #: g-space image of the global table, maintained in lockstep
+        #: (the cluster-cache invalidation LPs need the g-image of any
+        #: global rid without asking the owning shard — which may live in
+        #: another process).
+        self._g_buf = self.scorer.transform(self.table.rows).copy()
+        self._g_n = self.table.n_allocated
 
-        assignment = self.partitioner.assign_initial(
-            self.scorer.transform(data.points)
-        )
+        assignment = self.partitioner.assign_initial(self._g_buf[: data.n])
         #: Per shard: local rid → global rid (append-only, ascending).
         self._local_to_global: list[list[int]] = []
         #: Global rid → (shard, local rid).
         self._rid_map: list[tuple[int, int]] = [(-1, -1)] * data.n
-        self.shards: list[GIREngine] = []
-        for s in range(self.n_shards):
-            gids = np.flatnonzero(assignment == s)
-            if gids.size == 0:  # pragma: no cover - partitioners guarantee
-                raise ValueError(f"partitioner left shard {s} empty")
-            subset = Dataset(data.points[gids], name=f"{data.name}[shard{s}]")
-            store = PageStore(sleep_ms_per_page=page_sleep_ms)
-            engine = GIREngine(
-                subset,
-                bulk_load_str(subset, store=store),
-                method=method,
-                scorer=self.scorer,
-                cache_capacity=cache_capacity,
-                retain_runs=retain_runs,
-                invalidation=invalidation,
-            )
-            self.shards.append(engine)
-            self._local_to_global.append([int(g) for g in gids])
-            for local, g in enumerate(gids):
-                self._rid_map[int(g)] = (s, local)
+        #: Per-shard live record counts, tracked router-side so fan-out
+        #: targeting never needs a backend round trip.
+        self._shard_live: list[int] = []
+        #: Per-shard cache-entry snapshots (exact: every reply/update
+        #: reports the post-op count, and nothing touches a shard's cache
+        #: between the router's own calls) — update accounting sums these
+        #: instead of fanning a stats request out on every write.
+        self._shard_cache_entries: list[int] = []
+        self.backends: list[ShardBackend] = []
+        try:
+            for s in range(self.n_shards):
+                gids = np.flatnonzero(assignment == s)
+                if gids.size == 0:  # pragma: no cover - partitioners guarantee
+                    raise ValueError(f"partitioner left shard {s} empty")
+                spec = ShardSpec(
+                    shard=s,
+                    name=f"{data.name}[shard{s}]",
+                    points=data.points[gids],
+                    method=method,
+                    cache_capacity=cache_capacity,
+                    retain_runs=retain_runs,
+                    invalidation=invalidation,
+                    page_sleep_ms=page_sleep_ms,
+                    scorer=self.scorer,
+                )
+                self.backends.append(make_backend(backend, spec))
+                self._shard_live.append(int(gids.size))
+                self._shard_cache_entries.append(0)
+                self._local_to_global.append([int(g) for g in gids])
+                for local, g in enumerate(gids):
+                    self._rid_map[int(g)] = (s, local)
+        except BaseException:
+            # A later shard failed to build: release the execution homes
+            # already started (process backends hold live workers and open
+            # pipes that close() on this half-built object would never
+            # reach).
+            for built in self.backends:
+                try:
+                    built.close()
+                except Exception:  # pragma: no cover - best-effort cleanup
+                    pass
+            raise
 
         #: Cluster-level cache of merged answers (``None`` = disabled).
         self.cache: GIRCache | None = (
@@ -193,14 +247,22 @@ class ShardedGIREngine:
         self.update_evictions = 0
         self._shard_requests = [0] * self.n_shards
         self._shard_latency_ms = [0.0] * self.n_shards
+        #: Set when a shard diverged mid-write (dirty failure): the
+        #: router's maps no longer describe the shard's state, so every
+        #: further serving call fail-stops instead of returning answers
+        #: merged from untrusted shards.
+        self._broken: str | None = None
 
     # -- lifecycle ------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the fan-out thread pool down (idempotent)."""
+        """Shut the fan-out pool and every shard backend down (idempotent;
+        process-backed shards get an orderly worker shutdown)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        for backend in self.backends:
+            backend.close()
 
     def __enter__(self) -> "ShardedGIREngine":
         return self
@@ -209,6 +271,21 @@ class ShardedGIREngine:
         self.close()
 
     # -- views ----------------------------------------------------------------
+
+    @property
+    def shards(self) -> list[GIREngine]:
+        """The per-shard engines — only addressable with the in-process
+        backend (a process-backed shard's engine lives in its worker)."""
+        engines = [
+            b.engine for b in self.backends if isinstance(b, InProcBackend)
+        ]
+        if len(engines) != len(self.backends):
+            raise RuntimeError(
+                f"shard engines are not in-process under the "
+                f"{self.backend_name!r} backend; use backend.stats() or the "
+                f"cluster API instead"
+            )
+        return engines
 
     @property
     def d(self) -> int:
@@ -222,6 +299,13 @@ class ShardedGIREngine:
     def points(self) -> np.ndarray:
         """Read-only global row array, indexable by global rid."""
         return self.table.rows
+
+    @property
+    def points_g(self) -> np.ndarray:
+        """G-space image of :attr:`points` (same shape, read-only)."""
+        view = self._g_buf[: self._g_n]
+        view.setflags(write=False)
+        return view
 
     @property
     def live_mask(self) -> np.ndarray:
@@ -244,6 +328,7 @@ class ShardedGIREngine:
         unpartitioned data; ``region`` carries the merged stability
         region the answer is valid in.
         """
+        self._ensure_serving()
         weights = validate_weights(weights, self.d)
         self._validate_k(k)
         t0 = time.perf_counter()
@@ -274,14 +359,15 @@ class ShardedGIREngine:
 
         The cluster cache is probed in one batched membership pass; the
         remaining requests fan out with **one** batched
-        :meth:`GIREngine.topk_batch` call per shard, then merge per
-        request. Answers are identical to issuing the requests through
+        backend ``topk_batch`` call per shard, then merge per request.
+        Answers are identical to issuing the requests through
         :meth:`topk` one-by-one; cluster-cache *hit accounting* may
         differ (a request in this batch does not see merged entries
         cached by an earlier request of the same batch — it fans out
         instead and caches its own merged entry; the LRU bounds the
         duplicates).
         """
+        self._ensure_serving()
         reqs = list(requests)
         if not reqs:
             return []
@@ -316,8 +402,8 @@ class ShardedGIREngine:
             for offset, i in enumerate(pending):
                 t0 = time.perf_counter()
                 answers = [
-                    self._to_answer(s, shard_resps[offset])
-                    for s, shard_resps in per_shard
+                    self._lift(s, shard_replies[offset])
+                    for s, shard_replies in per_shard
                 ]
                 merged = merge_shard_answers(answers, W[i], ks[i])
                 self._cache_merged(merged)
@@ -344,6 +430,19 @@ class ShardedGIREngine:
             raise ValueError(
                 f"k={k} exceeds live record count {self.n_live}"
             )
+
+    def _ensure_serving(self) -> None:
+        if self._broken is not None:
+            raise RuntimeError(
+                f"cluster is broken — {self._broken}; rebuild the "
+                f"ShardedGIREngine (a shard's state diverged mid-write and "
+                f"cannot be trusted)"
+            )
+
+    def _mark_broken(self, shard: int, kind: str, exc: Exception) -> None:
+        self._broken = (
+            f"shard {shard} diverged while applying a routed {kind} ({exc})"
+        )
 
     def _serve_cluster_hit(
         self,
@@ -381,9 +480,9 @@ class ShardedGIREngine:
         ``k`` records contributes its whole live set — the pool still
         dominates every unseen record)."""
         return [
-            (s, min(k, engine.n_live))
-            for s, engine in enumerate(self.shards)
-            if engine.n_live > 0
+            (s, min(k, live))
+            for s, live in enumerate(self._shard_live)
+            if live > 0
         ]
 
     def _fan_out(self, weights: np.ndarray, k: int) -> MergedAnswer:
@@ -393,30 +492,30 @@ class ShardedGIREngine:
         targets = self._fan_targets(k)
         if self._pool is not None and len(targets) > 1:
             futures = [
-                self._pool.submit(self.shards[s].topk, weights, ks)
+                self._pool.submit(self.backends[s].topk, weights, ks)
                 for s, ks in targets
             ]
-            resps = [f.result() for f in futures]
+            replies = [f.result() for f in futures]
         else:
-            resps = [self.shards[s].topk(weights, ks) for s, ks in targets]
+            replies = [self.backends[s].topk(weights, ks) for s, ks in targets]
         self.fanouts += 1
         answers = [
-            self._to_answer(s, resp)
-            for (s, _), resp in zip(targets, resps)
+            self._lift(s, reply)
+            for (s, _), reply in zip(targets, replies)
         ]
         return merge_shard_answers(answers, weights, k)
 
     def _fan_out_batch(
         self, weights_list: list[np.ndarray], ks: list[int]
-    ) -> list[tuple[int, list[EngineResponse]]]:
-        """Batched fan-out: one :meth:`GIREngine.topk_batch` per shard
-        over the whole pending request list. Returns ``(shard,
-        responses)`` pairs, responses aligned with the request list."""
+    ) -> list[tuple[int, list[ShardReply]]]:
+        """Batched fan-out: one backend ``topk_batch`` per shard over the
+        whole pending request list. Returns ``(shard, replies)`` pairs,
+        replies aligned with the request list."""
         targets = [
             (
                 s,
                 [
-                    Request(weights=w, k=min(k, self.shards[s].n_live))
+                    (w, min(k, self._shard_live[s]))
                     for w, k in zip(weights_list, ks)
                 ],
             )
@@ -424,38 +523,37 @@ class ShardedGIREngine:
         ]
         if self._pool is not None and len(targets) > 1:
             futures = [
-                self._pool.submit(self.shards[s].topk_batch, shard_reqs)
+                self._pool.submit(self.backends[s].topk_batch, shard_reqs)
                 for s, shard_reqs in targets
             ]
-            resp_lists = [f.result() for f in futures]
+            reply_lists = [f.result() for f in futures]
         else:
-            resp_lists = [
-                self.shards[s].topk_batch(shard_reqs)
+            reply_lists = [
+                self.backends[s].topk_batch(shard_reqs)
                 for s, shard_reqs in targets
             ]
         self.fanouts += len(weights_list)
         return [
-            (s, resps) for (s, _), resps in zip(targets, resp_lists)
+            (s, replies) for (s, _), replies in zip(targets, reply_lists)
         ]
 
-    def _to_answer(self, shard: int, resp: EngineResponse) -> ShardAnswer:
-        """Lift a shard response into global-rid terms for the merge."""
-        engine = self.shards[shard]
+    def _lift(self, shard: int, reply: ShardReply) -> ShardAnswer:
+        """Lift a local-rid shard reply into global-rid terms for the
+        merge, accounting the fan-out traffic."""
         self._shard_requests[shard] += 1
-        self._shard_latency_ms[shard] += resp.latency_ms
-        local_ids = list(resp.ids)
+        self._shard_latency_ms[shard] += reply.latency_ms
+        self._shard_cache_entries[shard] = reply.cache_entries
         l2g = self._local_to_global[shard]
-        pts = engine.points[local_ids]
         return ShardAnswer(
             shard=shard,
-            ids=tuple(l2g[lid] for lid in local_ids),
-            scores=resp.scores,
-            tie_sums=tuple(float(x) for x in pts.sum(axis=1)),
-            points_g=engine.points_g[local_ids],
-            region=resp.region,
-            source=resp.source,
-            pages_read=resp.pages_read,
-            latency_ms=resp.latency_ms,
+            ids=tuple(l2g[lid] for lid in reply.ids),
+            scores=reply.scores,
+            tie_sums=reply.tie_sums,
+            points_g=reply.points_g,
+            region=reply.region,
+            source=reply.source,
+            pages_read=reply.pages_read,
+            latency_ms=reply.latency_ms,
         )
 
     def _cache_merged(self, merged: MergedAnswer) -> None:
@@ -472,6 +570,7 @@ class ShardedGIREngine:
         """Insert a record: route to the owning shard only, then apply the
         selective (or flush) invalidation to that shard's cache *and* to
         the cluster-level cache under the global rids."""
+        self._ensure_serving()
         t0 = time.perf_counter()
         point = validate_point(point, self.d)
         gid = self.table.insert(point)
@@ -480,30 +579,63 @@ class ShardedGIREngine:
         # classification — is byte-identical to what the owning shard
         # computes from its own stored copy.
         stored = self.table.point(gid)
-        point_g = self.scorer.transform_one(stored)
+        point_g = self._append_g(stored)
         shard = self.partitioner.route(point_g)
-        sub = self.shards[shard].insert(stored)
+        try:
+            sub = self.backends[shard].insert(stored)
+        except Exception as exc:
+            if getattr(exc, "dirty", False):
+                # The shard mutated before failing: its state no longer
+                # matches the router's maps (or possibly its own cache).
+                # Rolling back here would serve wrong answers later —
+                # fail-stop instead.
+                self._mark_broken(shard, "insert", exc)
+                raise
+            # Clean failure: the shard never stored the row. Tombstone the
+            # global allocation and keep the rid map aligned with the
+            # table — otherwise every later insert's routing entry would
+            # land one rid off.
+            self.table.delete(gid)
+            self._rid_map.append((-1, -1))
+            raise
         local = sub.rid
         assert local == len(self._local_to_global[shard])
         self._local_to_global[shard].append(gid)
         self._rid_map.append((shard, local))
+        self._shard_live[shard] += 1
+        self._shard_cache_entries[shard] = sub.cache_entries
         evicted, screened, lps = self._cluster_invalidate_insert(point_g, gid)
         return self._finish_update(
             "insert",
             gid,
             t0,
             evicted=sub.evicted + evicted,
-            screened=sub.prescreen_screened + screened,
-            lps=sub.prescreen_lps + lps,
+            screened=sub.screened + screened,
+            lps=sub.lps + lps,
         )
 
     def delete(self, rid: int) -> UpdateResponse:
         """Delete a live record by global rid: routed to its owning shard;
         cluster-cache entries are evicted only if they served the rid."""
+        self._ensure_serving()
         t0 = time.perf_counter()
+        # Validate first, mutate the global table only after the owning
+        # shard applied the delete — a clean backend failure must not
+        # strand a live shard record that the router counts as dead (a
+        # *dirty* failure, where the shard tombstoned the row before
+        # raising, fail-stops the cluster instead: see _mark_broken).
+        if not self.table.is_live(rid):
+            raise KeyError(f"rid {rid} is not a live record")
+        shard, local = self.locate(rid)
+        try:
+            sub = self.backends[shard].delete(local)
+        except Exception as exc:
+            if getattr(exc, "dirty", False):
+                self._mark_broken(shard, "delete", exc)
+            raise
         self.table.delete(rid)
-        shard, local = self._rid_map[rid]
-        sub = self.shards[shard].delete(local)
+        self._shard_live[shard] -= 1
+        self._shard_cache_entries[shard] = sub.cache_entries
         if self.cache is None:
             evicted = 0
         elif self.invalidation == "flush":
@@ -516,9 +648,18 @@ class ShardedGIREngine:
             rid,
             t0,
             evicted=sub.evicted + evicted,
-            screened=sub.prescreen_screened,
-            lps=sub.prescreen_lps,
+            screened=sub.screened,
+            lps=sub.lps,
         )
+
+    def _append_g(self, stored: np.ndarray) -> np.ndarray:
+        """Maintain the global g-space image for a freshly inserted row
+        (same growth policy as the table it mirrors)."""
+        self._g_buf = grow_rows(self._g_buf, self._g_n)
+        g_row = self.scorer.transform_one(stored)
+        self._g_buf[self._g_n] = g_row
+        self._g_n += 1
+        return g_row
 
     def _cluster_invalidate_insert(
         self, point_g: np.ndarray, gid: int
@@ -543,9 +684,9 @@ class ShardedGIREngine:
         )
 
     def _g_of(self, rid: int) -> np.ndarray:
-        """g-space image of a global rid (from its owning shard's buffer)."""
-        shard, local = self._rid_map[rid]
-        return self.shards[shard].points_g[local]
+        """g-space image of a global rid (router-maintained buffer — the
+        owning shard may live in another process)."""
+        return self._g_buf[rid]
 
     def _finish_update(
         self,
@@ -558,7 +699,7 @@ class ShardedGIREngine:
     ) -> UpdateResponse:
         self.updates_applied += 1
         self.update_evictions += evicted
-        entries = sum(len(engine.cache) for engine in self.shards)
+        entries = sum(self._shard_cache_entries)
         if self.cache is not None:
             entries += len(self.cache)
         return UpdateResponse(
@@ -661,35 +802,36 @@ class ShardedGIREngine:
     def shard_stats(self) -> list[dict]:
         """Per-shard breakdown: fan-out traffic, page reads, cache state.
 
-        ``page_reads`` is each shard store's lifetime meter; summed over
-        shards it equals the cluster's total metered I/O (every metered
-        read happens inside some shard's serving path).
+        Router-side counters (requests fanned out, accumulated latency)
+        merged with each backend's own stat snapshot
+        (:func:`~repro.cluster.backends.engine_shard_stats`) — one stats
+        round trip per shard for process-backed clusters.
         """
-        stats = []
-        for s, engine in enumerate(self.shards):
-            cache = engine.cache
-            stats.append(
-                {
-                    "shard": s,
-                    "live_records": engine.n_live,
-                    "requests": self._shard_requests[s],
-                    "latency_ms_total": self._shard_latency_ms[s],
-                    "page_reads": engine.tree.store.stats.page_reads,
-                    "cache_entries": len(cache),
-                    "cache_full_hits": cache.full_hits,
-                    "cache_partial_hits": cache.partial_hits,
-                    "cache_misses": cache.misses,
-                    "updates_applied": engine.updates_applied,
-                    "update_evictions": engine.update_evictions,
-                }
-            )
-        return stats
+        return [
+            {
+                "shard": s,
+                "requests": self._shard_requests[s],
+                "latency_ms_total": self._shard_latency_ms[s],
+                **backend.stats(),
+            }
+            for s, backend in enumerate(self.backends)
+        ]
+
+    @property
+    def fanout_mode(self) -> str:
+        """The fan-out mode label: ``"sequential"`` (no pool),
+        ``"thread"`` (pool over in-process shards) or the backend name
+        (``"process"``: pool threads just wait on worker pipes)."""
+        if not self.parallel:
+            return "sequential"
+        return "thread" if self.backend_name == "inproc" else self.backend_name
 
     def cluster_stats(self) -> dict:
-        """Cluster-tier counters (cache, fan-outs, mode)."""
+        """Cluster-tier counters (cache, fan-outs, backend, mode)."""
         stats = {
             "shards": self.n_shards,
-            "mode": "parallel" if self.parallel else "sequential",
+            "backend": self.backend_name,
+            "mode": self.fanout_mode,
             "partitioner": self.partitioner.name,
             "requests_served": self.requests_served,
             "fanouts": self.fanouts,

@@ -1,0 +1,504 @@
+"""The shard wire format: versioned frames between router and workers.
+
+The sharded serving tier's merge layer needs only a narrow, serializable
+contract per shard — ``(ids, scores, tie_sums, points_g, region)`` plus
+provenance/accounting — which is exactly the boundary this module encodes.
+A :class:`~repro.cluster.backends.ProcessBackend` speaks these frames over
+a ``multiprocessing`` pipe today; the same format is the intended payload
+of the ROADMAP's socket/multi-host backend (nothing here assumes a pipe).
+
+Framing follows the conventions of :mod:`repro.index.serde` (the byte-exact
+page layout): a magic tag, an explicit little-endian format version that is
+checked — not assumed — on every decode, and fixed ``struct`` headers in
+front of raw ``<f8``/``<q`` array payloads. Every frame is::
+
+    frame := magic b"GIRW" | version u16 | msg_type u16 | payload
+
+Float payloads round-trip bit-exactly (``<f8`` both ways), which is what
+keeps a process-backed cluster's merged answers *byte-identical* to the
+in-process backend: scores, tie-break sums, g-images and region rows cross
+the process boundary unperturbed.
+
+Message catalogue (requests flow router → worker, replies worker → router):
+
+===================  =======================================================
+``MSG_BUILD``        shard spec: config JSON + initial rows + pickled scorer
+``MSG_READY``        worker acknowledgement (build / shutdown)
+``MSG_TOPK``         one read: weights vector + k
+``MSG_TOPK_BATCH``   a batch of reads (one frame, one reply frame)
+``MSG_INSERT``       routed write: the record row
+``MSG_DELETE``       routed write: the local rid
+``MSG_STATS``        request the shard's counter snapshot
+``MSG_SHUTDOWN``     orderly worker exit (acknowledged with ``MSG_READY``)
+``MSG_REPLY_TOPK``   one :class:`~repro.cluster.backends.ShardReply`
+``MSG_REPLY_BATCH``  a list of shard replies
+``MSG_REPLY_UPDATE`` one :class:`~repro.cluster.backends.ShardUpdate`
+``MSG_REPLY_STATS``  stat-counter dict (JSON payload)
+``MSG_REPLY_ERROR``  exception surrogate, re-raised router-side
+===================  =======================================================
+
+Stats and build-config payloads are JSON (they are small, heterogeneous
+dicts and self-describing beats a hand-rolled layout there); every array —
+the hot path — is raw little-endian binary. Region polytopes cross as
+:meth:`~repro.geometry.polytope.Polytope.to_bytes` payloads, which makes
+that layout part of this format: changing it requires a
+``WIRE_VERSION`` bump. The scorer crosses the wire
+pickled: scoring functions are code, not data, and the build frame is sent
+once per worker lifetime (a non-picklable scorer fails the build with a
+clear error instead of corrupting anything downstream).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import struct
+import traceback
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro.geometry.polytope import Polytope
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.cluster.backends.base import ShardReply, ShardSpec, ShardUpdate
+
+__all__ = [
+    "MAGIC",
+    "WIRE_VERSION",
+    "WireError",
+    "WorkerFailure",
+    "encode_frame",
+    "decode_frame",
+    "Reader",
+    "MSG_BUILD",
+    "MSG_READY",
+    "MSG_TOPK",
+    "MSG_TOPK_BATCH",
+    "MSG_INSERT",
+    "MSG_DELETE",
+    "MSG_STATS",
+    "MSG_SHUTDOWN",
+    "MSG_REPLY_TOPK",
+    "MSG_REPLY_BATCH",
+    "MSG_REPLY_UPDATE",
+    "MSG_REPLY_STATS",
+    "MSG_REPLY_ERROR",
+    "encode_build",
+    "decode_build",
+    "encode_topk",
+    "decode_topk",
+    "encode_topk_batch",
+    "decode_topk_batch",
+    "encode_insert",
+    "decode_insert",
+    "encode_delete",
+    "decode_delete",
+    "encode_reply",
+    "decode_reply",
+    "encode_batch_reply",
+    "decode_batch_reply",
+    "encode_update",
+    "decode_update",
+    "encode_stats",
+    "decode_stats",
+    "encode_error",
+    "decode_error",
+]
+
+MAGIC = b"GIRW"
+WIRE_VERSION = 1
+_FRAME = struct.Struct("<4sHH")  # magic, version, msg_type
+
+MSG_BUILD = 1
+MSG_READY = 2
+MSG_TOPK = 3
+MSG_TOPK_BATCH = 4
+MSG_INSERT = 5
+MSG_DELETE = 6
+MSG_STATS = 7
+MSG_SHUTDOWN = 8
+MSG_REPLY_TOPK = 9
+MSG_REPLY_BATCH = 10
+MSG_REPLY_UPDATE = 11
+MSG_REPLY_STATS = 12
+MSG_REPLY_ERROR = 13
+
+_KNOWN_MESSAGES = frozenset(range(MSG_BUILD, MSG_REPLY_ERROR + 1))
+
+#: Array dtype tags on the wire.
+_DTYPE_F8 = 0
+_DTYPE_I8 = 1
+_DTYPES = {_DTYPE_F8: "<f8", _DTYPE_I8: "<q"}
+
+
+class WireError(ValueError):
+    """A frame failed to decode (bad magic, version, type or payload)."""
+
+
+class WorkerFailure(RuntimeError):
+    """An exception raised inside a shard worker, re-raised router-side.
+
+    Carries the worker-side exception type name and traceback text so the
+    failure is debuggable without attaching to the worker process, plus
+    the ``dirty`` write-state flag of
+    :class:`~repro.cluster.backends.base.ShardWriteError` (``True`` when
+    a failed write mutated the shard before raising — the router must
+    fail-stop instead of rolling back).
+    """
+
+    def __init__(
+        self, exc_type: str, message: str, tb: str, dirty: bool = False
+    ) -> None:
+        super().__init__(f"shard worker raised {exc_type}: {message}")
+        self.exc_type = exc_type
+        self.worker_message = message
+        self.worker_traceback = tb
+        self.dirty = bool(dirty)
+
+
+# -- framing ------------------------------------------------------------------
+
+
+def encode_frame(msg_type: int, payload: bytes = b"") -> bytes:
+    """Wrap a payload in the versioned frame header."""
+    return _FRAME.pack(MAGIC, WIRE_VERSION, msg_type) + payload
+
+
+def decode_frame(frame: bytes) -> tuple[int, "Reader"]:
+    """Validate the header; returns ``(msg_type, payload reader)``."""
+    if len(frame) < _FRAME.size:
+        raise WireError(f"truncated frame of {len(frame)} bytes")
+    magic, version, msg_type = _FRAME.unpack_from(frame, 0)
+    if magic != MAGIC:
+        raise WireError(f"not a GIR wire frame (magic {magic!r})")
+    if version != WIRE_VERSION:
+        raise WireError(
+            f"unsupported wire version {version} (speaking {WIRE_VERSION})"
+        )
+    if msg_type not in _KNOWN_MESSAGES:
+        raise WireError(f"unknown message type {msg_type}")
+    return msg_type, Reader(frame, _FRAME.size)
+
+
+class Reader:
+    """Cursor over a frame payload (validates it is fully consumed)."""
+
+    def __init__(self, buf: bytes, offset: int = 0) -> None:
+        self.buf = buf
+        self.off = offset
+
+    def unpack(self, fmt: str) -> tuple:
+        st = struct.Struct(fmt)
+        if self.off + st.size > len(self.buf):
+            raise WireError("payload truncated")
+        values = st.unpack_from(self.buf, self.off)
+        self.off += st.size
+        return values
+
+    def take(self, n: int) -> bytes:
+        if self.off + n > len(self.buf):
+            raise WireError("payload truncated")
+        chunk = self.buf[self.off : self.off + n]
+        self.off += n
+        return chunk
+
+    def done(self) -> None:
+        if self.off != len(self.buf):
+            raise WireError(
+                f"{len(self.buf) - self.off} trailing bytes after payload"
+            )
+
+
+# -- primitive payload pieces -------------------------------------------------
+
+
+def _put_array(out: bytearray, arr: np.ndarray, dtype_tag: int = _DTYPE_F8) -> None:
+    arr = np.ascontiguousarray(arr, dtype=_DTYPES[dtype_tag])
+    out += struct.pack("<BB", dtype_tag, arr.ndim)
+    out += struct.pack(f"<{arr.ndim}q", *arr.shape)
+    out += arr.tobytes()
+
+
+def _get_array(reader: Reader) -> np.ndarray:
+    dtype_tag, ndim = reader.unpack("<BB")
+    if dtype_tag not in _DTYPES:
+        raise WireError(f"unknown array dtype tag {dtype_tag}")
+    shape = reader.unpack(f"<{ndim}q")
+    if any(n < 0 for n in shape):
+        raise WireError(f"negative array dimension in {shape}")
+    count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    raw = reader.take(8 * count)
+    return (
+        np.frombuffer(raw, dtype=_DTYPES[dtype_tag], count=count)
+        .reshape(shape)
+        .copy()
+    )
+
+
+def _put_bytes(out: bytearray, payload: bytes) -> None:
+    out += struct.pack("<I", len(payload))
+    out += payload
+
+
+def _get_bytes(reader: Reader) -> bytes:
+    (n,) = reader.unpack("<I")
+    return reader.take(n)
+
+
+def _put_json(out: bytearray, obj) -> None:
+    _put_bytes(out, json.dumps(obj).encode("utf-8"))
+
+
+def _get_json(reader: Reader):
+    return json.loads(_get_bytes(reader).decode("utf-8"))
+
+
+# -- build --------------------------------------------------------------------
+
+
+def encode_build(spec: "ShardSpec") -> bytes:
+    """Serialise a shard build spec (config JSON + rows + pickled scorer)."""
+    out = bytearray()
+    _put_json(
+        out,
+        {
+            "shard": spec.shard,
+            "name": spec.name,
+            "method": spec.method,
+            "cache_capacity": spec.cache_capacity,
+            "retain_runs": spec.retain_runs,
+            "invalidation": spec.invalidation,
+            "page_sleep_ms": spec.page_sleep_ms,
+        },
+    )
+    _put_array(out, spec.points)
+    try:
+        scorer_bytes = pickle.dumps(spec.scorer)
+    except Exception as exc:
+        raise ValueError(
+            f"scorer {spec.scorer!r} is not picklable and cannot cross the "
+            f"shard wire; use the in-process backend for closure-based "
+            f"scorers ({exc})"
+        ) from exc
+    _put_bytes(out, scorer_bytes)
+    return bytes(out)
+
+
+def decode_build(reader: Reader) -> "ShardSpec":
+    from repro.cluster.backends.base import ShardSpec
+
+    config = _get_json(reader)
+    points = _get_array(reader)
+    scorer = pickle.loads(_get_bytes(reader))
+    reader.done()
+    return ShardSpec(
+        shard=int(config["shard"]),
+        name=str(config["name"]),
+        points=points,
+        method=str(config["method"]),
+        cache_capacity=int(config["cache_capacity"]),
+        retain_runs=bool(config["retain_runs"]),
+        invalidation=str(config["invalidation"]),
+        page_sleep_ms=float(config["page_sleep_ms"]),
+        scorer=scorer,
+    )
+
+
+# -- reads --------------------------------------------------------------------
+
+
+def encode_topk(weights: np.ndarray, k: int) -> bytes:
+    out = bytearray()
+    _put_array(out, np.asarray(weights, dtype=np.float64))
+    out += struct.pack("<q", k)
+    return bytes(out)
+
+
+def decode_topk(reader: Reader) -> tuple[np.ndarray, int]:
+    weights = _get_array(reader)
+    (k,) = reader.unpack("<q")
+    reader.done()
+    return weights, int(k)
+
+
+def encode_topk_batch(requests: Sequence[tuple[np.ndarray, int]]) -> bytes:
+    out = bytearray(struct.pack("<q", len(requests)))
+    for weights, k in requests:
+        _put_array(out, np.asarray(weights, dtype=np.float64))
+        out += struct.pack("<q", k)
+    return bytes(out)
+
+
+def decode_topk_batch(reader: Reader) -> list[tuple[np.ndarray, int]]:
+    (count,) = reader.unpack("<q")
+    requests = []
+    for _ in range(count):
+        weights = _get_array(reader)
+        (k,) = reader.unpack("<q")
+        requests.append((weights, int(k)))
+    reader.done()
+    return requests
+
+
+# -- writes -------------------------------------------------------------------
+
+
+def encode_insert(point: np.ndarray) -> bytes:
+    out = bytearray()
+    _put_array(out, np.asarray(point, dtype=np.float64))
+    return bytes(out)
+
+
+def decode_insert(reader: Reader) -> np.ndarray:
+    point = _get_array(reader)
+    reader.done()
+    return point
+
+
+def encode_delete(rid: int) -> bytes:
+    return struct.pack("<q", rid)
+
+
+def decode_delete(reader: Reader) -> int:
+    (rid,) = reader.unpack("<q")
+    reader.done()
+    return int(rid)
+
+
+# -- replies ------------------------------------------------------------------
+
+
+def _put_reply(out: bytearray, reply: "ShardReply") -> None:
+    _put_array(out, np.asarray(reply.ids, dtype=np.int64), _DTYPE_I8)
+    _put_array(out, np.asarray(reply.scores, dtype=np.float64))
+    _put_array(out, np.asarray(reply.tie_sums, dtype=np.float64))
+    _put_array(out, reply.points_g)
+    _put_bytes(out, reply.region.to_bytes())
+    _put_bytes(out, reply.source.encode("utf-8"))
+    out += struct.pack(
+        "<qqd", reply.pages_read, reply.cache_entries, reply.latency_ms
+    )
+
+
+def _get_reply(reader: Reader) -> "ShardReply":
+    from repro.cluster.backends.base import ShardReply
+
+    ids = _get_array(reader)
+    scores = _get_array(reader)
+    tie_sums = _get_array(reader)
+    points_g = _get_array(reader)
+    region = Polytope.from_bytes(_get_bytes(reader))
+    source = _get_bytes(reader).decode("utf-8")
+    pages_read, cache_entries, latency_ms = reader.unpack("<qqd")
+    return ShardReply(
+        ids=tuple(int(i) for i in ids),
+        scores=tuple(float(s) for s in scores),
+        tie_sums=tuple(float(s) for s in tie_sums),
+        points_g=points_g,
+        region=region,
+        source=source,
+        pages_read=int(pages_read),
+        latency_ms=float(latency_ms),
+        cache_entries=int(cache_entries),
+    )
+
+
+def encode_reply(reply: "ShardReply") -> bytes:
+    out = bytearray()
+    _put_reply(out, reply)
+    return bytes(out)
+
+
+def decode_reply(reader: Reader) -> "ShardReply":
+    reply = _get_reply(reader)
+    reader.done()
+    return reply
+
+
+def encode_batch_reply(replies: Iterable["ShardReply"]) -> bytes:
+    replies = list(replies)
+    out = bytearray(struct.pack("<q", len(replies)))
+    for reply in replies:
+        _put_reply(out, reply)
+    return bytes(out)
+
+
+def decode_batch_reply(reader: Reader) -> list["ShardReply"]:
+    (count,) = reader.unpack("<q")
+    replies = [_get_reply(reader) for _ in range(count)]
+    reader.done()
+    return replies
+
+
+def encode_update(update: "ShardUpdate") -> bytes:
+    return struct.pack(
+        "<qqqqqd",
+        update.rid,
+        update.evicted,
+        update.screened,
+        update.lps,
+        update.cache_entries,
+        update.latency_ms,
+    )
+
+
+def decode_update(reader: Reader) -> "ShardUpdate":
+    from repro.cluster.backends.base import ShardUpdate
+
+    rid, evicted, screened, lps, cache_entries, latency_ms = reader.unpack(
+        "<qqqqqd"
+    )
+    reader.done()
+    return ShardUpdate(
+        rid=int(rid),
+        evicted=int(evicted),
+        screened=int(screened),
+        lps=int(lps),
+        latency_ms=float(latency_ms),
+        cache_entries=int(cache_entries),
+    )
+
+
+# -- stats / errors -----------------------------------------------------------
+
+
+def encode_stats(stats: dict) -> bytes:
+    out = bytearray()
+    _put_json(out, stats)
+    return bytes(out)
+
+
+def decode_stats(reader: Reader) -> dict:
+    stats = _get_json(reader)
+    reader.done()
+    return stats
+
+
+def encode_error(exc: BaseException) -> bytes:
+    out = bytearray()
+    _put_json(
+        out,
+        {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": "".join(
+                traceback.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+            # ShardWriteError's write-state classification; False for
+            # every other exception (reads never mutate shard structure).
+            "dirty": bool(getattr(exc, "dirty", False)),
+        },
+    )
+    return bytes(out)
+
+
+def decode_error(reader: Reader) -> WorkerFailure:
+    info = _get_json(reader)
+    reader.done()
+    return WorkerFailure(
+        exc_type=str(info.get("type", "Exception")),
+        message=str(info.get("message", "")),
+        tb=str(info.get("traceback", "")),
+        dirty=bool(info.get("dirty", False)),
+    )

@@ -19,6 +19,7 @@ intersection):
 
 from __future__ import annotations
 
+import struct
 from typing import Sequence
 
 import numpy as np
@@ -112,6 +113,47 @@ class Polytope:
     def m(self) -> int:
         """Number of constraints."""
         return int(self.A.shape[0])
+
+    # -- byte serialisation ------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Exact little-endian serialisation of the H-representation.
+
+        Layout: ``<qq`` (m, d) header followed by the ``A`` rows and the
+        ``b`` vector as ``<f8``. The round trip through :meth:`from_bytes`
+        is bit-exact — row order and every float64 payload are preserved —
+        which is what lets the sharded cluster's process backend ship GIR
+        regions across the wire without perturbing the merged-region
+        geometry (see :mod:`repro.cluster.wire` for framing/versioning).
+        """
+        return (
+            struct.pack("<qq", self.m, self.d)
+            + np.ascontiguousarray(self.A, dtype="<f8").tobytes()
+            + np.ascontiguousarray(self.b, dtype="<f8").tobytes()
+        )
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "Polytope":
+        """Reconstruct a polytope serialised by :meth:`to_bytes`.
+
+        Malformed payloads raise :class:`ValueError`.
+        """
+        if len(payload) < 16:
+            raise ValueError(
+                f"polytope payload of {len(payload)} bytes is shorter than "
+                f"the 16-byte header"
+            )
+        m, d = struct.unpack_from("<qq", payload, 0)
+        if m < 0 or d <= 0:
+            raise ValueError(f"malformed polytope header (m={m}, d={d})")
+        need = 16 + 8 * m * d + 8 * m
+        if len(payload) != need:
+            raise ValueError(
+                f"polytope payload of {len(payload)} bytes, expected {need}"
+            )
+        A = np.frombuffer(payload, dtype="<f8", count=m * d, offset=16)
+        b = np.frombuffer(payload, dtype="<f8", count=m, offset=16 + 8 * m * d)
+        return cls(A.reshape(m, d).copy(), b.copy())
 
     # -- membership ----------------------------------------------------------------
 

@@ -1,0 +1,321 @@
+"""Tests for the pluggable shard-execution backends (`repro.cluster.backends`).
+
+The headline property extends PR 4's: a process-backed cluster — one
+worker process per shard, every request and reply crossing the versioned
+wire format — is *byte-identical* to the in-process cluster (exact float
+equality, not just tolerance) and observably identical to a single
+:class:`GIREngine`, across shard counts × partitioners × per-request /
+batched serving × mixed read/write workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    BACKENDS,
+    InProcBackend,
+    ProcessBackend,
+    ShardSpec,
+    ShardedGIREngine,
+    make_backend,
+)
+from repro.cluster.wire import WorkerFailure
+from repro.data.synthetic import independent
+from repro.engine import (
+    GIREngine,
+    mixed_workload,
+    uniform_workload,
+    zipf_clustered_workload,
+)
+from repro.index.bulkload import bulk_load_str
+from repro.scoring import LinearScoring
+
+N, D, K = 500, 3, 5
+
+
+@pytest.fixture(scope="module")
+def data():
+    return independent(N, D, seed=19)
+
+
+@pytest.fixture(scope="module")
+def spec(data):
+    return ShardSpec(
+        shard=0,
+        name="t[shard0]",
+        points=np.asarray(data.points),
+        method="fp",
+        cache_capacity=16,
+        retain_runs=True,
+        invalidation="gir",
+        page_sleep_ms=0.0,
+        scorer=LinearScoring(D),
+    )
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {
+        "uniform": uniform_workload(D, 15, k=K, rng=201),
+        "zipf": zipf_clustered_workload(D, 25, k=K, clusters=4, rng=202),
+        "mixed": mixed_workload(
+            D, 30, base_n=N, k=K, update_fraction=0.3, rng=203
+        ),
+    }
+
+
+def exact_match(report, other) -> None:
+    """Bit-exact equality of responses and update accounting — the
+    backend-equivalence bar (stricter than the cluster-vs-single-engine
+    tolerance)."""
+    assert len(report.responses) == len(other.responses)
+    for r, s in zip(report.responses, other.responses):
+        assert r.ids == s.ids
+        assert r.scores == s.scores  # exact float equality
+        assert (r.k, r.source, r.pages_read) == (s.k, s.source, s.pages_read)
+    assert [
+        (u.kind, u.rid, u.evicted, u.prescreen_screened, u.prescreen_lps,
+         u.cache_entries)
+        for u in report.updates
+    ] == [
+        (u.kind, u.rid, u.evicted, u.prescreen_screened, u.prescreen_lps,
+         u.cache_entries)
+        for u in other.updates
+    ]
+
+
+class TestBackendContract:
+    """Unit-level checks of the two backends against one shard spec."""
+
+    def test_registry(self, spec):
+        assert set(BACKENDS) == {"inproc", "process"}
+        with pytest.raises(ValueError, match="unknown shard backend"):
+            make_backend("socket", spec)
+        with pytest.raises(TypeError, match="registry name"):
+            make_backend(42, spec)
+
+    def test_custom_backend_class_accepted(self, spec):
+        class MyBackend(InProcBackend):
+            name = "custom"
+
+        backend = make_backend(MyBackend, spec)
+        assert isinstance(backend, MyBackend)
+        assert backend.topk(np.array([0.5, 0.5, 0.5]), 3).ids
+
+    def test_double_build_rejected(self, spec):
+        backend = make_backend("inproc", spec)
+        with pytest.raises(RuntimeError, match="already built"):
+            backend.build(spec)
+
+    def test_process_reply_bit_exact(self, spec):
+        a = make_backend("inproc", spec)
+        b = make_backend("process", spec)
+        try:
+            w = np.array([0.6, 0.3, 0.8])
+            ra, rb = a.topk(w, K), b.topk(w, K)
+            assert ra.ids == rb.ids
+            assert ra.scores == rb.scores
+            assert ra.tie_sums == rb.tie_sums
+            assert ra.points_g.tobytes() == rb.points_g.tobytes()
+            assert ra.region.A.tobytes() == rb.region.A.tobytes()
+            assert ra.region.b.tobytes() == rb.region.b.tobytes()
+            assert (ra.source, ra.pages_read) == (rb.source, rb.pages_read)
+            assert a.stats() == b.stats()
+        finally:
+            a.close()
+            b.close()
+
+    def test_worker_error_propagates_and_worker_survives(self, spec):
+        backend = make_backend("process", spec)
+        try:
+            with pytest.raises(WorkerFailure, match="KeyError") as info:
+                backend.delete(10_000)
+            # A clean failure (the engine never mutated): the worker
+            # caught the error and keeps serving.
+            assert not info.value.dirty
+            assert backend.topk(np.array([0.5, 0.5, 0.5]), 3).ids
+        finally:
+            backend.close()
+
+    def test_dirty_write_failure_poisons_the_worker(self, spec, monkeypatch):
+        """A write failing after the worker's engine mutated marks the
+        worker broken: it reports dirty=True and refuses further
+        operations (the router fail-stops on its side)."""
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("LP solver fell over")
+
+        # Patch before the fork so the worker inherits the broken step.
+        monkeypatch.setattr(
+            "repro.engine.engine.apply_insert_invalidation", boom
+        )
+        backend = make_backend("process", spec)
+        try:
+            with pytest.raises(WorkerFailure, match="insert failed") as info:
+                backend.insert(np.array([0.9, 0.9, 0.9]))
+            assert info.value.dirty
+            with pytest.raises(WorkerFailure, match="refuses further"):
+                backend.topk(np.array([0.5, 0.5, 0.5]), 3)
+            # Stats stay reachable for post-mortem inspection.
+            assert backend.stats()["live_records"] == N + 1
+        finally:
+            backend.close()
+
+    def test_close_is_idempotent_and_terminal(self, spec):
+        backend = make_backend("process", spec)
+        assert backend.topk(np.array([0.5, 0.5, 0.5]), 3).ids
+        backend.close()
+        backend.close()
+        with pytest.raises(RuntimeError, match="not running"):
+            backend.topk(np.array([0.5, 0.5, 0.5]), 3)
+
+
+class TestProcessClusterEquivalence:
+    """The full matrix: process answers == inproc answers == single engine."""
+
+    @pytest.fixture(scope="class")
+    def reference_reports(self, data, workloads):
+        reports = {}
+        for name, wl in workloads.items():
+            engine = GIREngine(data, bulk_load_str(data), cache_capacity=64)
+            reports[name] = engine.run(wl)
+        return reports
+
+    @pytest.mark.parametrize("workload_name", ["uniform", "zipf", "mixed"])
+    @pytest.mark.parametrize("shards", [2, 4])
+    @pytest.mark.parametrize("partitioner", ["round_robin", "kd"])
+    def test_process_matches_inproc_exactly(
+        self, data, workloads, reference_reports, workload_name, shards,
+        partitioner,
+    ):
+        wl = workloads[workload_name]
+        with ShardedGIREngine(
+            data, shards=shards, partitioner=partitioner, backend="inproc"
+        ) as inproc:
+            inproc_report = inproc.run(wl)
+        with ShardedGIREngine(
+            data, shards=shards, partitioner=partitioner, backend="process",
+            parallel=True,
+        ) as proc:
+            proc_report = proc.run(wl)
+        exact_match(proc_report, inproc_report)
+        # And both observably match the single engine (repo equivalence bar).
+        reference = reference_reports[workload_name]
+        for r, s in zip(proc_report.responses, reference.responses):
+            assert r.ids == s.ids
+            np.testing.assert_allclose(r.scores, s.scores, rtol=0, atol=1e-12)
+
+    @pytest.mark.parametrize("workload_name", ["zipf", "mixed"])
+    def test_batched_process_matches_inproc_exactly(
+        self, data, workloads, workload_name
+    ):
+        wl = workloads[workload_name]
+        with ShardedGIREngine(data, shards=2, backend="inproc") as inproc:
+            inproc_report = inproc.run(wl, batch=True)
+        with ShardedGIREngine(data, shards=2, backend="process") as proc:
+            proc_report = proc.run(wl, batch=True)
+        exact_match(proc_report, inproc_report)
+
+    def test_shard_stats_parity_and_sums(self, data, workloads):
+        """Per-shard accounting (cache counters, page reads) is identical
+        across backends and still sums to cluster totals."""
+        wl = workloads["mixed"]
+        reports = {}
+        for backend in ("inproc", "process"):
+            with ShardedGIREngine(
+                data, shards=4, backend=backend
+            ) as engine:
+                reports[backend] = engine.run(wl)
+        for backend, report in reports.items():
+            shard_pages = sum(s["page_reads"] for s in report.shard_stats)
+            assert shard_pages == report.pages_read_total, backend
+        strip = lambda s: {  # noqa: E731 - wall-clock field differs
+            k: v for k, v in s.items() if k != "latency_ms_total"
+        }
+        assert [strip(s) for s in reports["inproc"].shard_stats] == [
+            strip(s) for s in reports["process"].shard_stats
+        ]
+        assert (
+            reports["inproc"].cluster_stats["cluster_full_hits"]
+            == reports["process"].cluster_stats["cluster_full_hits"]
+        )
+
+    def test_cluster_stats_name_the_backend(self, data, workloads):
+        with ShardedGIREngine(data, shards=2, backend="process") as engine:
+            payload = engine.run(workloads["uniform"]).to_dict()
+            summary = engine.run(workloads["uniform"]).summary()
+        assert payload["cluster"]["backend"] == "process"
+        assert payload["cluster"]["mode"] == "sequential"
+        assert "process backend" in summary
+
+    def test_shards_property_unavailable_for_process(self, data):
+        with ShardedGIREngine(data, shards=2, backend="process") as engine:
+            with pytest.raises(RuntimeError, match="not in-process"):
+                _ = engine.shards
+
+    def test_context_exit_stops_workers(self, data):
+        with ShardedGIREngine(data, shards=2, backend="process") as engine:
+            engine.topk(np.array([0.5, 0.4, 0.6]), K)
+            procs = [b._proc for b in engine.backends]
+            assert all(p is not None and p.is_alive() for p in procs)
+        assert all(p is None or not p.is_alive() for p in procs)
+
+    def test_validation_stays_router_side(self, data):
+        """Malformed requests are rejected before any frame is sent."""
+        with ShardedGIREngine(data, shards=2, backend="process") as engine:
+            with pytest.raises(ValueError, match="shape"):
+                engine.topk(np.array([0.5, 0.5]), K)
+            with pytest.raises(ValueError, match="exceeds live"):
+                engine.topk(np.array([0.5, 0.5, 0.5]), N + 1)
+            with pytest.raises(ValueError, match="finite"):
+                engine.insert(np.array([0.5, np.inf, 0.5]))
+
+
+class TestProcessBackendDefaults:
+    def test_default_start_method_is_fork_on_linux_only(self):
+        import multiprocessing
+        import sys
+
+        from repro.cluster.backends.process import default_start_method
+
+        expected = (
+            "fork"
+            if sys.platform.startswith("linux")
+            and "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        assert default_start_method() == expected
+
+    def test_failed_cluster_build_stops_started_workers(self, data):
+        """If a later shard's backend fails to build, the workers already
+        started for earlier shards must be shut down, not leaked."""
+        started: list[ProcessBackend] = []
+
+        class FlakyBackend(ProcessBackend):
+            name = "process"
+
+            def build(self, spec):
+                if spec.shard >= 1:
+                    raise RuntimeError("no capacity for this shard")
+                super().build(spec)
+                started.append(self)
+
+        with pytest.raises(RuntimeError, match="no capacity"):
+            ShardedGIREngine(data, shards=3, backend=FlakyBackend)
+        assert len(started) == 1
+        assert started[0]._proc is None  # closed, not leaked
+
+    def test_backend_instances_are_independent(self, spec):
+        """Two process backends from one spec hold independent engines:
+        a write to one is invisible to the other."""
+        a = make_backend("process", spec)
+        b = make_backend("process", spec)
+        try:
+            a.insert(np.array([0.9, 0.9, 0.9]))
+            assert a.stats()["live_records"] == N + 1
+            assert b.stats()["live_records"] == N
+        finally:
+            a.close()
+            b.close()

@@ -14,6 +14,34 @@ from repro.bench.reporting import fmt, format_table
 from repro.data.synthetic import independent
 
 
+class TestBenchFamilies:
+    """The engine/update benchmarks accept the paper's COR/ANTI families,
+    not just IND (scenario diversity of the committed reports)."""
+
+    def test_update_benchmark_on_correlated_family(self, tmp_path):
+        from repro.bench.engine_bench import (
+            UpdateBenchConfig,
+            run_update_benchmark,
+        )
+
+        config = UpdateBenchConfig(
+            n=500, d=2, k=5, ops=20, family="COR", ground_truth_probes=1
+        )
+        payload = run_update_benchmark(config, tmp_path / "upd.json")
+        assert payload["config"]["family"] == "COR"
+        assert payload["policies"]["gir"]["ground_truth_mismatches"] == 0
+        assert payload["policies"]["flush"]["ground_truth_mismatches"] == 0
+
+    def test_unknown_family_rejected(self):
+        from repro.bench.engine_bench import (
+            EngineBenchConfig,
+            run_engine_benchmark,
+        )
+
+        with pytest.raises(ValueError, match="unknown synthetic family"):
+            run_engine_benchmark(EngineBenchConfig(n=100, family="nope"))
+
+
 class TestConfig:
     def test_all_scales_well_formed(self):
         for name, scale in SCALES.items():

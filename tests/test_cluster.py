@@ -22,6 +22,7 @@ from repro.cluster import (
     ShardedGIREngine,
     make_partitioner,
 )
+from repro.data.dataset import Dataset
 from repro.data.synthetic import independent
 from repro.engine import GIREngine, mixed_workload, uniform_workload, zipf_clustered_workload
 from repro.index.bulkload import bulk_load_str
@@ -250,6 +251,97 @@ class TestRoutedWrites:
             assert again.ids[0] == N  # the new record tops the list
             assert again.ids[1:] == first.ids[: K - 1]
 
+    def test_failed_backend_insert_rolls_back_allocation(self, data):
+        """If the owning shard fails to store a routed insert, the global
+        allocation is rolled back to a tombstone and the rid map stays
+        aligned — later inserts must not land one rid off."""
+        with ShardedGIREngine(data, shards=2) as engine:
+            for b in engine.backends:
+                b.insert = lambda point: (_ for _ in ()).throw(
+                    RuntimeError("worker down")
+                )
+            with pytest.raises(RuntimeError, match="worker down"):
+                engine.insert(np.array([0.5, 0.5, 0.5]))
+            for b in engine.backends:
+                del b.insert  # restore the class method
+            assert engine.locate(N) == (-1, -1)  # allocated, owned by no shard
+            assert not engine.table.is_live(N)
+            resp = engine.insert(np.array([0.4, 0.4, 0.4]))
+            assert resp.rid == N + 1
+            shard, local = engine.locate(N + 1)
+            assert engine.shards[shard].table.is_live(local)
+            assert engine.n_live == N + 1
+            engine.delete(N + 1)  # routes correctly despite the gap
+            assert engine.n_live == N
+
+    def test_failed_backend_delete_keeps_record_live(self, data):
+        """A backend failure during a routed delete must not strand a
+        live shard record that the router counts as dead."""
+        with ShardedGIREngine(data, shards=2) as engine:
+            for b in engine.backends:
+                b.delete = lambda rid: (_ for _ in ()).throw(
+                    RuntimeError("worker down")
+                )
+            with pytest.raises(RuntimeError, match="worker down"):
+                engine.delete(10)
+            for b in engine.backends:
+                del b.delete
+            assert engine.table.is_live(10)
+            assert engine.delete(10).kind == "delete"
+            assert not engine.table.is_live(10)
+
+    def test_dirty_insert_failure_fail_stops_the_cluster(self, data, monkeypatch):
+        """A write that fails *after* the shard engine mutated (here: the
+        invalidation step raising, with the row already stored) must not
+        be rolled back — the shard's state no longer matches the router's
+        maps, so the cluster fail-stops instead of serving from it."""
+        from repro.cluster import ShardWriteError
+
+        with ShardedGIREngine(data, shards=2) as engine:
+            def boom(*args, **kwargs):
+                raise RuntimeError("LP solver fell over")
+
+            monkeypatch.setattr(
+                "repro.engine.engine.apply_insert_invalidation", boom
+            )
+            with pytest.raises(ShardWriteError, match="insert failed") as info:
+                engine.insert(np.array([0.5, 0.5, 0.5]))
+            assert info.value.dirty
+            monkeypatch.undo()
+            for method in (
+                lambda: engine.topk(np.array([0.5, 0.5, 0.5]), K),
+                lambda: engine.insert(np.array([0.4, 0.4, 0.4])),
+                lambda: engine.delete(0),
+                lambda: engine.run(uniform_workload(D, 2, k=K, rng=1)),
+            ):
+                with pytest.raises(RuntimeError, match="cluster is broken"):
+                    method()
+
+    def test_shard_emptied_by_deletes_still_merges(self):
+        """Deleting every record a shard owns must leave the cluster
+        serving correctly: the empty shard is skipped by the fan-out (it
+        has nothing to contribute) and the merged answer still matches a
+        single engine over the same live set."""
+        n, d, k = 60, 3, 5
+        small = independent(n, d, seed=21)
+        wl = uniform_workload(d, 10, k=k, rng=77)
+        with ShardedGIREngine(
+            small, shards=3, partitioner="round_robin"
+        ) as engine:
+            victims = [rid for rid in range(n) if engine.locate(rid)[0] == 1]
+            for rid in victims:
+                engine.delete(rid)
+            assert engine.shards[1].n_live == 0
+            report = engine.run(wl)
+            # Only the two surviving shards are fanned out to.
+            assert engine.stats()["shard_stats"][1]["requests"] == 0
+
+        reference = GIREngine(small, bulk_load_str(small), cache_capacity=64)
+        for rid in victims:
+            reference.delete(rid)
+        ref_report = reference.run(wl)
+        assert_equivalent(report, ref_report)
+
     def test_flush_policy_drops_everything(self, data):
         with ShardedGIREngine(
             data, shards=2, invalidation="flush"
@@ -283,6 +375,39 @@ class TestPartitioners:
     def test_kd_route_before_build_fails(self):
         with pytest.raises(RuntimeError):
             KDSplitPartitioner(2).route(np.zeros(2))
+
+    def test_kd_split_on_duplicated_coordinates(self):
+        """Median splits on g-coordinates with massive duplication must
+        still balance (assignment cuts by sorted *position*, not value)
+        and route deterministically — a value-based cut would dump every
+        duplicate on one side."""
+        base = np.array(
+            [[0.5, 0.2], [0.5, 0.8], [0.5, 0.5]], dtype=np.float64
+        )
+        g = np.tile(base, (40, 1))  # 120 records, 3 distinct rows
+        p = KDSplitPartitioner(4)
+        assignment = p.assign_initial(g)
+        counts = np.bincount(assignment, minlength=4)
+        assert counts.min() >= 120 // 4 - 1 and counts.max() <= 120 // 4 + 1
+        # Routing duplicated coordinates is deterministic and in range.
+        for row in base:
+            assert p.route(row) == p.route(row)
+            assert 0 <= p.route(row) < 4
+
+    def test_kd_cluster_on_duplicated_coordinates_matches(self):
+        """A kd-partitioned cluster over a heavily duplicated dataset
+        (axis-flat MBBs, exact score ties everywhere) still merges to the
+        single engine's answer — the (score, coord-sum, rid) tie-break
+        carries the duplicates."""
+        rng = np.random.default_rng(31)
+        distinct = rng.random((12, 3))
+        pts = distinct[rng.integers(0, 12, size=240)]
+        wl = uniform_workload(3, 15, k=7, rng=44)
+        data = Dataset(pts)
+        reference = GIREngine(data, bulk_load_str(data), cache_capacity=32).run(wl)
+        with ShardedGIREngine(data, shards=4, partitioner="kd") as engine:
+            report = engine.run(wl)
+        assert_equivalent(report, reference)
 
     def test_registry_and_validation(self):
         assert set(PARTITIONERS) == {"round_robin", "kd"}
@@ -397,12 +522,49 @@ class TestClusterBench:
         assert payload["equivalence"]["accounting_ok"]
         assert {(r["shard_count"], r["mode"]) for r in payload["runs"]} == {
             (1, "sequential"),
-            (1, "parallel"),
+            (1, "thread"),
             (2, "sequential"),
-            (2, "parallel"),
+            (2, "thread"),
         }
+        # The payload self-describes where it ran and what each run was.
+        assert payload["host"]["cpu_count"] >= 1
+        assert all(r["backend"] == "inproc" for r in payload["runs"])
+        assert all(
+            r["cluster"]["backend"] == "inproc" for r in payload["runs"]
+        )
         # No 4-shard run in this mini grid => no headline ratio.
         assert payload["parallel_speedup_at_4"] is None
+        assert payload["process_speedup_at_4"] is None
+
+    def test_mini_benchmark_process_grid(self, tmp_path):
+        """backend='process' adds the process fan-out column (CPU-bound
+        regime) and keeps every equivalence flag green."""
+        from repro.bench.cluster_bench import (
+            ClusterBenchConfig,
+            run_cluster_benchmark,
+        )
+
+        config = ClusterBenchConfig(
+            n=300,
+            d=2,
+            k=4,
+            queries=10,
+            shard_counts=(2,),
+            backend="process",
+            family="ANTI",
+            page_sleep_ms=0.0,
+            cache_capacity=16,
+            cluster_cache_capacity=16,
+        )
+        payload = run_cluster_benchmark(config, tmp_path / "cluster.json")
+        assert payload["equivalence"]["all_match"]
+        assert payload["equivalence"]["accounting_ok"]
+        modes = {(r["shard_count"], r["mode"]) for r in payload["runs"]}
+        assert modes == {(2, "sequential"), (2, "thread"), (2, "process")}
+        proc_run = next(r for r in payload["runs"] if r["mode"] == "process")
+        assert proc_run["backend"] == "process"
+        assert proc_run["cluster"]["backend"] == "process"
+        assert payload["config"]["family"] == "ANTI"
 
 
 class TestClusterValidation:

@@ -1,0 +1,230 @@
+"""Tests for the shard wire format (`repro.cluster.wire`).
+
+The wire contract is the distribution boundary of the sharded serving
+tier: every payload must round-trip *bit-exactly* (scores, tie sums,
+g-images, region rows), frames must be versioned and validated, and
+worker exceptions must survive the crossing with enough context to debug.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import wire
+from repro.cluster.backends import ShardReply, ShardSpec, ShardUpdate
+from repro.geometry.polytope import Polytope
+from repro.scoring import LinearScoring, polynomial_scoring
+
+
+def region(d: int = 3) -> Polytope:
+    rng = np.random.default_rng(5)
+    return Polytope.from_unit_box(d).with_constraints(rng.normal(size=(4, d)))
+
+
+class TestPolytopeBytes:
+    def test_round_trip_is_bit_exact(self):
+        p = region()
+        q = Polytope.from_bytes(p.to_bytes())
+        assert q.A.tobytes() == p.A.tobytes()
+        assert q.b.tobytes() == p.b.tobytes()
+
+    def test_malformed_payloads_rejected(self):
+        with pytest.raises(ValueError, match="payload"):
+            Polytope.from_bytes(region().to_bytes()[:-8])
+        import struct
+
+        with pytest.raises(ValueError, match="malformed"):
+            Polytope.from_bytes(struct.pack("<qq", -1, 2))
+
+
+class TestFraming:
+    def test_frame_round_trip(self):
+        msg, reader = wire.decode_frame(
+            wire.encode_frame(wire.MSG_TOPK, wire.encode_topk(np.ones(3), 5))
+        )
+        assert msg == wire.MSG_TOPK
+        weights, k = wire.decode_topk(reader)
+        assert k == 5 and np.array_equal(weights, np.ones(3))
+
+    def test_bad_magic_rejected(self):
+        frame = b"NOPE" + wire.encode_frame(wire.MSG_READY)[4:]
+        with pytest.raises(wire.WireError, match="magic"):
+            wire.decode_frame(frame)
+
+    def test_version_mismatch_rejected(self):
+        import struct
+
+        frame = bytearray(wire.encode_frame(wire.MSG_READY))
+        struct.pack_into("<H", frame, 4, wire.WIRE_VERSION + 1)
+        with pytest.raises(wire.WireError, match="version"):
+            wire.decode_frame(bytes(frame))
+
+    def test_unknown_message_type_rejected(self):
+        import struct
+
+        frame = bytearray(wire.encode_frame(wire.MSG_READY))
+        struct.pack_into("<H", frame, 6, 999)
+        with pytest.raises(wire.WireError, match="unknown message"):
+            wire.decode_frame(bytes(frame))
+
+    def test_trailing_garbage_rejected(self):
+        frame = wire.encode_frame(wire.MSG_DELETE, wire.encode_delete(3) + b"x")
+        _msg, reader = wire.decode_frame(frame)
+        with pytest.raises(wire.WireError, match="trailing"):
+            wire.decode_delete(reader)
+
+
+class TestPayloads:
+    def test_reply_round_trip_is_bit_exact(self):
+        rng = np.random.default_rng(7)
+        reply = ShardReply(
+            ids=(4, 0, 9),
+            scores=(0.3 + 1e-16, 0.2, 0.1),
+            tie_sums=(1.25, np.pi, 0.75),
+            points_g=rng.random((3, 3)),
+            region=region(),
+            source="completed",
+            pages_read=17,
+            latency_ms=0.123456789,
+            cache_entries=6,
+        )
+        out = wire.decode_reply(
+            wire.decode_frame(
+                wire.encode_frame(
+                    wire.MSG_REPLY_TOPK, wire.encode_reply(reply)
+                )
+            )[1]
+        )
+        assert out.ids == reply.ids
+        assert out.scores == reply.scores  # exact float equality
+        assert out.tie_sums == reply.tie_sums
+        assert out.points_g.tobytes() == reply.points_g.tobytes()
+        assert out.region.A.tobytes() == reply.region.A.tobytes()
+        assert (out.source, out.pages_read, out.latency_ms) == (
+            "completed",
+            17,
+            reply.latency_ms,
+        )
+        assert out.cache_entries == 6
+
+    def test_batch_reply_round_trip(self):
+        rng = np.random.default_rng(8)
+        replies = [
+            ShardReply(
+                ids=(i,),
+                scores=(rng.random(),),
+                tie_sums=(rng.random(),),
+                points_g=rng.random((1, 2)),
+                region=Polytope.from_unit_box(2),
+                source="cache",
+                pages_read=0,
+                latency_ms=0.0,
+                cache_entries=1,
+            )
+            for i in range(3)
+        ]
+        out = wire.decode_batch_reply(
+            wire.decode_frame(
+                wire.encode_frame(
+                    wire.MSG_REPLY_BATCH, wire.encode_batch_reply(replies)
+                )
+            )[1]
+        )
+        assert [r.ids for r in out] == [(0,), (1,), (2,)]
+        assert [r.scores for r in out] == [r.scores for r in replies]
+
+    def test_topk_batch_round_trip(self):
+        reqs = [(np.array([0.1, 0.9]), 3), (np.array([0.5, 0.5]), 7)]
+        out = wire.decode_topk_batch(
+            wire.decode_frame(
+                wire.encode_frame(
+                    wire.MSG_TOPK_BATCH, wire.encode_topk_batch(reqs)
+                )
+            )[1]
+        )
+        assert [(w.tolist(), k) for w, k in out] == [
+            ([0.1, 0.9], 3),
+            ([0.5, 0.5], 7),
+        ]
+
+    def test_update_and_stats_round_trip(self):
+        update = ShardUpdate(
+            rid=12, evicted=3, screened=9, lps=2, latency_ms=1.5,
+            cache_entries=4,
+        )
+        out = wire.decode_update(
+            wire.decode_frame(
+                wire.encode_frame(
+                    wire.MSG_REPLY_UPDATE, wire.encode_update(update)
+                )
+            )[1]
+        )
+        assert out == update
+        stats = {"page_reads": 42, "cache_entries": 7, "live_records": 100}
+        assert (
+            wire.decode_stats(
+                wire.decode_frame(
+                    wire.encode_frame(
+                        wire.MSG_REPLY_STATS, wire.encode_stats(stats)
+                    )
+                )[1]
+            )
+            == stats
+        )
+
+    def test_build_spec_round_trip(self):
+        rng = np.random.default_rng(9)
+        spec = ShardSpec(
+            shard=2,
+            name="data[shard2]",
+            points=rng.random((20, 4)),
+            method="fp",
+            cache_capacity=32,
+            retain_runs=False,
+            invalidation="flush",
+            page_sleep_ms=0.25,
+            scorer=LinearScoring(4),
+        )
+        out = wire.decode_build(
+            wire.decode_frame(
+                wire.encode_frame(wire.MSG_BUILD, wire.encode_build(spec))
+            )[1]
+        )
+        assert (out.shard, out.name, out.method) == (2, "data[shard2]", "fp")
+        assert (out.cache_capacity, out.retain_runs) == (32, False)
+        assert (out.invalidation, out.page_sleep_ms) == ("flush", 0.25)
+        assert out.points.tobytes() == spec.points.tobytes()
+        assert isinstance(out.scorer, LinearScoring) and out.scorer.d == 4
+
+    def test_unpicklable_scorer_fails_fast(self):
+        # polynomial_scoring builds its components from local lambdas.
+        spec = ShardSpec(
+            shard=0,
+            name="s",
+            points=np.zeros((2, 2)),
+            method="fp",
+            cache_capacity=4,
+            retain_runs=True,
+            invalidation="gir",
+            page_sleep_ms=0.0,
+            scorer=polynomial_scoring((2.0, 1.0)),
+        )
+        with pytest.raises(ValueError, match="not picklable"):
+            wire.encode_build(spec)
+
+    def test_error_round_trip_carries_context(self):
+        try:
+            raise KeyError("rid 99 is not live")
+        except KeyError as exc:
+            failure = wire.decode_error(
+                wire.decode_frame(
+                    wire.encode_frame(
+                        wire.MSG_REPLY_ERROR, wire.encode_error(exc)
+                    )
+                )[1]
+            )
+        assert failure.exc_type == "KeyError"
+        assert "rid 99" in failure.worker_message
+        assert "KeyError" in failure.worker_traceback
+        assert "shard worker raised KeyError" in str(failure)
