@@ -44,6 +44,28 @@ def test_engine_throughput(benchmark):
     assert cache_scan["speedup"] > 1.0
     assert cache_scan["speedup_vectorized"] > 1.0
 
+    # Cache-admission section: the grid-signature prescreen must reject
+    # certain misses ≥5× faster than the per-entry scan at 128 entries
+    # with byte-identical answers on every path (grid / no-grid / scan,
+    # active kernels / numpy fallbacks), and the cost-aware eviction
+    # policy must match LRU's hit rate on the stationary Zipf stream and
+    # strictly beat it once the hot spot drifts.
+    admission = payload["cache_admission"]
+    assert admission["entries"] == 128
+    assert admission["miss_speedup_vs_scan"] >= 5.0
+    assert admission["miss_answers_match"]
+    assert admission["answers_match"]
+    assert admission["kernels_match_fallback"]
+    assert admission["grid_negative_rate"] > 0.5
+    eviction = admission["eviction"]
+    assert eviction["zipf"]["cost"]["hit_rate"] >= eviction["zipf"]["lru"]["hit_rate"]
+    assert eviction["drift"]["cost"]["hit_rate"] > eviction["drift"]["lru"]["hit_rate"]
+    # The policies actually evicted through their own counters.
+    assert eviction["drift"]["cost"]["cost_evictions"] > 0
+    assert eviction["drift"]["cost"]["lru_evictions"] == 0
+    assert eviction["drift"]["lru"]["lru_evictions"] > 0
+
     saved = json.loads(REPORT_PATH.read_text())
     assert saved["hit_rate"] == payload["hit_rate"]
     assert saved["config"]["queries"] == 150
+    assert saved["cache_admission"]["miss_speedup_vs_scan"] >= 5.0

@@ -46,6 +46,7 @@ from repro.engine import (
     GIREngine,
     Workload,
     WorkloadReport,
+    drifting_zipf_workload,
     mixed_workload,
     uniform_workload,
     zipf_clustered_workload,
@@ -99,6 +100,7 @@ __all__ = [
     "WorkloadReport",
     "uniform_workload",
     "zipf_clustered_workload",
+    "drifting_zipf_workload",
     "mixed_workload",
     # data
     "Dataset",

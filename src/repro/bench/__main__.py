@@ -5,6 +5,8 @@ benchmark instead and writes its JSON report (default: ``benchmarks/``);
 ``python -m repro.bench --engine --updates`` runs the mixed read/write
 update-throughput benchmark, comparing GIR-aware selective cache
 invalidation against the flush-on-write baseline;
+``python -m repro.bench --engine --drift`` serves the drifting-hot-spot
+Zipf stream instead of the stationary one;
 ``python -m repro.bench --cluster`` runs the sharded fan-out benchmark
 (1/2/4/8 shards, sequential vs thread fan-out, gated on merged-result
 equivalence with the single engine); ``--cluster --backend process``
@@ -66,6 +68,15 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--drift",
+        action="store_true",
+        help=(
+            "with --engine: serve the drifting-hot-spot Zipf workload "
+            "(drifting_zipf) instead of the stationary Zipf-clustered "
+            "stream — the regime where cost-aware eviction beats LRU"
+        ),
+    )
+    parser.add_argument(
         "--cluster",
         action="store_true",
         help=(
@@ -98,6 +109,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.updates and not args.engine:
         parser.error("--updates requires --engine")
+    if args.drift and (not args.engine or args.updates):
+        parser.error("--drift requires --engine (without --updates)")
     if args.cluster and (args.engine or args.figure is not None):
         parser.error("--cluster is mutually exclusive with --engine/--figure")
     if args.backend != "inproc" and not args.cluster:
@@ -172,8 +185,15 @@ def main(argv: list[str] | None = None) -> int:
                 k=scale.k_default,
                 queries=scale.engine_queries,
                 family=args.family,
+                workload=(
+                    "drifting_zipf"
+                    if args.drift
+                    else EngineBenchConfig.workload
+                ),
             )
-            out_path = out_dir / report_name("engine_throughput")
+            out_path = out_dir / report_name(
+                "engine_throughput_drift" if args.drift else "engine_throughput"
+            )
             payload = run_engine_benchmark(config, out_path)
         print(json.dumps(payload, indent=2))
         print(f"\n[engine benchmark report written to {out_path}]")

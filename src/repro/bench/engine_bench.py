@@ -37,6 +37,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.caching import GIRCache
 from repro.core.gir import compute_gir
 from repro.data.synthetic import independent, make_synthetic
@@ -45,6 +46,7 @@ from repro.engine import (
     GIREngine,
     InsertOp,
     Request,
+    drifting_zipf_workload,
     mixed_workload,
     uniform_workload,
     zipf_clustered_workload,
@@ -58,6 +60,8 @@ __all__ = [
     "run_engine_benchmark",
     "CacheScanConfig",
     "run_cache_scan_bench",
+    "CacheAdmissionConfig",
+    "run_cache_admission_bench",
     "UpdateBenchConfig",
     "run_update_benchmark",
 ]
@@ -71,7 +75,7 @@ class EngineBenchConfig:
     d: int = 4
     k: int = 10
     queries: int = 400
-    workload: str = "zipf_clustered"  # or "uniform"
+    workload: str = "zipf_clustered"  # or "uniform" / "drifting_zipf"
     #: Synthetic data family: ``"IND"``, ``"COR"`` or ``"ANTI"`` (see
     #: :mod:`repro.data.synthetic`; COR widens GIRs and lifts hit rates,
     #: ANTI narrows them and stresses the pipeline).
@@ -117,10 +121,20 @@ def run_engine_benchmark(
             spread=config.spread,
             rng=rng,
         )
+    elif config.workload == "drifting_zipf":
+        workload = drifting_zipf_workload(
+            config.d,
+            config.queries,
+            k=config.k,
+            clusters=config.clusters,
+            zipf_s=config.zipf_s,
+            spread=config.spread,
+            rng=rng,
+        )
     else:
         raise ValueError(
             f"unknown workload {config.workload!r}; "
-            "expected 'uniform' or 'zipf_clustered'"
+            "expected 'uniform', 'zipf_clustered' or 'drifting_zipf'"
         )
 
     report = engine.run(workload)
@@ -130,6 +144,7 @@ def run_engine_benchmark(
         **report.to_dict(),
         "engine": engine.stats(),
         "cache_scan": run_cache_scan_bench(),
+        "cache_admission": run_cache_admission_bench(),
     }
     if out_path is not None:
         out_path = Path(out_path)
@@ -247,6 +262,255 @@ def run_cache_scan_bench(config: CacheScanConfig = CacheScanConfig()) -> dict:
         # The headline number the CI gate checks.
         "speedup": scan_ms / batched_ms if batched_ms else 0.0,
         "answers_match": answers_match,
+    }
+
+
+@dataclass(frozen=True)
+class CacheAdmissionConfig:
+    """Knobs of the cache-admission microbenchmark.
+
+    ``entries`` stays at 128 — the fixed cache size the CI gate quotes.
+    The eviction comparison runs with a deliberately small
+    ``eviction_capacity`` so capacity pressure (not invalidation) decides
+    what survives.
+    """
+
+    entries: int = 128
+    n: int = 2_000
+    d: int = 3
+    k: int = 10
+    #: Probes of the miss-path timing race (all certain misses).
+    miss_probes: int = 1_000
+    #: Probes of the mixed answer-equivalence stream (hits and misses).
+    mixed_probes: int = 400
+    seed: int = 9
+    # -- eviction comparison --------------------------------------------------
+    eviction_capacity: int = 24
+    eviction_queries: int = 500
+    eviction_clusters: int = 48
+    eviction_zipf_s: float = 0.9
+    eviction_spread: float = 0.02
+    drift_phases: int = 5
+    drift_carryover: float = 0.25
+
+
+def _fill_caches(
+    caches: list[GIRCache], tree, data, rng, entries: int, k: int, d: int
+) -> list[np.ndarray]:
+    """Insert the same GIR entries into every cache; returns the cached
+    query vectors (used to craft near-miss probes)."""
+    cached_queries: list[np.ndarray] = []
+    attempts = 0
+    while len(caches[0]) < entries and attempts < 50 * entries:
+        attempts += 1
+        q = rng.random(d) * 0.8 + 0.1
+        gir = compute_gir(tree, data, q, k)
+        before = len(caches[0])
+        for cache in caches:
+            cache.insert(gir, kth_g=data.points[gir.topk.kth_id])
+        if len(caches[0]) > before:
+            cached_queries.append(q)
+    return cached_queries
+
+
+def run_cache_admission_bench(
+    config: CacheAdmissionConfig = CacheAdmissionConfig(),
+) -> dict:
+    """The two halves of the admission pipeline, measured.
+
+    **Miss path** — three caches hold the *same* 128 entries; a stream of
+    certain-miss probes (uniform vectors the grid proves to be in no
+    cached region) is timed through (a) the per-entry Python scan, (b)
+    the vectorized matvec with the grid disabled and (c) the
+    grid-prescreened lookup. A mixed hit/miss stream then asserts all
+    three paths return identical answers, and the active kernels are
+    raced against the numpy fallbacks on the same stacked rows for the
+    jit/no-jit equivalence bit of the CI gate. Headline:
+    ``miss_speedup_vs_scan`` (prescreened vs scan; CI requires ≥ 5×).
+
+    **Eviction** — the same engine configuration serves a stock
+    Zipf-clustered stream and a drifting-hot-spot stream once per
+    eviction policy (``lru`` / ``cost``) at a small cache capacity; the
+    payload records both hit rates per workload. CI requires
+    cost ≥ LRU on the stock stream and cost > LRU on the drifting one.
+    """
+    rng = np.random.default_rng(config.seed)
+    data = independent(n=config.n, d=config.d, seed=config.seed)
+    tree = bulk_load_str(data)
+
+    caches = [
+        GIRCache(capacity=config.entries, grid=False),  # scan baseline
+        GIRCache(capacity=config.entries, grid=False),  # vectorized, no grid
+        GIRCache(capacity=config.entries, grid=True),  # grid-prescreened
+    ]
+    cached_queries = _fill_caches(
+        caches, tree, data, rng, config.entries, config.k, config.d
+    )
+    scan_cache, nogrid_cache, grid_cache = caches
+    grid_index = grid_cache._indexes[config.d]
+
+    # Certain-miss probe stream: uniform probes whose grid cell is empty.
+    # Rejection-sampled off the grid itself, so by construction every probe
+    # exercises exactly the miss path in all three caches.
+    miss_probes: list[np.ndarray] = []
+    attempts = 0
+    while len(miss_probes) < config.miss_probes and attempts < 200 * config.miss_probes:
+        attempts += 1
+        q = rng.random(config.d)
+        if grid_index.grid.is_certain_miss(q, 1e-9):
+            miss_probes.append(q)
+    grid_index.grid.probes = grid_index.grid.negatives = 0
+
+    warm = cached_queries[0]
+    scan_cache.lookup_scan(warm, config.k)
+    nogrid_cache.lookup(warm, config.k)
+    grid_cache.lookup(warm, config.k)
+
+    t0 = time.perf_counter()
+    scan_miss = [scan_cache.lookup_scan(p, config.k) for p in miss_probes]
+    scan_miss_ms = (time.perf_counter() - t0) * 1e3
+
+    t0 = time.perf_counter()
+    nogrid_miss = [nogrid_cache.lookup(p, config.k) for p in miss_probes]
+    vectorized_miss_ms = (time.perf_counter() - t0) * 1e3
+
+    t0 = time.perf_counter()
+    grid_miss = [grid_cache.lookup(p, config.k) for p in miss_probes]
+    prescreened_miss_ms = (time.perf_counter() - t0) * 1e3
+
+    miss_answers_match = (
+        all(h is None for h in scan_miss)
+        and all(h is None for h in nogrid_miss)
+        and all(h is None for h in grid_miss)
+    )
+    grid_after_miss = grid_index.grid.stats()
+
+    # Mixed stream (hits and misses): answers must be identical across the
+    # scan / vectorized / prescreened paths.
+    n_near = config.mixed_probes // 2
+    near = [
+        np.clip(
+            cached_queries[int(rng.integers(len(cached_queries)))]
+            + rng.normal(0.0, 0.01, config.d),
+            0.01,
+            1.0,
+        )
+        for _ in range(n_near)
+    ]
+    uniform = [rng.random(config.d) for _ in range(config.mixed_probes - n_near)]
+    pool = near + uniform
+    mixed = [pool[i] for i in rng.permutation(len(pool))]
+
+    def outcome(hit):
+        return None if hit is None else (hit.ids, hit.partial, hit.entry_key)
+
+    answers_match = True
+    for p in mixed:
+        o = outcome(scan_cache.lookup_scan(p, config.k))
+        if o != outcome(nogrid_cache.lookup(p, config.k)) or o != outcome(
+            grid_cache.lookup(p, config.k)
+        ):
+            answers_match = False
+            break
+
+    # Active kernels vs numpy fallbacks on the same stacked rows: the
+    # jit/no-jit equivalence half of the gate (trivially equal when the
+    # numpy fallback *is* the active backend).
+    A, b, offsets = grid_index._A, grid_index._b, grid_index._offsets
+    X = np.stack(miss_probes[:64] + mixed[:64])
+    kernels_match = bool(
+        np.array_equal(
+            kernels.segmented_membership_batch(A, b, offsets, X, 1e-9),
+            kernels.segmented_membership_batch_numpy(A, b, offsets, X, 1e-9),
+        )
+        and all(
+            np.array_equal(
+                kernels.segmented_membership(A, b, offsets, x, 1e-9),
+                kernels.segmented_membership_numpy(A, b, offsets, x, 1e-9),
+            )
+            for x in X[:16]
+        )
+    )
+
+    # -- eviction policy comparison -------------------------------------------
+    workloads = {
+        "zipf": zipf_clustered_workload(
+            config.d,
+            config.eviction_queries,
+            k=config.k,
+            clusters=config.eviction_clusters,
+            zipf_s=config.eviction_zipf_s,
+            spread=config.eviction_spread,
+            rng=np.random.default_rng(config.seed + 1),
+        ),
+        "drift": drifting_zipf_workload(
+            config.d,
+            config.eviction_queries,
+            k=config.k,
+            clusters=config.eviction_clusters,
+            zipf_s=config.eviction_zipf_s,
+            spread=config.eviction_spread,
+            phases=config.drift_phases,
+            carryover=config.drift_carryover,
+            rng=np.random.default_rng(config.seed + 2),
+        ),
+    }
+    eviction: dict[str, dict] = {}
+    for wname, workload in workloads.items():
+        eviction[wname] = {}
+        for policy in ("lru", "cost"):
+            engine = GIREngine(
+                data,
+                tree,
+                cache_capacity=config.eviction_capacity,
+                cache_policy=policy,
+            )
+            report = engine.run(workload)
+            stats = engine.cache.stats()
+            eviction[wname][policy] = {
+                "hit_rate": report.hit_rate,
+                "latency_p50_ms": report.latency_p50_ms,
+                "lru_evictions": stats["lru_evictions"],
+                "cost_evictions": stats["cost_evictions"],
+                "entries": stats["entries"],
+            }
+        eviction[wname]["cost_minus_lru_hit_rate"] = (
+            eviction[wname]["cost"]["hit_rate"]
+            - eviction[wname]["lru"]["hit_rate"]
+        )
+
+    return {
+        "config": asdict(config),
+        "entries": len(scan_cache),
+        "halfspace_rows": grid_cache.stats()["index_rows"],
+        "kernels": kernels.backend_info(),
+        "miss_probes": len(miss_probes),
+        "scan_miss_ms": scan_miss_ms,
+        "vectorized_miss_ms": vectorized_miss_ms,
+        "prescreened_miss_ms": prescreened_miss_ms,
+        "scan_miss_us_per_lookup": 1e3 * scan_miss_ms / len(miss_probes),
+        "prescreened_miss_us_per_lookup": (
+            1e3 * prescreened_miss_ms / len(miss_probes)
+        ),
+        # The headline numbers the CI gate checks.
+        "miss_speedup_vs_scan": (
+            scan_miss_ms / prescreened_miss_ms if prescreened_miss_ms else 0.0
+        ),
+        "miss_speedup_vs_vectorized": (
+            vectorized_miss_ms / prescreened_miss_ms
+            if prescreened_miss_ms
+            else 0.0
+        ),
+        "grid": grid_after_miss,
+        "grid_negative_rate": (
+            grid_after_miss["negatives"] / grid_after_miss["probes"]
+            if grid_after_miss["probes"]
+            else 0.0
+        ),
+        "miss_answers_match": miss_answers_match,
+        "answers_match": answers_match,
+        "kernels_match_fallback": kernels_match,
+        "eviction": eviction,
     }
 
 

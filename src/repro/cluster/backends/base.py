@@ -139,6 +139,7 @@ class ShardSpec:
     points: np.ndarray
     method: str
     cache_capacity: int
+    cache_policy: str
     retain_runs: bool
     invalidation: str
     page_sleep_ms: float
@@ -256,6 +257,7 @@ def build_shard_engine(spec: ShardSpec) -> GIREngine:
         method=spec.method,
         scorer=spec.scorer,
         cache_capacity=spec.cache_capacity,
+        cache_policy=spec.cache_policy,
         retain_runs=spec.retain_runs,
         invalidation=spec.invalidation,
     )

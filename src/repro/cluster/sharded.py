@@ -115,9 +115,13 @@ class ShardedGIREngine:
         threads only block on pipes, so per-shard CPU work overlaps for
         real.
     cache_capacity:
-        LRU capacity of each *shard's* GIR cache.
+        Capacity of each *shard's* GIR cache.
+    cache_policy:
+        Capacity-eviction policy (``"lru"`` or ``"cost"``) applied to
+        every shard cache *and* the cluster-level cache through the
+        shared :class:`~repro.core.caching.GIRCache`.
     cluster_cache_capacity:
-        LRU capacity of the cluster-level merged-region cache; ``0``
+        Capacity of the cluster-level merged-region cache; ``0``
         disables the cluster cache (every read fans out).
     page_sleep_ms:
         Real per-page read latency of each shard's simulated store
@@ -140,6 +144,7 @@ class ShardedGIREngine:
         method: str = "fp",
         scorer: ScoringFunction | None = None,
         cache_capacity: int = 128,
+        cache_policy: str = "lru",
         cluster_cache_capacity: int = 256,
         retain_runs: bool = True,
         invalidation: str = "gir",
@@ -205,6 +210,7 @@ class ShardedGIREngine:
                     points=data.points[gids],
                     method=method,
                     cache_capacity=cache_capacity,
+                    cache_policy=cache_policy,
                     retain_runs=retain_runs,
                     invalidation=invalidation,
                     page_sleep_ms=page_sleep_ms,
@@ -230,7 +236,7 @@ class ShardedGIREngine:
 
         #: Cluster-level cache of merged answers (``None`` = disabled).
         self.cache: GIRCache | None = (
-            GIRCache(capacity=cluster_cache_capacity)
+            GIRCache(capacity=cluster_cache_capacity, policy=cache_policy)
             if cluster_cache_capacity > 0
             else None
         )

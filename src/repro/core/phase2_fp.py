@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.phase1 import phase1_halfspaces
 from repro.core.phase2 import Phase2Output
 from repro.geometry.halfspace import separation_halfspace
@@ -248,7 +249,7 @@ def refine_fans(
                 for apex_id, fan in fans.items():
                     apex = apexes[apex_id]
                     # Dominated records only yield implied half-spaces.
-                    keep = ~((apex >= pts).all(axis=1) & (apex > pts).any(axis=1))
+                    keep = ~kernels.dominated_mask(apex, pts)
                     idx = np.flatnonzero(keep)
                     fan.add_points(
                         [rids[i] for i in idx], [pts_g[i] for i in idx]

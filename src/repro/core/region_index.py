@@ -35,8 +35,33 @@ regions) fall back to an enclosing ball around their Chebyshev centre —
 regions live in the unit query box, so radius ``√d`` always encloses them.
 
 Vertex data is materialized lazily on the first prescreen, so read-only
-workloads never pay for it; each entry's vertices are computed once and
-reused for its whole cache lifetime (regions are immutable).
+workloads never pay for it; each entry's vertices (and the Chebyshev-ball
+fallback for degenerate regions) are computed **once** and the resulting
+screen entry memoized for the key's whole cache lifetime (regions are
+immutable) — re-stacks after add/remove only re-concatenate the memoized
+per-entry blocks.
+
+Admission prescreen (read path)
+-------------------------------
+
+Even one matvec is avoidable for most *misses*. The index overlays a
+coarse uniform grid on the unit query box (:class:`GridSignature`): when
+an entry is added, the cells its region can possibly touch are registered
+— decided per cell by the conservative box-vs-polytope corner test
+``min over cell of (a · x) <= b + slack`` for every half-space row, which
+over-approximates the region, so the construction admits **zero false
+negatives**. A lookup hashes its weight vector to one cell (a handful of
+multiply-adds plus one array read); if that cell is registered by no
+entry, the vector provably lies in no cached region and the matvec is
+skipped entirely — an O(1) certain miss. The registration slack covers
+the membership tolerance plus the cushion of clipping the probe into the
+unit box, and the fast path stands down for out-of-box probes and for
+tolerances above :data:`GRID_SAFE_TOL`, which keeps the skip sound for
+arbitrary polytopes and every supported ``tol``.
+
+The segmented reductions and the grid math run through
+:mod:`repro.core.kernels` — numba-compiled when available, byte-identical
+numpy fallbacks otherwise (``REPRO_NO_JIT`` forces the fallbacks).
 """
 
 from __future__ import annotations
@@ -45,10 +70,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import kernels
 from repro.geometry.polytope import Polytope
 
 __all__ = [
     "RegionIndex",
+    "GridSignature",
+    "GRID_SAFE_TOL",
     "SCREEN_SAFE",
     "SCREEN_TIE",
     "SCREEN_LP",
@@ -60,6 +88,168 @@ __all__ = [
 SCREEN_SAFE = 0
 SCREEN_TIE = 1
 SCREEN_LP = 2
+
+
+#: Largest membership tolerance the grid fast path is sound for. The
+#: cells are registered with :data:`_GRID_SLACK` of relaxation, which must
+#: dominate ``tol * (1 + sqrt(d))`` (the tolerance itself plus the cushion
+#: of clipping a just-outside-the-box member into its cell); lookups with
+#: a larger ``tol`` simply skip the grid and run the exact matvec.
+GRID_SAFE_TOL = 1e-7
+
+#: Per-row relaxation used when registering an entry's cells.
+_GRID_SLACK = 1e-6
+
+#: Target total cell count of the grid; the per-axis resolution is the
+#: largest ``g`` with ``g**d`` at or below this (at least 2 per axis).
+_GRID_TARGET_CELLS = 4096
+
+
+def default_grid_cells(d: int) -> int:
+    """Cells per axis for dimensionality ``d`` (largest ``g`` with
+    ``g**d <= _GRID_TARGET_CELLS``, floored at 2)."""
+    g = max(2, int(round(_GRID_TARGET_CELLS ** (1.0 / d))))
+    while g > 2 and g**d > _GRID_TARGET_CELLS:
+        g -= 1
+    return g
+
+
+class GridSignature:
+    """Coarse uniform-grid negative filter over the unit query box.
+
+    Every registered entry marks the grid cells its (slack-relaxed) region
+    can intersect; a probe's cell having **zero** registrations proves the
+    probe is in no entry's region. Registration over-approximates (per
+    cell, per half-space row: the row's minimum over the cell box must not
+    exceed ``b + slack`` — corner-separable, one matmul for all cells), so
+    false negatives are impossible; false positives merely fall through to
+    the exact membership matvec.
+    """
+
+    def __init__(self, d: int, cells_per_axis: int) -> None:
+        self.d = int(d)
+        self.g = int(cells_per_axis)
+        if self.g < 2:
+            raise ValueError("grid needs at least 2 cells per axis")
+        self.n_cells = self.g**self.d
+        #: Mixed-radix strides: cell id = sum_i idx_i * g**i.
+        self._strides = self.g ** np.arange(self.d, dtype=np.int64)
+        self._counts = np.zeros(self.n_cells, dtype=np.int64)
+        #: Python-list mirror of ``_counts`` for the scalar lookup path
+        #: (a list read is faster than a numpy scalar read).
+        self._counts_list: list[int] = [0] * self.n_cells
+        #: Memoized registered-cell ids per entry key (immutable per key).
+        self._cells: dict[int, np.ndarray] = {}
+        self._corner_lo: np.ndarray | None = None
+        self._corner_hi: np.ndarray | None = None
+        #: Lookups that consulted the grid / were answered "certain miss".
+        self.probes = 0
+        self.negatives = 0
+
+    def _corners(self) -> tuple[np.ndarray, np.ndarray]:
+        """Lower/upper corners of every cell, ``(n_cells, d)`` each —
+        built once per signature and shared across registrations."""
+        if self._corner_lo is None:
+            idx = np.arange(self.n_cells, dtype=np.int64)
+            digits = (idx[:, None] // self._strides[None, :]) % self.g
+            self._corner_lo = digits.astype(np.float64) / self.g
+            self._corner_hi = (digits + 1).astype(np.float64) / self.g
+        return self._corner_lo, self._corner_hi
+
+    def register(self, key: int, A_n: np.ndarray, b_n: np.ndarray) -> None:
+        """Mark the cells the region ``A_n x <= b_n`` (slack-relaxed) can
+        touch. Rows must be normalized so the slack is norm-relative."""
+        lo, hi = self._corners()
+        # Min of a linear function over a box is corner-separable.
+        mins = lo @ np.maximum(A_n, 0.0).T + hi @ np.minimum(A_n, 0.0).T
+        cells = np.flatnonzero((mins <= b_n + _GRID_SLACK).all(axis=1))
+        self._cells[key] = cells
+        self._counts[cells] += 1
+        lst = self._counts_list
+        for c in cells.tolist():
+            lst[c] += 1
+
+    def unregister(self, key: int) -> None:
+        cells = self._cells.pop(key, None)
+        if cells is not None:
+            self._counts[cells] -= 1
+            lst = self._counts_list
+            for c in cells.tolist():
+                lst[c] -= 1
+
+    def clear(self) -> None:
+        self._counts[:] = 0
+        self._counts_list = [0] * self.n_cells
+        self._cells.clear()
+
+    def cell_of(self, x: np.ndarray) -> int:
+        """Cell id of ``x`` clipped into the unit box."""
+        g = self.g
+        cell = 0
+        stride = 1
+        # Scalar loop on purpose: for the handful of coordinates involved,
+        # Python float math is several times faster than a chain of tiny
+        # numpy array ops — and this runs once per cache lookup.
+        for xi in x.tolist():
+            c = int(xi * g) if xi > 0.0 else 0
+            if c >= g:
+                c = g - 1
+            cell += c * stride
+            stride *= g
+        return cell
+
+    def is_certain_miss(self, x: np.ndarray, tol: float) -> bool:
+        """True iff the grid *proves* ``x`` is in no registered region.
+
+        Sound only for ``tol <= GRID_SAFE_TOL``; out-of-box probes (beyond
+        ``tol`` past the unit box) are never decided by the grid, so the
+        proof needs no assumption that regions carry unit-box rows.
+        """
+        if tol > GRID_SAFE_TOL:
+            return False
+        g = self.g
+        hi = 1.0 + tol
+        lo = -tol
+        cell = 0
+        stride = 1
+        for xi in x.tolist():
+            if xi < lo or xi > hi:
+                return False
+            c = int(xi * g) if xi > 0.0 else 0
+            if c >= g:
+                c = g - 1
+            cell += c * stride
+            stride *= g
+        return self._counts_list[cell] == 0
+
+    def certain_miss_mask(self, X: np.ndarray, tol: float) -> np.ndarray:
+        """Vectorized :meth:`is_certain_miss` over ``(q, d)`` probes."""
+        q = X.shape[0]
+        if tol > GRID_SAFE_TOL:
+            return np.zeros(q, dtype=bool)
+        in_box = ((X >= -tol) & (X <= 1.0 + tol)).all(axis=1)
+        idx = np.minimum(
+            (np.clip(X, 0.0, 1.0) * self.g).astype(np.int64), self.g - 1
+        )
+        empty = self._counts[idx @ self._strides] == 0
+        return in_box & empty
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "cells_per_axis": self.g,
+            "cells_total": self.n_cells,
+            "registered_cells": int(
+                sum(len(c) for c in self._cells.values())
+            ),
+            "probes": self.probes,
+            "negatives": self.negatives,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GridSignature(d={self.d}, g={self.g}, "
+            f"entries={len(self._cells)})"
+        )
 
 
 @dataclass
@@ -87,10 +277,19 @@ class RegionIndex:
     incrementally (append on add, segment splice on remove).
     """
 
-    def __init__(self, d: int) -> None:
+    def __init__(self, d: int, grid_cells: int | None = None) -> None:
+        """``grid_cells`` is the admission grid's per-axis resolution:
+        ``None`` picks :func:`default_grid_cells`, ``0`` disables the grid
+        (every lookup runs the exact matvec — the pre-grid behaviour)."""
         if d <= 0:
             raise ValueError("dimensionality must be positive")
         self.d = int(d)
+        if grid_cells is None:
+            grid_cells = default_grid_cells(self.d)
+        #: Admission-prescreen grid (``None`` = disabled).
+        self.grid: GridSignature | None = (
+            GridSignature(self.d, grid_cells) if grid_cells else None
+        )
         self._keys: list[int] = []
         self._A = np.empty((0, d), dtype=np.float64)
         self._b = np.empty(0, dtype=np.float64)
@@ -135,6 +334,8 @@ class RegionIndex:
         self._b = np.concatenate([self._b, b_n])
         self._offsets = np.append(self._offsets, self._offsets[-1] + polytope.m)
         self._keys.append(key)
+        if self.grid is not None:
+            self.grid.register(key, A_n, b_n)
         self._screen[key] = None if kth_g is None else (
             polytope,
             np.asarray(kth_g, dtype=np.float64),
@@ -162,6 +363,8 @@ class RegionIndex:
             if key in drop:
                 keep_rows[start:stop] = False
                 del self._screen[key]
+                if self.grid is not None:
+                    self.grid.unregister(key)
             else:
                 kept_keys.append(key)
                 kept_counts.append(stop - start)
@@ -181,6 +384,12 @@ class RegionIndex:
         self._offsets = np.zeros(1, dtype=np.int64)
         self._screen = {}
         self._screen_stacks = None
+        if self.grid is not None:
+            self.grid.clear()
+
+    def grid_stats(self) -> dict[str, int] | None:
+        """Admission-grid counters (``None`` when the grid is disabled)."""
+        return None if self.grid is None else self.grid.stats()
 
     # -- membership -----------------------------------------------------------
 
@@ -188,13 +397,21 @@ class RegionIndex:
         """Boolean array over :meth:`keys`: which regions contain ``x``?
 
         One matvec over all stacked rows + one segment reduction —
-        equivalent to calling ``contains`` per entry.
+        equivalent to calling ``contains`` per entry. When the admission
+        grid proves the probe's cell empty the matvec is skipped entirely
+        (an O(1) certain miss with all-False answer).
         """
         if not self._keys:
             return np.zeros(0, dtype=bool)
         x = np.asarray(x, dtype=np.float64)
-        ok = self._A @ x <= self._b + tol
-        return np.logical_and.reduceat(ok, self._offsets[:-1])
+        if self.grid is not None:
+            self.grid.probes += 1
+            if self.grid.is_certain_miss(x, tol):
+                self.grid.negatives += 1
+                return np.zeros(len(self._keys), dtype=bool)
+        return kernels.segmented_membership(
+            self._A, self._b, self._offsets, x, tol
+        )
 
     def membership_batch(self, X: np.ndarray, tol: float = 1e-9) -> np.ndarray:
         """Membership of a whole query batch at once.
@@ -208,8 +425,21 @@ class RegionIndex:
             raise ValueError(f"X must have shape (q, {self.d})")
         if not self._keys:
             return np.zeros((X.shape[0], 0), dtype=bool)
-        ok = X @ self._A.T <= self._b + tol
-        return np.logical_and.reduceat(ok, self._offsets[:-1], axis=1)
+        if self.grid is not None:
+            self.grid.probes += X.shape[0]
+            miss = self.grid.certain_miss_mask(X, tol)
+            if miss.any():
+                self.grid.negatives += int(miss.sum())
+                out = np.zeros((X.shape[0], len(self._keys)), dtype=bool)
+                survivors = ~miss
+                if survivors.any():
+                    out[survivors] = kernels.segmented_membership_batch(
+                        self._A, self._b, self._offsets, X[survivors], tol
+                    )
+                return out
+        return kernels.segmented_membership_batch(
+            self._A, self._b, self._offsets, X, tol
+        )
 
     # -- insert-invalidation prescreen ----------------------------------------
 
@@ -321,7 +551,7 @@ class RegionIndex:
         with np.errstate(invalid="ignore"):
             tie = eligible & (delta == 0.0).all(axis=1)
             dominated = eligible & ~tie & (delta <= 0.0).all(axis=1)
-            bound = np.maximum.reduceat(V_all @ point_g - vdots, voffsets[:-1])
+            bound = kernels.segmented_max(V_all @ point_g - vdots, voffsets)
             ball = eligible & no_verts
             if ball.any():
                 d_ball = delta[ball]

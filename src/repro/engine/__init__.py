@@ -27,6 +27,7 @@ from repro.engine.workload import (
     Request,
     Workload,
     as_generator,
+    drifting_zipf_workload,
     mixed_workload,
     op_batches,
     uniform_workload,
@@ -50,5 +51,6 @@ __all__ = [
     "as_generator",
     "uniform_workload",
     "zipf_clustered_workload",
+    "drifting_zipf_workload",
     "mixed_workload",
 ]

@@ -420,7 +420,11 @@ class GIREngine:
     scorer:
         Scoring function; linear by default.
     cache_capacity:
-        LRU capacity of the GIR cache.
+        Capacity of the GIR cache.
+    cache_policy:
+        Capacity-eviction policy of the GIR cache: ``"lru"`` (default)
+        or ``"cost"`` (Greedy-Dual volume × recompute-cost scoring; see
+        :class:`~repro.core.caching.GIRCache`).
     retain_runs:
         Keep each cached entry's BRS run so partial hits resume the
         search instead of re-running it (costs memory proportional to the
@@ -438,6 +442,7 @@ class GIREngine:
         method: str = "fp",
         scorer: ScoringFunction | None = None,
         cache_capacity: int = 128,
+        cache_policy: str = "lru",
         retain_runs: bool = True,
         invalidation: str = "gir",
     ) -> None:
@@ -462,7 +467,7 @@ class GIREngine:
         #: (capacity-doubling buffer mirroring the table's rows).
         self._g_buf = self.scorer.transform(self.table.rows).copy()
         self._g_n = self.table.n_allocated
-        self.cache = GIRCache(capacity=cache_capacity)
+        self.cache = GIRCache(capacity=cache_capacity, policy=cache_policy)
         self.retain_runs = retain_runs
         #: Retained BRS state per live cache entry, for partial-hit resume.
         #: Runs self-describe their tree version (``run.tree_mutations``);

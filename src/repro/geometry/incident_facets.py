@@ -207,7 +207,7 @@ class FacetFan:
         if not keys:
             return
         pmat = np.asarray(pts)
-        seen = (pmat @ self._normals.T - self._offsets > self.eps).any(axis=1)
+        seen = kernels.any_above(pmat, self._normals, self._offsets, self.eps)
         for idx in np.flatnonzero(seen):
             self.add_point(keys[int(idx)], pmat[idx])
 
@@ -225,7 +225,7 @@ class FacetFan:
             return True
         if not self._others:
             raise FanError("bootstrap the fan before adding points")
-        above = self._normals @ point - self._offsets > self.eps
+        above = kernels.above_mask(self._normals, self._offsets, point, self.eps)
         if not above.any():
             return False
         self.points[key] = point
@@ -297,13 +297,15 @@ class FacetFan:
         if self._degenerate:
             return True
         p = np.asarray(point, dtype=np.float64)
-        return bool((self._normals @ p - self._offsets > self.eps).any())
+        return bool(
+            kernels.above_mask(self._normals, self._offsets, p, self.eps).any()
+        )
 
     def seen_mask(self, pts: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`sees` for an ``(m, d)`` batch."""
         if self._degenerate:
             return np.ones(pts.shape[0], dtype=bool)
-        return (pts @ self._normals.T - self._offsets > self.eps).any(axis=1)
+        return kernels.any_above(pts, self._normals, self._offsets, self.eps)
 
     def mbb_sees(self, mbb: MBB, eps: float | None = None) -> bool:
         """Can any point of the MBB lie above some fan facet? (False ⇒ the
@@ -311,8 +313,9 @@ class FacetFan:
         if self._degenerate:
             return True
         eps = self.eps if eps is None else eps
-        best = self._pos @ mbb.hi + self._neg @ mbb.lo
-        return bool((best - self._offsets > eps).any())
+        return kernels.box_any_above(
+            self._pos, self._neg, self._offsets, mbb.hi, mbb.lo, eps
+        )
 
     def critical_keys(self) -> set[PointKey]:
         """Keys of the records incident to the maintained facets — the
@@ -324,3 +327,10 @@ class FacetFan:
         for others in self._others:
             out |= others
         return out
+
+
+# Imported at the bottom: repro.core's package init transitively imports
+# this module (via phase2_fp), so a top-of-module import would be circular
+# whenever the geometry layer loads first. By this point FacetFan exists
+# and the re-entrant import succeeds.
+from repro.core import kernels  # noqa: E402

@@ -1,0 +1,9 @@
+"""Alias for :mod:`repro.core.kernels` — the compiled/fallback hot-loop
+kernels of the serving path, importable as ``repro.kernels``.
+
+``REPRO_NO_JIT=1`` in the environment forces the pure-numpy fallbacks even
+when numba is installed; see the core module's docstring.
+"""
+
+from repro.core.kernels import *  # noqa: F401,F403
+from repro.core.kernels import __all__, backend_info  # noqa: F401

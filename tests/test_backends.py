@@ -48,6 +48,7 @@ def spec(data):
         points=np.asarray(data.points),
         method="fp",
         cache_capacity=16,
+        cache_policy="lru",
         retain_runs=True,
         invalidation="gir",
         page_sleep_ms=0.0,

@@ -201,3 +201,111 @@ class TestCachePrescreenIntegration:
         pre = cache.prescreen_insert(rng.random(3))
         assert pre.safe == () and pre.ties == ()
         assert len(pre.candidates) == 1
+
+
+class TestGridSignature:
+    """Admission-prescreen grid: zero false negatives, by construction."""
+
+    def test_default_cells_budget(self):
+        from repro.core.region_index import _GRID_TARGET_CELLS, default_grid_cells
+
+        for d in range(1, 10):
+            g = default_grid_cells(d)
+            assert g >= 2
+            assert g == 2 or g**d <= _GRID_TARGET_CELLS
+
+    def test_grid_negatives_match_brute_force(self, rng):
+        """Every grid 'certain miss' is a true all-False membership, and
+        answers with the grid on equal answers with the grid off."""
+        total_negatives = 0
+        for d in (2, 3, 4):
+            with_grid = RegionIndex(d)
+            without = RegionIndex(d, grid_cells=0)
+            regions = [random_region(rng, d) for _ in range(12)]
+            for key, region in enumerate(regions):
+                with_grid.add(key, region)
+                without.add(key, region)
+            X = rng.uniform(-0.05, 1.05, size=(500, d))
+            got = with_grid.membership_batch(X)
+            ref = without.membership_batch(X)
+            np.testing.assert_array_equal(got, ref)
+            for i in range(0, 500, 7):
+                np.testing.assert_array_equal(
+                    with_grid.membership(X[i]), ref[i]
+                )
+            stats = with_grid.grid_stats()
+            assert stats["probes"] > 0
+            total_negatives += stats["negatives"]
+        # Certain misses must actually occur on uniform probes somewhere
+        # (at low d a dozen cones can touch every cell), or the grid is
+        # dead weight.
+        assert total_negatives > 0
+
+    def test_grid_maintenance_over_remove_and_clear(self, rng):
+        index = RegionIndex(3)
+        regions = {key: random_region(rng, 3) for key in range(8)}
+        for key, region in regions.items():
+            index.add(key, region)
+        index.remove_many([1, 3, 5])
+        X = rng.uniform(0.0, 1.0, size=(200, 3))
+        ref = np.stack(
+            [
+                [regions[k].contains(x) for k in index.keys()]
+                for x in X
+            ]
+        )
+        np.testing.assert_array_equal(index.membership_batch(X), ref)
+        index.clear()
+        assert index.grid_stats()["registered_cells"] == 0
+
+    def test_large_tol_bypasses_grid(self, rng):
+        """Tolerances above GRID_SAFE_TOL must never be answered by the
+        grid (the registration slack does not cover them)."""
+        from repro.core.region_index import GRID_SAFE_TOL
+
+        index = RegionIndex(3)
+        index.add(0, random_region(rng, 3))
+        x = rng.random(3)
+        assert not index.grid.is_certain_miss(x, GRID_SAFE_TOL * 11)
+        assert not index.grid.certain_miss_mask(x[None, :], GRID_SAFE_TOL * 11).any()
+
+    def test_near_facet_membership_property(self, rng):
+        """Grid prescreen + exact membership never disagrees with the
+        per-entry scan for weights within ±10·tol of cached facet
+        boundaries — the tolerance worst case (satellite requirement)."""
+        tol = 1e-9
+        for d in (2, 4, 6):
+            data = independent(400, d, seed=60 + d)
+            tree = bulk_load_str(data)
+            grid_cache = GIRCache(capacity=32, grid=True)
+            scan_cache = GIRCache(capacity=32, grid=False)
+            girs = []
+            queries = []
+            attempts = 0
+            while len(girs) < 6 and attempts < 120:
+                attempts += 1
+                q = rng.random(d) * 0.8 + 0.1
+                gir = compute_gir(tree, data, q, 5)
+                before = len(grid_cache)
+                grid_cache.insert(gir)
+                scan_cache.insert(gir)
+                if len(grid_cache) > before:
+                    girs.append(gir)
+                    queries.append(q)
+            probes = []
+            for gir, q in zip(girs, queries):
+                A_n, b_n = gir.polytope.normalized_halfspaces()
+                for row in range(min(len(b_n), 12)):
+                    a = A_n[row]
+                    # Project the cached query vector onto the facet's
+                    # hyperplane, then nudge it to ±10·tol of the boundary.
+                    base = q + (b_n[row] - a @ q) * a
+                    for off in (-10 * tol, -tol, 0.0, tol, 10 * tol):
+                        probes.append(base + off * a)
+            for p in probes:
+                hit_g = grid_cache.lookup(p, 5)
+                hit_s = scan_cache.lookup_scan(p, 5)
+                assert (hit_g is None) == (hit_s is None)
+                if hit_g is not None:
+                    assert hit_g.ids == hit_s.ids
+                    assert hit_g.entry_key == hit_s.entry_key

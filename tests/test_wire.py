@@ -181,6 +181,7 @@ class TestPayloads:
             points=rng.random((20, 4)),
             method="fp",
             cache_capacity=32,
+            cache_policy="cost",
             retain_runs=False,
             invalidation="flush",
             page_sleep_ms=0.25,
@@ -193,6 +194,7 @@ class TestPayloads:
         )
         assert (out.shard, out.name, out.method) == (2, "data[shard2]", "fp")
         assert (out.cache_capacity, out.retain_runs) == (32, False)
+        assert out.cache_policy == "cost"
         assert (out.invalidation, out.page_sleep_ms) == ("flush", 0.25)
         assert out.points.tobytes() == spec.points.tobytes()
         assert isinstance(out.scorer, LinearScoring) and out.scorer.d == 4
@@ -205,6 +207,7 @@ class TestPayloads:
             points=np.zeros((2, 2)),
             method="fp",
             cache_capacity=4,
+            cache_policy="lru",
             retain_runs=True,
             invalidation="gir",
             page_sleep_ms=0.0,
