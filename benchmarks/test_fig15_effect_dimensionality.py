@@ -4,7 +4,6 @@ The paper's headline comparison: FP outperforms SP and CP in all cases,
 with especially large I/O margins. Charts are per synthetic family.
 """
 
-import math
 
 import pytest
 

@@ -1,0 +1,119 @@
+"""CLI entry point: ``python -m repro.analysis``.
+
+Exit status is 0 when no findings survive suppression, 1 otherwise —
+which is what makes the checker usable as a CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.framework import (
+    Project,
+    render_json,
+    render_text,
+    run_rules,
+)
+from repro.analysis.rules import ALL_RULES
+from repro.analysis.rules.wire_drift import WireDriftRule
+
+
+def _default_target() -> Path:
+    """``src/repro`` relative to the repo this package is installed from."""
+    return Path(__file__).resolve().parents[1]
+
+
+def _select_rules(select: str | None, ignore: str | None):
+    known = {cls.id: cls for cls in ALL_RULES}
+    chosen = list(known)
+    if select:
+        chosen = [rid.strip() for rid in select.split(",") if rid.strip()]
+    if ignore:
+        dropped = {rid.strip() for rid in ignore.split(",")}
+        chosen = [rid for rid in chosen if rid not in dropped]
+    unknown = [rid for rid in chosen if rid not in known]
+    if unknown:
+        raise SystemExit(
+            f"repro.analysis: unknown rule id(s): {', '.join(unknown)} "
+            f"(known: {', '.join(known)})"
+        )
+    return [known[rid]() for rid in chosen]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-invariant static checker for the GIR repro.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to check (default: the repro package)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output instead of text",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="additionally fail on suppressions that match no finding",
+    )
+    parser.add_argument(
+        "--update-golden",
+        action="store_true",
+        help="regenerate the wire-layout golden fingerprint and exit",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for cls in ALL_RULES:
+            print(f"{cls.id}: {cls.name}")
+            print(f"    {cls.doc}")
+        return 0
+
+    paths = args.paths or [_default_target()]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        raise SystemExit(
+            f"repro.analysis: no such path: "
+            f"{', '.join(str(p) for p in missing)}"
+        )
+    project = Project.load(Path.cwd(), paths)
+
+    if args.update_golden:
+        rule = WireDriftRule()
+        path = rule.write_golden(project)
+        print(f"repro.analysis: wrote {path}")
+        return 0
+
+    rules = _select_rules(args.select, args.ignore)
+    result = run_rules(project, rules, strict=args.strict)
+    if args.json:
+        render_json(result)
+    else:
+        render_text(result)
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""The rule catalogue of :mod:`repro.analysis`.
+
+``ALL_RULES`` is the registry the CLI selects from; ordering here is the
+ordering of ``--list-rules`` output and of ties in rendered findings.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.accounting import AccountingRule
+from repro.analysis.rules.fork_safety import ForkSafetyRule
+from repro.analysis.rules.kernel_purity import KernelPurityRule
+from repro.analysis.rules.numeric_safety import NumericSafetyRule
+from repro.analysis.rules.wire_drift import WireDriftRule
+
+__all__ = [
+    "ALL_RULES",
+    "NumericSafetyRule",
+    "KernelPurityRule",
+    "WireDriftRule",
+    "ForkSafetyRule",
+    "AccountingRule",
+]
+
+ALL_RULES = (
+    NumericSafetyRule,
+    KernelPurityRule,
+    WireDriftRule,
+    ForkSafetyRule,
+    AccountingRule,
+)

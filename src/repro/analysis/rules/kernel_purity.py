@@ -1,0 +1,286 @@
+"""Rule ``kernel-purity``: the compiled kernels stay nopython-safe twins.
+
+The bit-equivalence contract of :mod:`repro.core.kernels` — numba twins
+produce byte-identical answers to the numpy fallbacks, selected once at
+import time — only holds if three structural facts stay true, and all
+three are checkable statically:
+
+1. **Twinning** — every ``*_numba`` kernel has a ``*_numpy`` fallback
+   (and vice versa when numba variants exist at all), with an
+   *identical* argument list: same names, same order, no defaults on one
+   side only. A signature drift makes the import-time selection swap in
+   a function that cannot be called interchangeably.
+
+2. **Nopython safety** — a ``@njit`` body must compile in nopython mode,
+   so the static subset numba supports is enforced up front: no
+   closures or nested functions, no ``lambda``, no ``*args``/
+   ``**kwargs``, no dict/set literals or comprehensions, no ``global``
+   / ``nonlocal``, no ``try``, no ``yield``, no f-strings, and no free
+   names beyond the allowed module globals (``np`` plus builtins numba
+   lowers: ``range``, ``len``, ``bool``, ``int``, ``float``, ``abs``,
+   ``min``, ``max``, ``enumerate``, ``zip``). Violations otherwise
+   surface only on machines that *have* numba — i.e. not in this
+   container and not in the default CI lane.
+
+3. **Routing** — the hot-loop callers (``core/region_index.py``,
+   ``core/phase2_fp.py``, ``geometry/incident_facets.py``) import the
+   kernels module and do not re-inline the segmented reductions
+   (``*.reduceat`` is the tell-tale): an inlined copy silently stops
+   benefiting from (and being covered by) the kernel equivalence tests.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.framework import Finding, Module, Project, Rule
+
+__all__ = ["KernelPurityRule"]
+
+#: Names a jitted kernel body may reference beyond its own arguments and
+#: locals.
+_ALLOWED_GLOBALS = frozenset(
+    {
+        "np",
+        "range",
+        "len",
+        "bool",
+        "int",
+        "float",
+        "abs",
+        "min",
+        "max",
+        "enumerate",
+        "zip",
+    }
+)
+
+_NUMBA_SUFFIX = "_numba"
+_NUMPY_SUFFIX = "_numpy"
+
+
+def _decorator_names(fn: ast.FunctionDef) -> list[str]:
+    names = []
+    for dec in fn.decorator_list:
+        node = dec.func if isinstance(dec, ast.Call) else dec
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+        names.append(".".join(reversed(parts)))
+    return names
+
+
+def _arg_names(fn: ast.FunctionDef) -> list[str]:
+    a = fn.args
+    return [x.arg for x in a.posonlyargs + a.args + a.kwonlyargs]
+
+
+def _nopython_violations(fn: ast.FunctionDef) -> list[tuple[int, str]]:
+    """Static nopython-subset violations inside one jitted function."""
+    out: list[tuple[int, str]] = []
+    a = fn.args
+    if a.vararg or a.kwarg:
+        out.append((fn.lineno, "*args/**kwargs are not nopython-safe"))
+
+    # Walk statement bodies only: decorators and annotations are not part
+    # of the compiled kernel body.
+    body_nodes = [n for stmt in fn.body for n in ast.walk(stmt)]
+    bound: set[str] = set(_arg_names(fn))
+    for node in body_nodes:
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for t in targets:
+                for name in ast.walk(t):
+                    if isinstance(name, ast.Name):
+                        bound.add(name.id)
+        elif isinstance(node, (ast.For,)):
+            for name in ast.walk(node.target):
+                if isinstance(name, ast.Name):
+                    bound.add(name.id)
+        elif isinstance(node, ast.comprehension):
+            for name in ast.walk(node.target):
+                if isinstance(name, ast.Name):
+                    bound.add(name.id)
+
+    for node in body_nodes:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.append((node.lineno, "nested function (closure) in kernel"))
+        elif isinstance(node, ast.Lambda):
+            out.append((node.lineno, "lambda in kernel"))
+        elif isinstance(node, (ast.Dict, ast.DictComp)):
+            out.append((node.lineno, "dict construction in kernel"))
+        elif isinstance(node, (ast.Set, ast.SetComp)):
+            out.append((node.lineno, "set construction in kernel"))
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            out.append((node.lineno, "global/nonlocal statement in kernel"))
+        elif isinstance(node, (ast.Try,)):
+            out.append((node.lineno, "try/except in kernel"))
+        elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+            out.append((node.lineno, "generator kernel cannot be jitted"))
+        elif isinstance(node, ast.JoinedStr):
+            out.append((node.lineno, "f-string in kernel"))
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            if node.id not in bound and node.id not in _ALLOWED_GLOBALS:
+                out.append(
+                    (
+                        node.lineno,
+                        f"free name {node.id!r} (closed-over/global state "
+                        f"is not nopython-safe)",
+                    )
+                )
+    return out
+
+
+class KernelPurityRule(Rule):
+    id = "kernel-purity"
+    name = "njit kernels are nopython-safe, signature-identical twins"
+    doc = (
+        "Checks core/kernels.py: every *_numba kernel twins a *_numpy "
+        "fallback with an identical signature and passes a static "
+        "nopython-subset screen; hot-loop callers route through the "
+        "kernels module instead of re-inlining reduceat loops."
+    )
+
+    kernels_suffix = "core/kernels.py"
+    #: Modules that must call kernels.* rather than re-inline the loops.
+    caller_suffixes = (
+        "core/region_index.py",
+        "core/phase2_fp.py",
+        "geometry/incident_facets.py",
+    )
+
+    def check(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        kernels = project.find(self.kernels_suffix)
+        if kernels is not None:
+            findings.extend(self._check_kernels(kernels))
+        for suffix in self.caller_suffixes:
+            module = project.find(suffix)
+            if module is not None:
+                findings.extend(self._check_caller(module))
+        return findings
+
+    # -- kernels module --------------------------------------------------------
+
+    def _check_kernels(self, module: Module) -> list[Finding]:
+        findings: list[Finding] = []
+        functions: dict[str, ast.FunctionDef] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.FunctionDef):
+                functions[node.name] = node
+
+        numba_twins = {
+            name: fn
+            for name, fn in functions.items()
+            if name.endswith(_NUMBA_SUFFIX)
+        }
+        numpy_twins = {
+            name: fn
+            for name, fn in functions.items()
+            if name.endswith(_NUMPY_SUFFIX)
+        }
+
+        for name, fn in sorted(numba_twins.items()):
+            stem = name[: -len(_NUMBA_SUFFIX)]
+            if not any("njit" in d for d in _decorator_names(fn)):
+                findings.append(
+                    Finding(
+                        self.id,
+                        module.path,
+                        fn.lineno,
+                        f"{name} is a *_numba twin without an @njit "
+                        f"decorator",
+                    )
+                )
+            twin = numpy_twins.get(stem + _NUMPY_SUFFIX)
+            if twin is None:
+                findings.append(
+                    Finding(
+                        self.id,
+                        module.path,
+                        fn.lineno,
+                        f"{name} has no {stem}_numpy fallback twin",
+                    )
+                )
+            elif _arg_names(twin) != _arg_names(fn):
+                findings.append(
+                    Finding(
+                        self.id,
+                        module.path,
+                        fn.lineno,
+                        f"{name} signature {_arg_names(fn)} differs from "
+                        f"its fallback's {_arg_names(twin)}; the import-"
+                        f"time selection swaps them interchangeably",
+                    )
+                )
+            for lineno, why in _nopython_violations(fn):
+                findings.append(
+                    Finding(self.id, module.path, lineno, f"{name}: {why}")
+                )
+
+        # When numba twins exist at all, a fallback without a twin means
+        # that kernel silently never compiles.
+        if numba_twins:
+            for name, fn in sorted(numpy_twins.items()):
+                stem = name[: -len(_NUMPY_SUFFIX)]
+                if stem + _NUMBA_SUFFIX not in numba_twins:
+                    findings.append(
+                        Finding(
+                            self.id,
+                            module.path,
+                            fn.lineno,
+                            f"{name} has no {stem}_numba twin; the kernel "
+                            f"never runs compiled",
+                        )
+                    )
+        return findings
+
+    # -- hot-loop callers ------------------------------------------------------
+
+    def _check_caller(self, module: Module) -> list[Finding]:
+        findings: list[Finding] = []
+        imports_kernels = False
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module and node.module.startswith("repro"):
+                    if any(alias.name == "kernels" for alias in node.names):
+                        imports_kernels = True
+                if node.module and node.module.endswith("kernels"):
+                    imports_kernels = True
+            elif isinstance(node, ast.Import):
+                if any("kernels" in alias.name for alias in node.names):
+                    imports_kernels = True
+        if not imports_kernels:
+            findings.append(
+                Finding(
+                    self.id,
+                    module.path,
+                    1,
+                    "hot-loop module does not import repro.core.kernels; "
+                    "its inner loops are outside the kernel equivalence "
+                    "contract",
+                )
+            )
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "reduceat"
+            ):
+                findings.append(
+                    Finding(
+                        self.id,
+                        module.path,
+                        node.lineno,
+                        "re-inlined segmented reduction (*.reduceat); "
+                        "route through repro.core.kernels so the compiled "
+                        "twin and the equivalence tests cover it",
+                    )
+                )
+        return findings

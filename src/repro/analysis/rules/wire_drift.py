@@ -1,0 +1,424 @@
+"""Rule ``wire-drift``: codec symmetry and versioned layout fingerprints.
+
+The serving tier's byte formats — the shard wire frames of
+:mod:`repro.cluster.wire`, the R-tree page layout of
+:mod:`repro.index.serde`, and the :class:`~repro.geometry.polytope.Polytope`
+H-representation payload the wire embeds — promise bit-exact round trips
+and explicit versioning. Three static checks keep that promise honest:
+
+1. **Codec symmetry** — every module-level ``encode_X`` has a matching
+   ``decode_X`` and vice versa. An unpaired codec is a frame that can be
+   written but never read (or read but never produced).
+
+2. **Struct-format agreement** — for each ``encode_X``/``decode_X`` pair
+   (and each ``_put_X``/``_get_X`` helper pair), the multiset of
+   ``struct`` format strings reachable from the encoder equals the
+   decoder's, expanding same-module helper calls transitively and
+   resolving module-level ``struct.Struct`` constants. Packing ``<qqd``
+   on one side and unpacking ``<qdd`` on the other is exactly the drift
+   this catches.
+
+3. **Golden fingerprint** — a committed JSON file
+   (``src/repro/analysis/golden/wire_layout.json``) records, per format,
+   the version constant's value and a SHA-256 over the canonical layout
+   description (every codec's expanded format multiset plus the message-
+   type/magic constants). If the layout hash changes while the version
+   constant did not, the rule fails: the frame bytes changed on the wire
+   without bumping ``WIRE_VERSION``/``FORMAT_VERSION``, which breaks the
+   decode-time version check's whole reason to exist. Regenerate the
+   golden with ``python -m repro.analysis --update-golden`` *after*
+   bumping the version.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.framework import Finding, Module, Project, Rule
+
+__all__ = ["WireDriftRule", "layout_descriptor", "layout_fingerprint"]
+
+_ENCODE = "encode_"
+_DECODE = "decode_"
+_PUT = "_put_"
+_GET = "_get_"
+
+#: Struct-consuming callables whose first argument is a format string.
+_STRUCT_CALLS = frozenset(
+    {"pack", "unpack", "pack_into", "unpack_from", "Struct", "calcsize"}
+)
+
+
+def _format_of(node: ast.expr) -> str | None:
+    """The format-string literal of a struct call argument, with f-string
+    interpolations normalized to ``{}`` (shape-dependent counts)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        parts = []
+        for piece in node.values:
+            if isinstance(piece, ast.Constant):
+                parts.append(str(piece.value))
+            else:
+                parts.append("{}")
+        return "".join(parts)
+    return None
+
+
+def _module_structs(tree: ast.Module) -> dict[str, str]:
+    """Module-level ``NAME = struct.Struct("<fmt>")`` assignments."""
+    out: dict[str, str] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        value = node.value
+        if (
+            isinstance(target, ast.Name)
+            and isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "Struct"
+            and value.args
+        ):
+            fmt = _format_of(value.args[0])
+            if fmt is not None:
+                out[target.id] = fmt
+    return out
+
+
+def _function_formats(
+    fn: ast.FunctionDef, structs: dict[str, str]
+) -> tuple[list[str], set[str]]:
+    """(struct format literals, same-module helper names called) in ``fn``."""
+    formats: list[str] = []
+    calls: set[str] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            # struct.pack("<q", ...) / reader.unpack("<q") / _FRAME.pack(...)
+            if func.attr in _STRUCT_CALLS:
+                if (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id in structs
+                ):
+                    formats.append(structs[func.value.id])
+                elif node.args:
+                    fmt = _format_of(node.args[0])
+                    if fmt is not None:
+                        formats.append(fmt)
+        elif isinstance(func, ast.Name):
+            calls.add(func.id)
+            if func.id in structs:
+                formats.append(structs[func.id])
+    return formats, calls
+
+
+def _expanded_formats(
+    name: str,
+    functions: dict[str, ast.FunctionDef],
+    structs: dict[str, str],
+    _seen: frozenset[str] = frozenset(),
+) -> list[str]:
+    """Format multiset of ``name``, expanding same-module calls."""
+    fn = functions.get(name)
+    if fn is None or name in _seen:
+        return []
+    formats, calls = _function_formats(fn, structs)
+    for callee in sorted(calls):
+        formats.extend(
+            _expanded_formats(
+                callee, functions, structs, _seen | {name}
+            )
+        )
+    return formats
+
+
+def _module_constants(tree: ast.Module) -> dict[str, object]:
+    """Module-level UPPER_CASE (and ``_DTYPE_*``-style) scalar constants."""
+    out: dict[str, object] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        name = target.id
+        if name != name.upper() or name.startswith("__"):
+            continue
+        value = node.value
+        if isinstance(value, ast.Constant) and isinstance(
+            value.value, (int, str, bytes)
+        ):
+            v = value.value
+            out[name] = v.decode("latin-1") if isinstance(v, bytes) else v
+    return out
+
+
+def layout_descriptor(module: Module) -> dict:
+    """Canonical JSON-able description of a codec module's byte layout."""
+    functions = {
+        node.name: node
+        for node in module.tree.body
+        if isinstance(node, ast.FunctionDef)
+    }
+    # Methods of module-level classes participate too (Reader, Polytope).
+    for node in module.tree.body:
+        if isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef):
+                    functions.setdefault(
+                        f"{node.name}.{item.name}", item
+                    )
+    structs = _module_structs(module.tree)
+    codecs = {}
+    for name in sorted(functions):
+        base = name.rsplit(".", 1)[-1]
+        if base.startswith((_ENCODE, _DECODE, _PUT, _GET)) or base in (
+            "to_bytes",
+            "from_bytes",
+        ):
+            codecs[name] = sorted(
+                _expanded_formats(name, functions, structs)
+            )
+    return {
+        "constants": _module_constants(module.tree),
+        "structs": dict(sorted(structs.items())),
+        "codecs": codecs,
+    }
+
+
+def layout_fingerprint(descriptors: dict[str, dict]) -> str:
+    """SHA-256 over the canonical JSON of per-module layout descriptors."""
+    blob = json.dumps(descriptors, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _codec_linenos(module: Module) -> dict[str, int]:
+    """Definition lines of module-level functions and class methods (for
+    finding locations only — line numbers never enter the fingerprint)."""
+    out: dict[str, int] = {}
+    for node in module.tree.body:
+        if isinstance(node, ast.FunctionDef):
+            out[node.name] = node.lineno
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef):
+                    out[f"{node.name}.{item.name}"] = item.lineno
+    return out
+
+
+#: Default golden location, relative to the analysis package itself.
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "golden" / "wire_layout.json"
+
+
+class WireDriftRule(Rule):
+    id = "wire-drift"
+    name = "codec symmetry + versioned layout fingerprint"
+    doc = (
+        "Checks cluster/wire.py, index/serde.py and the Polytope byte "
+        "codec: encode_*/decode_* pairing, struct-format agreement per "
+        "pair, and a committed golden fingerprint that fails when the "
+        "byte layout changes without a version-constant bump "
+        "(regenerate with --update-golden after bumping)."
+    )
+
+    #: ``format name -> (module suffixes hashed, version constant name)``.
+    formats: dict[str, tuple[tuple[str, ...], str]] = {
+        "wire": (
+            ("cluster/wire.py", "geometry/polytope.py"),
+            "WIRE_VERSION",
+        ),
+        "page": (("index/serde.py",), "FORMAT_VERSION"),
+    }
+
+    def __init__(self, golden_path: Path | None = None) -> None:
+        self.golden_path = Path(golden_path or GOLDEN_PATH)
+
+    # -- golden management -----------------------------------------------------
+
+    def current_golden(self, project: Project) -> dict:
+        """The golden payload the current source would commit."""
+        golden: dict[str, dict] = {}
+        for fmt, (suffixes, version_name) in self.formats.items():
+            descriptors: dict[str, dict] = {}
+            version = None
+            for suffix in suffixes:
+                module = project.find(suffix)
+                if module is None:
+                    continue
+                desc = layout_descriptor(module)
+                descriptors[suffix] = desc
+                if version_name in desc["constants"]:
+                    version = desc["constants"][version_name]
+            if not descriptors:
+                continue
+            golden[fmt] = {
+                "version_constant": version_name,
+                "version": version,
+                "fingerprint": layout_fingerprint(descriptors),
+            }
+        return golden
+
+    def write_golden(self, project: Project) -> Path:
+        payload = self.current_golden(project)
+        self.golden_path.parent.mkdir(parents=True, exist_ok=True)
+        self.golden_path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return self.golden_path
+
+    # -- rule ------------------------------------------------------------------
+
+    def check(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        for fmt, (suffixes, _version) in self.formats.items():
+            for suffix in suffixes:
+                module = project.find(suffix)
+                if module is not None:
+                    findings.extend(self._check_symmetry(module))
+        findings.extend(self._check_golden(project))
+        return findings
+
+    def _check_symmetry(self, module: Module) -> list[Finding]:
+        findings: list[Finding] = []
+        desc = layout_descriptor(module)
+        codecs = desc["codecs"]
+        linenos = _codec_linenos(module)
+
+        # Pairing is checked in both directions; the format comparison only
+        # on the writer side (one report per asymmetric pair).
+        pairs = (
+            (_ENCODE, _DECODE, True),
+            (_DECODE, _ENCODE, False),
+            (_PUT, _GET, True),
+            (_GET, _PUT, False),
+        )
+        for prefix, mate_prefix, compare in pairs:
+            for name, formats in sorted(codecs.items()):
+                base = name.rsplit(".", 1)[-1]
+                if not base.startswith(prefix):
+                    continue
+                stem = base[len(prefix) :]
+                mate_base = mate_prefix + stem
+                mate = next(
+                    (
+                        n
+                        for n in codecs
+                        if n.rsplit(".", 1)[-1] == mate_base
+                    ),
+                    None,
+                )
+                if mate is None:
+                    findings.append(
+                        Finding(
+                            self.id,
+                            module.path,
+                            linenos.get(name, 1),
+                            f"{name} has no symmetric {mate_base}; an "
+                            f"unpaired codec cannot round-trip",
+                        )
+                    )
+                elif compare and formats != codecs[mate]:
+                    findings.append(
+                        Finding(
+                            self.id,
+                            module.path,
+                            linenos.get(name, 1),
+                            f"struct formats of {name} {formats} disagree "
+                            f"with {mate} {codecs[mate]}; the two sides "
+                            f"of the codec read different bytes",
+                        )
+                    )
+        # to_bytes/from_bytes pair when either exists.
+        names = {n.rsplit(".", 1)[-1]: n for n in codecs}
+        if ("to_bytes" in names) != ("from_bytes" in names):
+            findings.append(
+                Finding(
+                    self.id,
+                    module.path,
+                    1,
+                    "to_bytes/from_bytes codec is unpaired",
+                )
+            )
+        return findings
+
+    def _check_golden(self, project: Project) -> list[Finding]:
+        current = self.current_golden(project)
+        if not current:
+            return []
+        anchor_module = None
+        for _fmt, (suffixes, _v) in self.formats.items():
+            for suffix in suffixes:
+                anchor_module = anchor_module or project.find(suffix)
+        path = anchor_module.path if anchor_module else str(self.golden_path)
+
+        if not self.golden_path.exists():
+            return [
+                Finding(
+                    self.id,
+                    path,
+                    1,
+                    f"no committed golden layout fingerprint at "
+                    f"{self.golden_path}; run "
+                    f"'python -m repro.analysis --update-golden' and "
+                    f"commit the result",
+                )
+            ]
+        try:
+            golden = json.loads(self.golden_path.read_text(encoding="utf-8"))
+        except (ValueError, OSError) as exc:
+            return [
+                Finding(
+                    self.id,
+                    path,
+                    1,
+                    f"golden layout fingerprint unreadable: {exc}",
+                )
+            ]
+
+        findings: list[Finding] = []
+        for fmt, entry in current.items():
+            committed = golden.get(fmt)
+            if committed is None:
+                findings.append(
+                    Finding(
+                        self.id,
+                        path,
+                        1,
+                        f"format {fmt!r} missing from the committed "
+                        f"golden; regenerate with --update-golden",
+                    )
+                )
+                continue
+            if entry["fingerprint"] == committed.get("fingerprint"):
+                continue
+            if entry["version"] == committed.get("version"):
+                findings.append(
+                    Finding(
+                        self.id,
+                        path,
+                        1,
+                        f"{fmt} byte layout changed but "
+                        f"{entry['version_constant']} is still "
+                        f"{entry['version']}; bump the version constant, "
+                        f"then regenerate the golden with --update-golden",
+                    )
+                )
+            else:
+                findings.append(
+                    Finding(
+                        self.id,
+                        path,
+                        1,
+                        f"{fmt} layout and {entry['version_constant']} "
+                        f"both changed; regenerate the golden with "
+                        f"--update-golden to commit the new fingerprint",
+                    )
+                )
+        return findings

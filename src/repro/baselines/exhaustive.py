@@ -19,6 +19,7 @@ from repro.geometry.polytope import Polytope
 from repro.query.linear_scan import scan_topk
 from repro.query.topk import TopKResult
 from repro.scoring import LinearScoring, ScoringFunction
+from repro.core.tolerances import MEMBERSHIP_TOL
 
 __all__ = ["ExhaustiveGIR", "exhaustive_gir"]
 
@@ -39,7 +40,7 @@ class ExhaustiveGIR:
         self.polytope = polytope
         self.method = "exhaustive"
 
-    def contains(self, q: np.ndarray, tol: float = 1e-9) -> bool:
+    def contains(self, q: np.ndarray, tol: float = MEMBERSHIP_TOL) -> bool:
         return self.polytope.contains(q, tol=tol)
 
     def volume(self) -> float:

@@ -20,6 +20,7 @@ import numpy as np
 from repro.data.dataset import Dataset
 from repro.query.linear_scan import scan_topk
 from repro.scoring import LinearScoring, ScoringFunction
+from repro.core.tolerances import COEFFICIENT_EPS, MEMBERSHIP_TOL
 
 __all__ = ["lir_intervals_scan"]
 
@@ -62,14 +63,14 @@ def lir_intervals_scan(
         rest = dots - a_i * q[axis]  # a·q with the axis term removed
         lo, hi = 0.0, 1.0
         # a_i * w_i >= -rest
-        pos = a_i > 1e-14
-        neg = a_i < -1e-14
+        pos = a_i > COEFFICIENT_EPS
+        neg = a_i < -COEFFICIENT_EPS
         zero = ~(pos | neg)
         if pos.any():
             lo = max(lo, float(np.max(-rest[pos] / a_i[pos])))
         if neg.any():
             hi = min(hi, float(np.min(-rest[neg] / a_i[neg])))
-        if zero.any() and (rest[zero] < -1e-9).any():
+        if zero.any() and (rest[zero] < -MEMBERSHIP_TOL).any():
             intervals.append((float("nan"), float("nan")))
             continue
         intervals.append((lo, hi))

@@ -18,7 +18,7 @@ suite terminates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["ExperimentScale", "SCALES"]
 

@@ -54,6 +54,7 @@ from repro.engine import (
 from repro.engine.engine import WorkloadReport
 from repro.index.bulkload import bulk_load_str
 from repro.query.linear_scan import scan_topk
+from repro.core.tolerances import MEMBERSHIP_TOL
 
 __all__ = [
     "EngineBenchConfig",
@@ -357,7 +358,7 @@ def run_cache_admission_bench(
     while len(miss_probes) < config.miss_probes and attempts < 200 * config.miss_probes:
         attempts += 1
         q = rng.random(config.d)
-        if grid_index.grid.is_certain_miss(q, 1e-9):
+        if grid_index.grid.is_certain_miss(q, MEMBERSHIP_TOL):
             miss_probes.append(q)
     grid_index.grid.probes = grid_index.grid.negatives = 0
 
@@ -420,13 +421,13 @@ def run_cache_admission_bench(
     X = np.stack(miss_probes[:64] + mixed[:64])
     kernels_match = bool(
         np.array_equal(
-            kernels.segmented_membership_batch(A, b, offsets, X, 1e-9),
-            kernels.segmented_membership_batch_numpy(A, b, offsets, X, 1e-9),
+            kernels.segmented_membership_batch(A, b, offsets, X, MEMBERSHIP_TOL),
+            kernels.segmented_membership_batch_numpy(A, b, offsets, X, MEMBERSHIP_TOL),
         )
         and all(
             np.array_equal(
-                kernels.segmented_membership(A, b, offsets, x, 1e-9),
-                kernels.segmented_membership_numpy(A, b, offsets, x, 1e-9),
+                kernels.segmented_membership(A, b, offsets, x, MEMBERSHIP_TOL),
+                kernels.segmented_membership_numpy(A, b, offsets, x, MEMBERSHIP_TOL),
             )
             for x in X[:16]
         )

@@ -8,7 +8,6 @@ shapes compare to the published ones.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from statistics import mean
 

@@ -11,10 +11,12 @@ __all__ = ["format_table", "print_table", "fmt"]
 def fmt(value: Any) -> str:
     """Compact numeric formatting (scientific for extremes)."""
     if isinstance(value, float):
-        if value == 0.0:
+        if value == 0.0:  # repro: allow[numeric-safety] -- formatting: print exact zero as "0"
             return "0"
         if math.isnan(value):
             return "nan"
+        # repro: allow[numeric-safety] -- display threshold for scientific
+        # notation, not a numeric tolerance anything depends on
         if abs(value) >= 1e5 or abs(value) < 1e-3:
             return f"{value:.3e}"
         return f"{value:.3f}".rstrip("0").rstrip(".")

@@ -51,6 +51,8 @@ __all__ = [
     "update_from_response",
 ]
 
+# repro: allow[fork-safety] -- deliberate plug-in registry: mutated only at
+# import time by backend modules registering themselves, read-only afterwards
 BACKENDS: dict[str, type[ShardBackend]] = {
     InProcBackend.name: InProcBackend,
     ProcessBackend.name: ProcessBackend,

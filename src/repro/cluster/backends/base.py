@@ -34,9 +34,10 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.data.dataset import Dataset
 from repro.engine.engine import EngineResponse, GIREngine, UpdateResponse
@@ -83,7 +84,11 @@ class ShardWriteError(RuntimeError):
         self.dirty = bool(dirty)
 
 
-def guarded_engine_write(engine: GIREngine, kind: str, arg) -> UpdateResponse:
+def guarded_engine_write(
+    engine: GIREngine,
+    kind: str,
+    arg: "npt.NDArray[np.float64] | int",
+) -> UpdateResponse:
     """Apply one write to a shard engine, classifying any failure.
 
     ``kind`` is ``"insert"`` (``arg`` = point) or ``"delete"`` (``arg`` =
@@ -136,7 +141,7 @@ class ShardSpec:
     shard: int
     name: str
     #: ``(n_s, d)`` float64 initial rows, ascending global-rid order.
-    points: np.ndarray
+    points: npt.NDArray[np.float64]
     method: str
     cache_capacity: int
     cache_policy: str
@@ -163,7 +168,7 @@ class ShardReply:
     #: Coordinate sums of the ranked records (weight-independent tie-break).
     tie_sums: tuple[float, ...]
     #: ``(len(ids), d)`` g-space images of the ranked records.
-    points_g: np.ndarray
+    points_g: npt.NDArray[np.float64]
     #: The region the shard served this exact ordered list under.
     region: "Polytope"
     #: ``"cache"`` / ``"completed"`` / ``"computed"``.
@@ -203,24 +208,24 @@ class ShardUpdate:
 class ShardBackend(ABC):
     """Execution home of one shard (see module docstring)."""
 
-    name = "abstract"
+    name: str = "abstract"
 
     @abstractmethod
     def build(self, spec: ShardSpec) -> None:
         """Construct the shard from its spec. Called exactly once."""
 
     @abstractmethod
-    def topk(self, weights: np.ndarray, k: int) -> ShardReply:
+    def topk(self, weights: npt.NDArray[np.float64], k: int) -> ShardReply:
         """Answer one local read (``k`` already clamped by the router)."""
 
     @abstractmethod
     def topk_batch(
-        self, requests: Sequence[tuple[np.ndarray, int]]
+        self, requests: Sequence[tuple[npt.NDArray[np.float64], int]]
     ) -> list[ShardReply]:
         """Answer a batch of local reads in one round trip."""
 
     @abstractmethod
-    def insert(self, point: np.ndarray) -> ShardUpdate:
+    def insert(self, point: npt.NDArray[np.float64]) -> ShardUpdate:
         """Apply a routed insert (point already validated and stored
         globally; the shard assigns the next local rid)."""
 
@@ -229,7 +234,7 @@ class ShardBackend(ABC):
         """Apply a routed delete of a live local rid."""
 
     @abstractmethod
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         """Counter snapshot (see :func:`engine_shard_stats`)."""
 
     @abstractmethod
@@ -293,7 +298,7 @@ def update_from_response(sub: UpdateResponse) -> ShardUpdate:
     )
 
 
-def engine_shard_stats(engine: GIREngine) -> dict:
+def engine_shard_stats(engine: GIREngine) -> dict[str, Any]:
     """The per-shard stat block: live records, I/O, cache counters.
 
     ``page_reads`` is the shard store's lifetime meter; summed over shards

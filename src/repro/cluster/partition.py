@@ -177,6 +177,8 @@ class KDSplitPartitioner(Partitioner):
         return int(node)
 
 
+# repro: allow[fork-safety] -- deliberate plug-in registry: populated once at
+# import time, read-only afterwards (make_partitioner only looks up)
 PARTITIONERS: dict[str, type[Partitioner]] = {
     RoundRobinPartitioner.name: RoundRobinPartitioner,
     KDSplitPartitioner.name: KDSplitPartitioner,

@@ -54,9 +54,11 @@ import json
 import pickle
 import struct
 import traceback
-from typing import TYPE_CHECKING, Iterable, Sequence
+from types import MappingProxyType
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.geometry.polytope import Polytope
 
@@ -129,7 +131,7 @@ _KNOWN_MESSAGES = frozenset(range(MSG_BUILD, MSG_REPLY_ERROR + 1))
 #: Array dtype tags on the wire.
 _DTYPE_F8 = 0
 _DTYPE_I8 = 1
-_DTYPES = {_DTYPE_F8: "<f8", _DTYPE_I8: "<q"}
+_DTYPES = MappingProxyType({_DTYPE_F8: "<f8", _DTYPE_I8: "<q"})
 
 
 class WireError(ValueError):
@@ -188,7 +190,7 @@ class Reader:
         self.buf = buf
         self.off = offset
 
-    def unpack(self, fmt: str) -> tuple:
+    def unpack(self, fmt: str) -> tuple[Any, ...]:
         st = struct.Struct(fmt)
         if self.off + st.size > len(self.buf):
             raise WireError("payload truncated")
@@ -213,14 +215,16 @@ class Reader:
 # -- primitive payload pieces -------------------------------------------------
 
 
-def _put_array(out: bytearray, arr: np.ndarray, dtype_tag: int = _DTYPE_F8) -> None:
+def _put_array(
+    out: bytearray, arr: npt.NDArray[Any], dtype_tag: int = _DTYPE_F8
+) -> None:
     arr = np.ascontiguousarray(arr, dtype=_DTYPES[dtype_tag])
     out += struct.pack("<BB", dtype_tag, arr.ndim)
     out += struct.pack(f"<{arr.ndim}q", *arr.shape)
     out += arr.tobytes()
 
 
-def _get_array(reader: Reader) -> np.ndarray:
+def _get_array(reader: Reader) -> npt.NDArray[Any]:
     dtype_tag, ndim = reader.unpack("<BB")
     if dtype_tag not in _DTYPES:
         raise WireError(f"unknown array dtype tag {dtype_tag}")
@@ -246,11 +250,11 @@ def _get_bytes(reader: Reader) -> bytes:
     return reader.take(n)
 
 
-def _put_json(out: bytearray, obj) -> None:
+def _put_json(out: bytearray, obj: object) -> None:
     _put_bytes(out, json.dumps(obj).encode("utf-8"))
 
 
-def _get_json(reader: Reader):
+def _get_json(reader: Reader) -> Any:
     return json.loads(_get_bytes(reader).decode("utf-8"))
 
 
@@ -289,7 +293,7 @@ def encode_build(spec: "ShardSpec") -> bytes:
 def decode_build(reader: Reader) -> "ShardSpec":
     from repro.cluster.backends.base import ShardSpec
 
-    config = _get_json(reader)
+    config: dict[str, Any] = _get_json(reader)
     points = _get_array(reader)
     scorer = pickle.loads(_get_bytes(reader))
     reader.done()
@@ -310,21 +314,23 @@ def decode_build(reader: Reader) -> "ShardSpec":
 # -- reads --------------------------------------------------------------------
 
 
-def encode_topk(weights: np.ndarray, k: int) -> bytes:
+def encode_topk(weights: npt.NDArray[np.float64], k: int) -> bytes:
     out = bytearray()
     _put_array(out, np.asarray(weights, dtype=np.float64))
     out += struct.pack("<q", k)
     return bytes(out)
 
 
-def decode_topk(reader: Reader) -> tuple[np.ndarray, int]:
+def decode_topk(reader: Reader) -> tuple[npt.NDArray[np.float64], int]:
     weights = _get_array(reader)
     (k,) = reader.unpack("<q")
     reader.done()
     return weights, int(k)
 
 
-def encode_topk_batch(requests: Sequence[tuple[np.ndarray, int]]) -> bytes:
+def encode_topk_batch(
+    requests: Sequence[tuple[npt.NDArray[np.float64], int]]
+) -> bytes:
     out = bytearray(struct.pack("<q", len(requests)))
     for weights, k in requests:
         _put_array(out, np.asarray(weights, dtype=np.float64))
@@ -332,9 +338,11 @@ def encode_topk_batch(requests: Sequence[tuple[np.ndarray, int]]) -> bytes:
     return bytes(out)
 
 
-def decode_topk_batch(reader: Reader) -> list[tuple[np.ndarray, int]]:
+def decode_topk_batch(
+    reader: Reader,
+) -> list[tuple[npt.NDArray[np.float64], int]]:
     (count,) = reader.unpack("<q")
-    requests = []
+    requests: list[tuple[npt.NDArray[np.float64], int]] = []
     for _ in range(count):
         weights = _get_array(reader)
         (k,) = reader.unpack("<q")
@@ -346,13 +354,13 @@ def decode_topk_batch(reader: Reader) -> list[tuple[np.ndarray, int]]:
 # -- writes -------------------------------------------------------------------
 
 
-def encode_insert(point: np.ndarray) -> bytes:
+def encode_insert(point: npt.NDArray[np.float64]) -> bytes:
     out = bytearray()
     _put_array(out, np.asarray(point, dtype=np.float64))
     return bytes(out)
 
 
-def decode_insert(reader: Reader) -> np.ndarray:
+def decode_insert(reader: Reader) -> npt.NDArray[np.float64]:
     point = _get_array(reader)
     reader.done()
     return point
@@ -465,14 +473,14 @@ def decode_update(reader: Reader) -> "ShardUpdate":
 # -- stats / errors -----------------------------------------------------------
 
 
-def encode_stats(stats: dict) -> bytes:
+def encode_stats(stats: dict[str, Any]) -> bytes:
     out = bytearray()
     _put_json(out, stats)
     return bytes(out)
 
 
-def decode_stats(reader: Reader) -> dict:
-    stats = _get_json(reader)
+def decode_stats(reader: Reader) -> dict[str, Any]:
+    stats: dict[str, Any] = _get_json(reader)
     reader.done()
     return stats
 
@@ -484,9 +492,7 @@ def encode_error(exc: BaseException) -> bytes:
         {
             "type": type(exc).__name__,
             "message": str(exc),
-            "traceback": "".join(
-                traceback.format_exception(type(exc), exc, exc.__traceback__)
-            ),
+            "traceback": "".join(traceback.format_exception(exc)),
             # ShardWriteError's write-state classification; False for
             # every other exception (reads never mutate shard structure).
             "dirty": bool(getattr(exc, "dirty", False)),
@@ -496,7 +502,7 @@ def encode_error(exc: BaseException) -> bytes:
 
 
 def decode_error(reader: Reader) -> WorkerFailure:
-    info = _get_json(reader)
+    info: dict[str, Any] = _get_json(reader)
     reader.done()
     return WorkerFailure(
         exc_type=str(info.get("type", "Exception")),

@@ -29,6 +29,7 @@ import numpy as np
 from repro.data.dataset import Dataset
 from repro.query.linear_scan import scan_topk
 from repro.scoring import ScoringFunction
+from repro.core.tolerances import APPROX_TOLERANCE
 
 __all__ = [
     "GeneralMonotoneScoring",
@@ -112,7 +113,7 @@ def immutable_ball_radius(
     k: int,
     scorer: ScoringFunction,
     directions: int = 64,
-    tolerance: float = 1e-4,
+    tolerance: float = APPROX_TOLERANCE,
     rng: np.random.Generator | None = None,
 ) -> float:
     """Largest ball radius around ``weights`` preserving the result

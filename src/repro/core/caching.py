@@ -68,6 +68,7 @@ from repro.core.region_index import (
     SCREEN_SAFE,
     SCREEN_TIE,
 )
+from repro.core.tolerances import MEMBERSHIP_TOL, MIN_GAIN_RADIUS
 
 __all__ = [
     "CacheHit",
@@ -84,7 +85,7 @@ def invalidated_by_insert(
     gir: GIRResult,
     point_g: np.ndarray,
     kth_g: np.ndarray,
-    tol: float = 1e-9,
+    tol: float = MEMBERSHIP_TOL,
     tie_wins: bool = False,
 ) -> bool:
     """Does inserting a record with g-image ``point_g`` disturb ``gir``?
@@ -221,7 +222,7 @@ class InsertPrescreen:
 
 #: Floor on the Chebyshev-radius volume proxy, so sliver/degenerate
 #: regions still carry a positive gain and recency can order them.
-_MIN_RADIUS = 1e-3
+_MIN_RADIUS = MIN_GAIN_RADIUS
 
 
 class GIRCache:
@@ -639,7 +640,7 @@ class GIRCache:
     # -- update-driven eviction ------------------------------------------------
 
     def prescreen_insert(
-        self, point_g: np.ndarray, tol: float = 1e-9
+        self, point_g: np.ndarray, tol: float = MEMBERSHIP_TOL
     ) -> InsertPrescreen:
         """Screen the whole cache against an inserted record's g-image.
 

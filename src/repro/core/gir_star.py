@@ -49,6 +49,7 @@ from repro.index.rtree import RStarTree
 from repro.query.brs import BRSRun
 from repro.query.topk import TopKResult
 from repro.scoring import ScoringFunction
+from repro.core.tolerances import MEMBERSHIP_TOL
 
 __all__ = ["GIRStarResult", "compute_gir_star", "prune_result_records"]
 
@@ -66,7 +67,7 @@ class GIRStarResult:
     #: The pruned result set R⁻ actually used to bound the region.
     active_result_ids: tuple[int, ...] = ()
 
-    def contains(self, q: np.ndarray, tol: float = 1e-9) -> bool:
+    def contains(self, q: np.ndarray, tol: float = MEMBERSHIP_TOL) -> bool:
         """Does ``q`` preserve the *composition* of the top-k result?"""
         return self.polytope.contains(q, tol=tol)
 

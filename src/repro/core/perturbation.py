@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.geometry.halfspace import Halfspace
+from repro.core.tolerances import MEMBERSHIP_TOL
 
 __all__ = ["Perturbation", "boundary_perturbations"]
 
@@ -29,7 +30,7 @@ class Perturbation:
     description: str
 
 
-def boundary_perturbations(gir, tol: float = 1e-9) -> list[Perturbation]:
+def boundary_perturbations(gir, tol: float = MEMBERSHIP_TOL) -> list[Perturbation]:
     """Classify the GIR's bounding half-spaces and their result changes.
 
     Only non-redundant (facet-supporting) half-spaces are reported; the box

@@ -42,6 +42,7 @@ from repro.index.mbb import MBB
 from repro.index.rtree import RStarTree
 from repro.query.brs import BRSRun, make_heap_entry
 from repro.scoring import ScoringFunction
+from repro.core.tolerances import EXACT_TOL, NORM_FLOOR
 
 __all__ = ["FPOptions", "phase2_fp", "build_fan", "refine_fans", "virtual_seeds"]
 
@@ -132,7 +133,7 @@ def _order_candidates(
     if d == 2:
         # Angle of (p - apex) within the half-plane strictly below the
         # sweeping line: basis (t, -q) with t ⟂ q.
-        q = weights / max(np.linalg.norm(weights), 1e-300)
+        q = weights / max(np.linalg.norm(weights), NORM_FLOOR)
         t = np.array([-q[1], q[0]])
         first: list[int] = []
         angles = []
@@ -233,7 +234,7 @@ def refine_fans(
             # (checked at the region's vertices; scores are linear there).
             node_best = directions @ mbb_g.hi
             if all(
-                (node_best <= apex_dir_scores[apex_id] + 1e-12).all()
+                (node_best <= apex_dir_scores[apex_id] + EXACT_TOL).all()
                 for apex_id in fans
             ):
                 continue

@@ -44,6 +44,7 @@ from repro.index.rtree import RStarTree
 from repro.query.brs import BRSRun, brs_topk
 from repro.query.topk import TopKResult
 from repro.scoring import LinearScoring, ScoringFunction
+from repro.core.tolerances import MEMBERSHIP_TOL
 
 __all__ = [
     "PHASE2_METHODS",
@@ -104,11 +105,11 @@ class GIRResult:
 
     # -- semantics ------------------------------------------------------------
 
-    def contains(self, q: np.ndarray, tol: float = 1e-9) -> bool:
+    def contains(self, q: np.ndarray, tol: float = MEMBERSHIP_TOL) -> bool:
         """Does query vector ``q`` preserve the (ordered) top-k result?"""
         return self.polytope.contains(q, tol=tol)
 
-    def contains_batch(self, Q: np.ndarray, tol: float = 1e-9) -> np.ndarray:
+    def contains_batch(self, Q: np.ndarray, tol: float = MEMBERSHIP_TOL) -> np.ndarray:
         """Vectorized :meth:`contains` over a ``(m, d)`` batch of query
         vectors; returns a boolean ``(m,)`` array."""
         return self.polytope.contains_batch(Q, tol=tol)
@@ -144,7 +145,7 @@ class GIRResult:
         self,
         challenger_g: np.ndarray,
         kth_g: np.ndarray,
-        tol: float = 1e-9,
+        tol: float = MEMBERSHIP_TOL,
         tie_wins: bool = False,
     ) -> bool:
         """Can a record at ``challenger_g`` rank above the k-th result
@@ -174,7 +175,7 @@ class GIRResult:
             return False
         return self.kth_score_margin(challenger_g, kth_g) > tol
 
-    def boundary_perturbations(self, tol: float = 1e-9):
+    def boundary_perturbations(self, tol: float = MEMBERSHIP_TOL):
         """Result changes at each bounding facet — see
         :func:`repro.core.perturbation.boundary_perturbations`."""
         from repro.core.perturbation import boundary_perturbations

@@ -72,6 +72,7 @@ import numpy as np
 
 from repro.core import kernels
 from repro.geometry.polytope import Polytope
+from repro.core.tolerances import GRID_SAFE_TOL, GRID_SLACK, MEMBERSHIP_TOL, SCREEN_SAFETY
 
 __all__ = [
     "RegionIndex",
@@ -90,15 +91,10 @@ SCREEN_TIE = 1
 SCREEN_LP = 2
 
 
-#: Largest membership tolerance the grid fast path is sound for. The
-#: cells are registered with :data:`_GRID_SLACK` of relaxation, which must
-#: dominate ``tol * (1 + sqrt(d))`` (the tolerance itself plus the cushion
-#: of clipping a just-outside-the-box member into its cell); lookups with
-#: a larger ``tol`` simply skip the grid and run the exact matvec.
-GRID_SAFE_TOL = 1e-7
-
-#: Per-row relaxation used when registering an entry's cells.
-_GRID_SLACK = 1e-6
+#: Grid registration slack (see :mod:`repro.core.tolerances`:
+#: ``GRID_SLACK`` must dominate ``GRID_SAFE_TOL * (1 + sqrt(d))``;
+#: both constants live there so the soundness pair cannot drift apart).
+_GRID_SLACK = GRID_SLACK
 
 #: Target total cell count of the grid; the per-axis resolution is the
 #: largest ``g`` with ``g**d`` at or below this (at least 2 per axis).
@@ -393,7 +389,7 @@ class RegionIndex:
 
     # -- membership -----------------------------------------------------------
 
-    def membership(self, x: np.ndarray, tol: float = 1e-9) -> np.ndarray:
+    def membership(self, x: np.ndarray, tol: float = MEMBERSHIP_TOL) -> np.ndarray:
         """Boolean array over :meth:`keys`: which regions contain ``x``?
 
         One matvec over all stacked rows + one segment reduction —
@@ -413,7 +409,7 @@ class RegionIndex:
             self._A, self._b, self._offsets, x, tol
         )
 
-    def membership_batch(self, X: np.ndarray, tol: float = 1e-9) -> np.ndarray:
+    def membership_batch(self, X: np.ndarray, tol: float = MEMBERSHIP_TOL) -> np.ndarray:
         """Membership of a whole query batch at once.
 
         ``X`` is ``(q, d)``; returns boolean ``(q, n_entries)``, columns in
@@ -515,8 +511,8 @@ class RegionIndex:
     def prescreen_insert(
         self,
         point_g: np.ndarray,
-        tol: float = 1e-9,
-        safety: float = 1e-10,
+        tol: float = MEMBERSHIP_TOL,
+        safety: float = SCREEN_SAFETY,
     ) -> np.ndarray:
         """Classify every entry against an inserted record's g-image.
 
@@ -549,6 +545,10 @@ class RegionIndex:
         )
         delta = point_g[None, :] - kth  # NaN rows for ineligible entries
         with np.errstate(invalid="ignore"):
+            # repro: allow[numeric-safety] -- exact g-image ties only: a row
+            # whose kth g-vector is bit-identical to the query point must be
+            # screened as a tie, and any tolerance here would misclassify
+            # near-ties that the LP path handles correctly
             tie = eligible & (delta == 0.0).all(axis=1)
             dominated = eligible & ~tie & (delta <= 0.0).all(axis=1)
             bound = kernels.segmented_max(V_all @ point_g - vdots, voffsets)

@@ -1,0 +1,123 @@
+"""The project's numeric tolerances, consolidated in one module.
+
+Every floating-point comparison in this codebase that is *not* an
+intentional bit-exact equality goes through a named constant defined
+here. The ``numeric-safety`` rule of :mod:`repro.analysis` enforces
+this statically: an inline literal like ``1e-9`` in a comparison or a
+default argument anywhere else in ``src/`` is a finding, so a tolerance
+cannot silently fork from the rest of the system (the grid prescreen's
+zero-false-negative guarantee, for instance, is only sound because the
+membership tolerance it must dominate is *this* :data:`MEMBERSHIP_TOL`,
+not whatever a caller happened to type).
+
+Grouping, loosest to tightest:
+
+* :data:`APPROX_TOLERANCE` / :data:`MIN_GAIN_RADIUS` — coarse model
+  parameters, not correctness tolerances;
+* :data:`GRID_SAFE_TOL` / :data:`GRID_SLACK` — the admission grid's
+  soundness boundary (slack must dominate ``tol * (1 + sqrt(d))``);
+* :data:`CONTAINMENT_TOL` — LP-backed polytope containment slack
+  (linprog answers are good to ~1e-9; one order looser stays safe);
+* :data:`MEMBERSHIP_TOL` — the global half-space membership tolerance
+  (norm-relative via ``Polytope.normalized_halfspaces``);
+* :data:`PREDICATE_EPS` / :data:`DEGENERATE_RADIUS` — geometric
+  predicate slack and the radius below which a region counts as empty;
+* :data:`EXACT_TOL` / :data:`FACET_SIDE_TOL` / :data:`COEFFICIENT_EPS`
+  — near-machine-epsilon guards for hull side tests, score sanity
+  checks and treat-as-zero coefficient thresholds;
+* :data:`NORM_FLOOR` — an underflow guard, not a tolerance: the
+  smallest norm a direction vector is allowed to be scaled by.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MEMBERSHIP_TOL",
+    "EXACT_TOL",
+    "DEGENERATE_RADIUS",
+    "CONTAINMENT_TOL",
+    "COEFFICIENT_EPS",
+    "FACET_SIDE_TOL",
+    "PREDICATE_EPS",
+    "GRID_SAFE_TOL",
+    "GRID_SLACK",
+    "SCREEN_SAFETY",
+    "MIN_GAIN_RADIUS",
+    "APPROX_TOLERANCE",
+    "NORM_FLOOR",
+    "LP_FTOL",
+]
+
+#: Global half-space membership tolerance: ``A_n @ x <= b_n + tol`` over
+#: *unit-norm* rows. Shared by ``Polytope.contains``/``contains_batch``,
+#: the stacked :class:`~repro.core.region_index.RegionIndex` kernels, GIR
+#: containment, cache invalidation LPs and the unit-box bounds checks —
+#: one value, so the vectorized and scalar membership paths agree
+#: bit-for-bit in form.
+MEMBERSHIP_TOL = 1e-9
+
+#: Near-machine-epsilon slack for comparisons that should be exact up to
+#: accumulated rounding: convex-hull side tests on normalized data, MBB
+#: closed-box predicates, descending-score sanity checks, interval
+#: consistency guards.
+EXACT_TOL = 1e-12
+
+#: Chebyshev radius below which a polytope is treated as degenerate /
+#: empty (scipy's interior-point answers are reliable to ~1e-12; one
+#: order of slack on top).
+DEGENERATE_RADIUS = 1e-11
+
+#: Slack for LP-backed polytope-in-polytope containment and feasibility
+#: certificates (one order looser than :data:`MEMBERSHIP_TOL`: two LP
+#: solves stack their errors).
+CONTAINMENT_TOL = 1e-8
+
+#: Coefficients with absolute value below this are treated as exactly
+#: zero when reducing a half-space row to a 1-D interval bound.
+COEFFICIENT_EPS = 1e-14
+
+#: Side-of-hyperplane classification threshold of the incident-facet
+#: fan (tighter than :data:`EXACT_TOL`: facet normals are unit-scaled
+#: and the dot products are short).
+FACET_SIDE_TOL = 1e-13
+
+#: Shared slack of the exact geometric predicates
+#: (:mod:`repro.geometry.predicates`).
+PREDICATE_EPS = 1e-10
+
+#: Largest membership tolerance the grid admission fast path is sound
+#: for: cells are registered with :data:`GRID_SLACK` of relaxation,
+#: which must dominate ``tol * (1 + sqrt(d))`` (the tolerance itself
+#: plus the cushion of clipping a just-outside-the-box member into its
+#: cell). Lookups with a larger ``tol`` skip the grid and run the exact
+#: matvec.
+GRID_SAFE_TOL = 1e-7
+
+#: Per-row relaxation used when registering an entry's cells in the
+#: grid signature. Soundness requires
+#: ``GRID_SLACK >= GRID_SAFE_TOL * (1 + sqrt(d))`` for every supported
+#: ``d`` (≤ 9 in the unit query box regime, so 1e-6 ≥ 4e-7 holds).
+GRID_SLACK = 1e-6
+
+#: Extra conservatism subtracted from the insert-prescreen's vertex
+#: upper bound before an entry is declared undisturbable (vertex
+#: enumeration is reliable to ~1e-12; this dominates it comfortably).
+SCREEN_SAFETY = 1e-10
+
+#: Floor on the Chebyshev-radius volume proxy of the cost-aware
+#: eviction gain, so sliver/degenerate regions still carry a positive
+#: gain and recency can order them. A model parameter, not a
+#: correctness tolerance.
+MIN_GAIN_RADIUS = 1e-3
+
+#: Default termination tolerance of the approximate (sampling-based)
+#: GIR variant. A model parameter, not a correctness tolerance.
+APPROX_TOLERANCE = 1e-4
+
+#: Underflow guard when normalizing direction vectors: the smallest
+#: norm a vector may be divided by.
+NORM_FLOOR = 1e-300
+
+#: ``ftol`` handed to scipy's linprog/minimize when a tight solution is
+#: needed (e.g. the visualization's interior-point refinement).
+LP_FTOL = 1e-12

@@ -25,10 +25,11 @@ from dataclasses import dataclass
 
 import numpy as np
 from scipy.optimize import LinearConstraint, linprog, minimize
+from repro.core.tolerances import CONTAINMENT_TOL, EXACT_TOL, LP_FTOL, MEMBERSHIP_TOL
 
 __all__ = ["AxisRectangle", "maximal_axis_rectangle", "interactive_projection"]
 
-_GAP_FLOOR = 1e-12
+_GAP_FLOOR = EXACT_TOL
 
 
 @dataclass(frozen=True)
@@ -41,7 +42,7 @@ class AxisRectangle:
     def volume(self) -> float:
         return float(np.prod(np.maximum(self.hi - self.lo, 0.0)))
 
-    def contains(self, x: np.ndarray, tol: float = 1e-9) -> bool:
+    def contains(self, x: np.ndarray, tol: float = MEMBERSHIP_TOL) -> bool:
         x = np.asarray(x, dtype=np.float64)
         return bool((x >= self.lo - tol).all() and (x <= self.hi + tol).all())
 
@@ -122,6 +123,8 @@ def maximal_axis_rectangle(gir, shrink_start: float = 0.5) -> AxisRectangle:
     z0 = np.concatenate([start_lo, start_hi])
     z_q = np.concatenate([q, q])
     t = 1.0
+    # repro: allow[numeric-safety] -- display-only bisection floor (when to
+    # give up shrinking the warm-start box), not a geometric tolerance
     while t > 1e-6 and not _box_feasible(z0, A_ub, b_ub):
         t *= 0.6
         z0 = z_q + t * (np.concatenate([start_lo, start_hi]) - z_q)
@@ -134,7 +137,7 @@ def maximal_axis_rectangle(gir, shrink_start: float = 0.5) -> AxisRectangle:
         jac=grad,
         constraints=[LinearConstraint(A_ub, -np.inf, b_ub)],
         method="SLSQP",
-        options={"maxiter": 300, "ftol": 1e-12},
+        options={"maxiter": 300, "ftol": LP_FTOL},
     )
 
     # Pick the best feasible candidate: the optimiser's answer, the shrunk
@@ -152,7 +155,7 @@ def maximal_axis_rectangle(gir, shrink_start: float = 0.5) -> AxisRectangle:
 
 
 def _box_feasible(z: np.ndarray, A_ub: np.ndarray, b_ub: np.ndarray) -> bool:
-    return bool((A_ub @ z <= b_ub + 1e-8).all())
+    return bool((A_ub @ z <= b_ub + CONTAINMENT_TOL).all())
 
 
 def interactive_projection(gir, at: np.ndarray | None = None) -> list[tuple[float, float]]:

@@ -15,6 +15,7 @@ runs — remains addressable across updates.
 from __future__ import annotations
 
 import numpy as np
+from repro.core.tolerances import MEMBERSHIP_TOL
 
 __all__ = ["Dataset", "PointTable", "grow_rows"]
 
@@ -55,7 +56,7 @@ class Dataset:
             raise ValueError(f"dataset must be non-empty, got shape {points.shape}")
         if not np.isfinite(points).all():
             raise ValueError("points must be finite")
-        if points.min() < -1e-9 or points.max() > 1 + 1e-9:
+        if points.min() < -MEMBERSHIP_TOL or points.max() > 1 + MEMBERSHIP_TOL:
             raise ValueError(
                 "points must lie in [0, 1]^d; use Dataset.from_raw to normalise"
             )
@@ -281,5 +282,5 @@ class PointTable:
 def _check_unit_cube(points: np.ndarray) -> None:
     if not np.isfinite(points).all():
         raise ValueError("points must be finite")
-    if points.min() < -1e-9 or points.max() > 1 + 1e-9:
+    if points.min() < -MEMBERSHIP_TOL or points.max() > 1 + MEMBERSHIP_TOL:
         raise ValueError("points must lie in [0, 1]^d")

@@ -21,6 +21,7 @@ from scipy.spatial import ConvexHull
 from scipy.spatial import QhullError
 
 from repro.geometry.predicates import EPS, affine_rank_basis
+from repro.core.tolerances import EXACT_TOL
 
 __all__ = ["HullFacet", "IncrementalHull", "hull_vertex_ids", "qhull_facet_count", "DegenerateInputError"]
 
@@ -61,7 +62,7 @@ def _facet_geometry(
     normal = vt[-1]
     offset = float(normal @ base)
     side = float(normal @ below_ref) - offset
-    if abs(side) <= 1e-12:
+    if abs(side) <= EXACT_TOL:
         return None
     if side > 0:
         normal = -normal

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from repro.core.tolerances import EXACT_TOL
 
 __all__ = ["Halfspace", "order_halfspace", "separation_halfspace"]
 
@@ -52,7 +53,7 @@ class Halfspace:
         if self.kind not in ("order", "separation", "virtual"):
             raise ValueError(f"unknown halfspace kind {self.kind!r}")
 
-    def satisfied(self, q: np.ndarray, tol: float = 1e-12) -> bool:
+    def satisfied(self, q: np.ndarray, tol: float = EXACT_TOL) -> bool:
         """Is ``q`` inside (or on the boundary of) the half-space?"""
         return float(self.normal @ np.asarray(q, dtype=np.float64)) >= -tol
 

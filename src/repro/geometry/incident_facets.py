@@ -180,7 +180,7 @@ class FacetFan:
         normal = vt[-1]
         offset = float(normal @ self.apex)
         side = float(normal @ self._interior) - offset
-        if abs(side) <= 1e-13:
+        if abs(side) <= FACET_SIDE_TOL:
             return None
         if side > 0:
             normal, offset = -normal, -offset
@@ -282,7 +282,7 @@ class FacetFan:
         flip = sides > 0
         normals[flip] = -normals[flip]
         offsets[flip] = -offsets[flip]
-        ok = np.abs(sides) > 1e-13
+        ok = np.abs(sides) > FACET_SIDE_TOL
         return (
             [o for o, good in zip(others_sets, ok) if good],
             [normals[i] for i in np.flatnonzero(ok)],
@@ -334,3 +334,8 @@ class FacetFan:
 # whenever the geometry layer loads first. By this point FacetFan exists
 # and the re-entrant import succeeds.
 from repro.core import kernels  # noqa: E402
+
+# Leaf constants module, but imported down here with the kernels import:
+# `repro.core.tolerances` still triggers repro.core's package init, which
+# re-enters this module (same cycle as above).
+from repro.core.tolerances import FACET_SIDE_TOL  # noqa: E402

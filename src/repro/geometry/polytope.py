@@ -25,10 +25,17 @@ from typing import Sequence
 import numpy as np
 from scipy.optimize import linprog
 from scipy.spatial import ConvexHull, HalfspaceIntersection, QhullError
+from repro.core.tolerances import (
+    COEFFICIENT_EPS,
+    CONTAINMENT_TOL,
+    DEGENERATE_RADIUS,
+    EXACT_TOL,
+    MEMBERSHIP_TOL,
+)
 
 __all__ = ["Polytope"]
 
-_DEGENERATE_RADIUS = 1e-11
+_DEGENERATE_RADIUS = DEGENERATE_RADIUS
 
 
 class Polytope:
@@ -176,14 +183,14 @@ class Polytope:
             self._normalized = (self.A / scale[:, None], self.b / scale)
         return self._normalized
 
-    def contains(self, x: np.ndarray, tol: float = 1e-9) -> bool:
+    def contains(self, x: np.ndarray, tol: float = MEMBERSHIP_TOL) -> bool:
         """Membership with a norm-relative tolerance (see
         :meth:`normalized_halfspaces`)."""
         x = np.asarray(x, dtype=np.float64)
         A_n, b_n = self.normalized_halfspaces()
         return bool((A_n @ x <= b_n + tol).all())
 
-    def contains_batch(self, X: np.ndarray, tol: float = 1e-9) -> np.ndarray:
+    def contains_batch(self, X: np.ndarray, tol: float = MEMBERSHIP_TOL) -> np.ndarray:
         """Vectorized membership of many points at once.
 
         ``X`` is ``(m, d)``; returns a boolean ``(m,)`` array, row ``i``
@@ -320,7 +327,7 @@ class Polytope:
         if box_volume <= 0:
             return 0.0
         pts = lo + rng.random((samples, self.d)) * extent
-        inside = (pts @ self.A.T <= self.b + 1e-12).all(axis=1)
+        inside = (pts @ self.A.T <= self.b + EXACT_TOL).all(axis=1)
         return box_volume * float(inside.mean())
 
     # -- linear optimisation ---------------------------------------------------------------
@@ -368,19 +375,19 @@ class Polytope:
         rest = self.b - self.A @ base + coeff * base[axis]
         lo, hi = -np.inf, np.inf
         for a, r in zip(coeff, rest):
-            if a > 1e-14:
+            if a > COEFFICIENT_EPS:
                 hi = min(hi, r / a)
-            elif a < -1e-14:
+            elif a < -COEFFICIENT_EPS:
                 lo = max(lo, r / a)
-            elif r < -1e-9:
+            elif r < -MEMBERSHIP_TOL:
                 return (float("nan"), float("nan"))
-        if lo > hi + 1e-12:
+        if lo > hi + EXACT_TOL:
             return (float("nan"), float("nan"))
         return (float(lo), float(hi))
 
     # -- facet classification -----------------------------------------------------------
 
-    def facet_mask(self, tol: float = 1e-9) -> np.ndarray:
+    def facet_mask(self, tol: float = MEMBERSHIP_TOL) -> np.ndarray:
         """Boolean mask over constraint rows: True where the constraint is
         *non-redundant* (supports a facet of the region).
 
@@ -406,7 +413,7 @@ class Polytope:
 
     # -- containment of another polytope ---------------------------------------------------
 
-    def contains_polytope(self, other: "Polytope", tol: float = 1e-8) -> bool:
+    def contains_polytope(self, other: "Polytope", tol: float = CONTAINMENT_TOL) -> bool:
         """True iff ``other ⊆ self`` (one LP per constraint of ``self``)."""
         if other.is_empty():
             return True

@@ -9,6 +9,7 @@ noise, not against genuinely degenerate inputs.
 from __future__ import annotations
 
 import numpy as np
+from repro.core.tolerances import MEMBERSHIP_TOL, PREDICATE_EPS
 
 __all__ = [
     "EPS",
@@ -18,7 +19,7 @@ __all__ = [
 ]
 
 #: Default absolute tolerance for sidedness tests on unit-cube data.
-EPS = 1e-10
+EPS = PREDICATE_EPS
 
 
 def dominates(p: np.ndarray, q: np.ndarray) -> bool:
@@ -39,7 +40,7 @@ def dominates_matrix(candidates: np.ndarray, p: np.ndarray) -> np.ndarray:
 
 
 def affine_rank_basis(
-    apex: np.ndarray, candidates: list[np.ndarray], target_rank: int, tol: float = 1e-9
+    apex: np.ndarray, candidates: list[np.ndarray], target_rank: int, tol: float = MEMBERSHIP_TOL
 ) -> list[int]:
     """Greedily select candidate indices whose offsets from ``apex`` are
     linearly independent, until ``target_rank`` directions are found.

@@ -11,6 +11,7 @@ search heaps by this bound.
 from __future__ import annotations
 
 import numpy as np
+from repro.core.tolerances import EXACT_TOL
 
 __all__ = ["MBB"]
 
@@ -25,7 +26,7 @@ class MBB:
         hi = np.asarray(hi, dtype=np.float64)
         if lo.shape != hi.shape or lo.ndim != 1:
             raise ValueError("lo and hi must be 1-d arrays of equal length")
-        if (lo > hi + 1e-12).any():
+        if (lo > hi + EXACT_TOL).any():
             raise ValueError("MBB requires lo <= hi in every dimension")
         self.lo = lo
         self.hi = hi
@@ -88,7 +89,7 @@ class MBB:
             merged = MBB(np.minimum(self.lo, p), np.maximum(self.hi, p))
         return merged.area() - self.area()
 
-    def intersects(self, other: "MBB", atol: float = 1e-12) -> bool:
+    def intersects(self, other: "MBB", atol: float = EXACT_TOL) -> bool:
         """True when the boxes share at least one point (closed-box test).
 
         Unlike ``overlap() > 0`` this is exact for zero-volume contacts:
@@ -102,7 +103,7 @@ class MBB:
             (self.lo <= other.hi + atol).all() and (other.lo <= self.hi + atol).all()
         )
 
-    def contains_point(self, point: np.ndarray, atol: float = 1e-12) -> bool:
+    def contains_point(self, point: np.ndarray, atol: float = EXACT_TOL) -> bool:
         p = np.asarray(point, dtype=np.float64)
         return bool((p >= self.lo - atol).all() and (p <= self.hi + atol).all())
 

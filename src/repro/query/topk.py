@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from repro.core.tolerances import EXACT_TOL
 
 __all__ = ["TopKResult"]
 
@@ -31,7 +32,7 @@ class TopKResult:
         if len(self.ids) != len(self.scores):
             raise ValueError("ids and scores must have equal length")
         if any(
-            self.scores[i] < self.scores[i + 1] - 1e-12
+            self.scores[i] < self.scores[i + 1] - EXACT_TOL
             for i in range(len(self.scores) - 1)
         ):
             raise ValueError("scores must be non-increasing")

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 import numpy as np
+from repro.core.tolerances import EXACT_TOL
 
 __all__ = [
     "ScoringFunction",
@@ -108,7 +109,7 @@ class MonotoneScoring(ScoringFunction):
                     raise ValueError(f"component {i} must map arrays elementwise")
                 if not np.isfinite(values).all():
                     raise ValueError(f"component {i} is not finite on [0, 1]")
-                if (np.diff(values) < -1e-12).any():
+                if (np.diff(values) < -EXACT_TOL).any():
                     raise ValueError(f"component {i} is not monotone on [0, 1]")
 
     def transform(self, points: np.ndarray) -> np.ndarray:

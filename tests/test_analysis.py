@@ -1,0 +1,536 @@
+"""Tests for the static checker (`repro.analysis`).
+
+Every rule gets a positive fixture (a seeded violation it must catch) and
+a negative fixture (clean code it must pass); the framework's suppression
+semantics and the wire-layout golden regression are covered against the
+real committed sources.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ALL_RULES, Project, run_rules
+from repro.analysis.rules.accounting import AccountingRule
+from repro.analysis.rules.fork_safety import ForkSafetyRule
+from repro.analysis.rules.kernel_purity import KernelPurityRule
+from repro.analysis.rules.numeric_safety import NumericSafetyRule
+from repro.analysis.rules.wire_drift import WireDriftRule
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src"
+
+
+def project_from(tmp_path: Path, files: dict[str, str]) -> Project:
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return Project.load(tmp_path, [tmp_path])
+
+
+def findings_of(project: Project, rule) -> list:
+    return run_rules(project, [rule]).findings
+
+
+class TestNumericSafety:
+    def test_flags_bare_float_equality(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {"pkg/mod.py": "def f(x):\n    return x == 1.5\n"},
+        )
+        found = findings_of(project, NumericSafetyRule())
+        assert len(found) == 1
+        assert found[0].rule == "numeric-safety"
+        assert "bare ==" in found[0].message
+
+    def test_flags_float_call_equality(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {"pkg/mod.py": "def f(a, b):\n    return a.sum() != b.dot(b)\n"},
+        )
+        assert len(findings_of(project, NumericSafetyRule())) == 1
+
+    def test_flags_inline_tolerance_literal(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {"pkg/mod.py": "TOL = 1e-9\n"},
+        )
+        found = findings_of(project, NumericSafetyRule())
+        assert len(found) == 1
+        assert "tolerance literal" in found[0].message
+
+    def test_clean_module_passes(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "pkg/mod.py": (
+                    "from repro.core.tolerances import MEMBERSHIP_TOL\n\n"
+                    "def f(x, y):\n"
+                    "    return abs(x - y) <= MEMBERSHIP_TOL and x == 3\n"
+                )
+            },
+        )
+        assert findings_of(project, NumericSafetyRule()) == []
+
+    def test_bit_exact_marker_exempts_file(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "pkg/mod.py": (
+                    '"""Backend equivalence (repro: bit-exact).\n"""\n'
+                    "def f(a, b):\n    return a.sum() == b.sum()\n"
+                )
+            },
+        )
+        assert findings_of(project, NumericSafetyRule()) == []
+
+    def test_tolerances_module_may_define_literals(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {"repro/core/tolerances.py": "MEMBERSHIP_TOL = 1e-9\n"},
+        )
+        assert findings_of(project, NumericSafetyRule()) == []
+
+
+class TestKernelPurity:
+    def _kernels(self, tmp_path, body: str) -> Project:
+        return project_from(tmp_path, {"repro/core/kernels.py": body})
+
+    def test_signature_drift_flagged(self, tmp_path):
+        project = self._kernels(
+            tmp_path,
+            "import numba\nimport numpy as np\n"
+            "def f_numpy(values, offsets):\n    return values\n"
+            "@numba.njit(cache=True)\n"
+            "def f_numba(values, starts):\n    return values\n",
+        )
+        found = findings_of(project, KernelPurityRule())
+        assert any("signature" in f.message for f in found)
+
+    def test_missing_fallback_flagged(self, tmp_path):
+        project = self._kernels(
+            tmp_path,
+            "import numba\n"
+            "@numba.njit(cache=True)\n"
+            "def f_numba(values):\n    return values\n",
+        )
+        found = findings_of(project, KernelPurityRule())
+        assert any("fallback" in f.message for f in found)
+
+    def test_missing_njit_decorator_flagged(self, tmp_path):
+        project = self._kernels(
+            tmp_path,
+            "def f_numpy(values):\n    return values\n"
+            "def f_numba(values):\n    return values\n",
+        )
+        found = findings_of(project, KernelPurityRule())
+        assert any("@njit" in f.message for f in found)
+
+    @pytest.mark.parametrize(
+        "body,needle",
+        [
+            ("    d = {}\n    return d\n", "dict"),
+            ("    g = lambda v: v\n    return g(values)\n", "lambda"),
+            ("    try:\n        return values\n    except Exception:\n"
+             "        return values\n", "try/except"),
+            ("    return GLOBAL_TABLE[0]\n", "free name"),
+        ],
+    )
+    def test_nopython_violations_flagged(self, tmp_path, body, needle):
+        project = self._kernels(
+            tmp_path,
+            "import numba\nimport numpy as np\n"
+            "def f_numpy(values):\n    return values\n"
+            "@numba.njit(cache=True)\n"
+            f"def f_numba(values):\n{body}",
+        )
+        found = findings_of(project, KernelPurityRule())
+        assert any(needle in f.message for f in found), found
+
+    def test_caller_reinlining_reduceat_flagged(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "repro/core/phase2_fp.py": (
+                    "import numpy as np\n"
+                    "def f(v, o):\n    return np.maximum.reduceat(v, o)\n"
+                )
+            },
+        )
+        found = findings_of(project, KernelPurityRule())
+        assert any("reduceat" in f.message for f in found)
+        assert any("import" in f.message for f in found)
+
+    def test_real_kernels_module_is_clean(self):
+        project = Project.load(REPO, [SRC / "repro" / "core"])
+        project.modules = {
+            k: v
+            for k, v in project.modules.items()
+            if k.endswith(("kernels.py", "region_index.py", "phase2_fp.py"))
+        }
+        assert findings_of(project, KernelPurityRule()) == []
+
+
+class TestWireDrift:
+    WIRE_FILES = (
+        "src/repro/cluster/wire.py",
+        "src/repro/index/serde.py",
+        "src/repro/geometry/polytope.py",
+    )
+
+    def _copy_tree(self, tmp_path: Path) -> Path:
+        for rel in self.WIRE_FILES:
+            dst = tmp_path / rel.removeprefix("src/")
+            dst.parent.mkdir(parents=True, exist_ok=True)
+            shutil.copy(REPO / rel, dst)
+        return tmp_path
+
+    def test_committed_golden_matches_committed_sources(self):
+        project = Project.load(REPO, [SRC / "repro"])
+        assert findings_of(project, WireDriftRule()) == []
+
+    def test_layout_change_without_version_bump_fails(self, tmp_path):
+        root = self._copy_tree(tmp_path)
+        wire_copy = root / "repro/cluster/wire.py"
+        source = wire_copy.read_text()
+        assert '"<qqqqqd"' in source
+        # Widen the update record on BOTH sides: symmetric, still drifted.
+        wire_copy.write_text(source.replace('"<qqqqqd"', '"<qqqqqqd"'))
+        project = Project.load(root, [root])
+        found = findings_of(project, WireDriftRule())
+        assert any(
+            "WIRE_VERSION" in f.message and "bump" in f.message
+            for f in found
+        ), found
+
+    def test_layout_change_with_version_bump_wants_new_golden(self, tmp_path):
+        root = self._copy_tree(tmp_path)
+        wire_copy = root / "repro/cluster/wire.py"
+        source = wire_copy.read_text()
+        source = source.replace('"<qqqqqd"', '"<qqqqqqd"')
+        source = source.replace("WIRE_VERSION = 1", "WIRE_VERSION = 2")
+        wire_copy.write_text(source)
+        project = Project.load(root, [root])
+        found = findings_of(project, WireDriftRule())
+        assert any("--update-golden" in f.message for f in found)
+
+    def test_asymmetric_codec_flagged(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "repro/cluster/wire.py": (
+                    "import struct\n"
+                    "WIRE_VERSION = 1\n"
+                    "def encode_ping(x):\n"
+                    '    return struct.pack("<q", x)\n'
+                )
+            },
+        )
+        rule = WireDriftRule(golden_path=tmp_path / "golden.json")
+        rule.write_golden(project)
+        found = findings_of(project, rule)
+        assert any("decode_ping" in f.message for f in found)
+
+    def test_format_disagreement_flagged(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "repro/cluster/wire.py": (
+                    "import struct\n"
+                    "WIRE_VERSION = 1\n"
+                    "def encode_ping(x):\n"
+                    '    return struct.pack("<qq", x, x)\n'
+                    "def decode_ping(buf):\n"
+                    '    return struct.unpack("<qd", buf)\n'
+                )
+            },
+        )
+        rule = WireDriftRule(golden_path=tmp_path / "golden.json")
+        rule.write_golden(project)
+        found = findings_of(project, rule)
+        assert any("disagree" in f.message for f in found)
+
+
+class TestForkSafety:
+    def test_lambda_into_shardspec_flagged(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "repro/cluster/router.py": (
+                    "def build(rows):\n"
+                    "    return ShardSpec(shard=0, scorer=lambda w: w,"
+                    " points=rows)\n"
+                )
+            },
+        )
+        found = findings_of(project, ForkSafetyRule())
+        assert any("lambda" in f.message for f in found)
+
+    def test_nested_function_into_shardspec_flagged(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "anywhere.py": (
+                    "def build(rows):\n"
+                    "    def scorer(w):\n"
+                    "        return w\n"
+                    "    return ShardSpec(shard=0, scorer=scorer)\n"
+                )
+            },
+        )
+        found = findings_of(project, ForkSafetyRule())
+        assert any("pickle" in f.message for f in found)
+
+    def test_module_level_mutable_dict_flagged(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {"repro/cluster/registry.py": "TABLE = {}\n"},
+        )
+        found = findings_of(project, ForkSafetyRule())
+        assert any("mutable dict" in f.message for f in found)
+
+    def test_module_level_lock_flagged(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "repro/engine/state.py": (
+                    "import threading\n_LOCK = threading.Lock()\n"
+                )
+            },
+        )
+        found = findings_of(project, ForkSafetyRule())
+        assert any("import time" in f.message for f in found)
+
+    def test_frozen_state_and_out_of_scope_modules_pass(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                # In scope, but immutable / dunder state only.
+                "repro/cluster/ok.py": (
+                    "from types import MappingProxyType\n"
+                    "__all__ = ['A']\n"
+                    "A = MappingProxyType({1: 2})\n"
+                    "B = frozenset({1})\n"
+                ),
+                # Mutable, but not a fan-out module.
+                "repro/bench/tables.py": "ROWS = []\n",
+            },
+        )
+        assert findings_of(project, ForkSafetyRule()) == []
+
+    def test_real_cluster_tree_is_clean_or_justified(self):
+        project = Project.load(REPO, [SRC / "repro" / "cluster"])
+        result = run_rules(project, [ForkSafetyRule()])
+        assert result.findings == []
+        # The two plug-in registries ride on justified suppressions.
+        assert len(result.suppressed) == 2
+
+
+class TestAccounting:
+    def test_unreported_dataclass_counter_flagged(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "pkg/report.py": (
+                    "from dataclasses import dataclass\n"
+                    "@dataclass\n"
+                    "class Report:\n"
+                    "    hits: int = 0\n"
+                    "    misses: int = 0\n"
+                    "    def to_dict(self):\n"
+                    "        return {'hits': self.hits}\n"
+                )
+            },
+        )
+        found = findings_of(project, AccountingRule())
+        assert len(found) == 1 and "misses" in found[0].message
+
+    def test_unreported_init_counter_flagged(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "pkg/cache.py": (
+                    "class Cache:\n"
+                    "    def __init__(self):\n"
+                    "        self.evictions = 0\n"
+                    "        self._tick = 0\n"
+                    "    def stats(self):\n"
+                    "        return {}\n"
+                )
+            },
+        )
+        found = findings_of(project, AccountingRule())
+        assert len(found) == 1 and "evictions" in found[0].message
+
+    def test_counter_via_helper_method_passes(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "pkg/router.py": (
+                    "class Router:\n"
+                    "    def __init__(self):\n"
+                    "        self.fanouts = 0\n"
+                    "    def _tier(self):\n"
+                    "        return {'fanouts': self.fanouts}\n"
+                    "    def stats(self):\n"
+                    "        return {**self._tier()}\n"
+                )
+            },
+        )
+        assert findings_of(project, AccountingRule()) == []
+
+    def test_counter_via_property_passes(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "pkg/cache.py": (
+                    "class Cache:\n"
+                    "    def __init__(self):\n"
+                    "        self.lru_evictions = 0\n"
+                    "        self.cost_evictions = 0\n"
+                    "    @property\n"
+                    "    def capacity_evictions(self):\n"
+                    "        return self.lru_evictions + self.cost_evictions\n"
+                    "    def stats(self):\n"
+                    "        return {'capacity': self.capacity_evictions}\n"
+                )
+            },
+        )
+        assert findings_of(project, AccountingRule()) == []
+
+    def test_class_without_reporting_surface_ignored(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "pkg/plain.py": (
+                    "class Plain:\n"
+                    "    def __init__(self):\n"
+                    "        self.count = 0\n"
+                )
+            },
+        )
+        assert findings_of(project, AccountingRule()) == []
+
+
+class TestSuppressions:
+    def test_justified_suppression_suppresses(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "pkg/mod.py": (
+                    "def f(x):\n"
+                    "    return x == 0.0  "
+                    "# repro: allow[numeric-safety] -- exact zero sentinel\n"
+                )
+            },
+        )
+        result = run_rules(project, [NumericSafetyRule()])
+        assert result.findings == [] and len(result.suppressed) == 1
+
+    def test_unjustified_suppression_is_a_finding(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "pkg/mod.py": (
+                    "def f(x):\n"
+                    "    return x == 0.0  # repro: allow[numeric-safety]\n"
+                )
+            },
+        )
+        result = run_rules(project, [NumericSafetyRule()])
+        assert [f.rule for f in result.findings] == ["suppression"]
+        assert "justification" in result.findings[0].message
+
+    def test_comment_block_suppression_covers_next_code_line(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "pkg/mod.py": (
+                    "def f(x):\n"
+                    "    # repro: allow[numeric-safety] -- sentinel check,\n"
+                    "    # explained over two comment lines\n"
+                    "    return x == 0.0\n"
+                )
+            },
+        )
+        result = run_rules(project, [NumericSafetyRule()])
+        assert result.findings == [] and len(result.suppressed) == 1
+
+    def test_marker_inside_docstring_is_not_a_suppression(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "pkg/mod.py": (
+                    '"""Docs: write # repro: allow[numeric-safety] -- why."""\n'
+                    "def f(x):\n"
+                    "    return x == 0.0\n"
+                )
+            },
+        )
+        result = run_rules(project, [NumericSafetyRule()], strict=True)
+        assert [f.rule for f in result.findings] == ["numeric-safety"]
+
+    def test_strict_flags_stale_suppressions(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "pkg/mod.py": (
+                    "X = 3  # repro: allow[numeric-safety] -- nothing here\n"
+                )
+            },
+        )
+        result = run_rules(project, [NumericSafetyRule()], strict=True)
+        assert [f.rule for f in result.findings] == ["unused-suppression"]
+
+    def test_parse_error_is_a_finding(self, tmp_path):
+        project = project_from(tmp_path, {"pkg/broken.py": "def f(:\n"})
+        result = run_rules(project, [NumericSafetyRule()])
+        assert [f.rule for f in result.findings] == ["parse-error"]
+
+
+class TestCLI:
+    def _run(self, *args: str):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *args],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+        )
+
+    def test_full_repo_strict_run_is_clean(self):
+        proc = self._run("src/repro", "--strict")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 findings" in proc.stdout
+
+    def test_violations_exit_nonzero_with_json(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("TOL = 1e-9\n")
+        proc = self._run(str(bad), "--json")
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["exit_code"] == 1
+        assert payload["findings"][0]["rule"] == "numeric-safety"
+
+    def test_select_restricts_rules(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("TOL = 1e-9\n")
+        proc = self._run(str(bad), "--select", "accounting")
+        assert proc.returncode == 0
+
+    def test_unknown_rule_id_rejected(self):
+        proc = self._run("src/repro", "--select", "no-such-rule")
+        assert proc.returncode != 0
+        assert "unknown rule" in proc.stderr
+
+    def test_list_rules_names_all_five(self):
+        proc = self._run("--list-rules")
+        assert proc.returncode == 0
+        for cls in ALL_RULES:
+            assert cls.id in proc.stdout

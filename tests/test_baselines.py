@@ -7,8 +7,6 @@ from repro.baselines.exhaustive import exhaustive_gir
 from repro.baselines.lir import lir_intervals_scan
 from repro.baselines.stb import stb_radius
 from repro.core.gir import compute_gir
-from repro.data.synthetic import independent
-from repro.index.bulkload import bulk_load_str
 from repro.query.linear_scan import scan_topk
 from tests.conftest import random_query
 

@@ -1,6 +1,5 @@
 """Tests for the benchmark harness plumbing (config, reporting, metering)."""
 
-import numpy as np
 import pytest
 
 from repro.bench.config import SCALES, ExperimentScale

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data.synthetic import anticorrelated, independent
+from repro.data.synthetic import independent
 from repro.index.bulkload import bulk_load_str
 from repro.query.brs import brs_topk, resume_brs_topk
 from repro.query.linear_scan import scan_topk

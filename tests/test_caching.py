@@ -123,7 +123,8 @@ class TestEvictionAndStats:
         cache.insert(compute_gir(tree, data, q, 5))
         cache.lookup(q, 3)   # full
         cache.lookup(q, 20)  # partial
-        outside = next(
+        # Probe random points until one misses (counts toward stats).
+        next(
             c for c in (rng.random(3) for _ in range(1000))
             if cache.lookup(c, 5) is None
         )

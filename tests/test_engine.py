@@ -45,7 +45,7 @@ class TestCacheFirstServing:
         data, tree = served_setup
         engine = GIREngine(data, tree)
         q = random_query(rng, 3)
-        first = engine.topk(q, 10)
+        engine.topk(q, 10)
         gir = engine.cache._entries[0]
         for probe in gir.polytope.sample(4, rng):
             if (probe <= 1e-9).all():

@@ -12,7 +12,7 @@ import pytest
 from repro.baselines.exhaustive import exhaustive_gir
 from repro.core.gir import compute_gir
 from repro.core.phase2_fp import FPOptions, phase1_vertex_directions
-from repro.data.synthetic import anticorrelated, independent
+from repro.data.synthetic import independent
 from repro.index.bulkload import bulk_load_str
 from repro.query.brs import brs_topk
 from repro.scoring import polynomial_scoring

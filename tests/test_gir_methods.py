@@ -10,7 +10,7 @@ import pytest
 
 from repro.baselines.exhaustive import exhaustive_gir
 from repro.core.gir import compute_gir
-from repro.data.synthetic import anticorrelated, correlated, independent
+from repro.data.synthetic import independent
 from repro.index.bulkload import bulk_load_str
 from tests.conftest import random_query
 

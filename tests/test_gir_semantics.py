@@ -9,8 +9,7 @@ import numpy as np
 import pytest
 
 from repro.core.gir import compute_gir
-from repro.data.synthetic import anticorrelated, independent
-from repro.index.bulkload import bulk_load_str
+from repro.data.synthetic import independent
 from repro.query.linear_scan import scan_topk
 from tests.conftest import random_query
 

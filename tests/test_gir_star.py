@@ -6,7 +6,7 @@ import pytest
 from repro.baselines.exhaustive import exhaustive_gir
 from repro.core.gir import compute_gir
 from repro.core.gir_star import compute_gir_star, prune_result_records
-from repro.data.synthetic import anticorrelated, independent
+from repro.data.synthetic import independent
 from repro.index.bulkload import bulk_load_str
 from repro.query.linear_scan import scan_topk
 from repro.scoring import LinearScoring

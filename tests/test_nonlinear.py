@@ -6,7 +6,6 @@ All methods must agree with a g-space exhaustive oracle, and the resulting
 region must preserve the top-k result of the *non-linear* scoring function.
 """
 
-import numpy as np
 import pytest
 
 from repro.baselines.exhaustive import exhaustive_gir

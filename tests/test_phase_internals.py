@@ -1,7 +1,6 @@
 """Tests for Phase-1 construction and FP internals (seeds, 2-d ordering)."""
 
 import numpy as np
-import pytest
 
 from repro.core.phase1 import phase1_halfspaces
 from repro.core.phase2_fp import _order_candidates, build_fan, virtual_seeds

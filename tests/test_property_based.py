@@ -12,7 +12,6 @@ pipeline and assert the paper's structural invariants hold universally:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

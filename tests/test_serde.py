@@ -7,7 +7,7 @@ from repro.data.synthetic import independent
 from repro.index.bulkload import bulk_load_str
 from repro.index.mbb import MBB
 from repro.index.node import Node, NodeEntry, node_capacities
-from repro.index.serde import MAGIC, PageOverflowError, decode_node, encode_node
+from repro.index.serde import PageOverflowError, decode_node, encode_node
 from repro.index.storage import DEFAULT_PAGE_SIZE
 
 

@@ -6,8 +6,6 @@ import pytest
 from repro.baselines.lir import lir_intervals_scan
 from repro.core.gir import compute_gir
 from repro.core.visualization import interactive_projection, maximal_axis_rectangle
-from repro.data.synthetic import independent
-from repro.index.bulkload import bulk_load_str
 from repro.query.linear_scan import scan_topk
 from tests.conftest import random_query
 

@@ -231,3 +231,72 @@ class TestPayloads:
         assert "rid 99" in failure.worker_message
         assert "KeyError" in failure.worker_traceback
         assert "shard worker raised KeyError" in str(failure)
+
+
+class TestDecodeErrorPaths:
+    """Malformed payloads must fail loudly as WireError, never as numpy
+    shape errors or silent truncation."""
+
+    def test_truncated_header_rejected(self):
+        whole = wire.encode_frame(wire.MSG_READY)
+        for cut in range(len(whole)):
+            with pytest.raises(wire.WireError, match="truncated"):
+                wire.decode_frame(whole[:cut])
+
+    def test_truncated_array_payload_rejected(self):
+        payload = wire.encode_topk(np.arange(6, dtype=np.float64), 3)
+        frame = wire.encode_frame(wire.MSG_TOPK, payload)
+        # Cut inside the array body (after the dtype/ndim/shape preamble).
+        cut = frame[: len(frame) - len(payload) + 2 + 8 + 8 * 3]
+        msg, reader = wire.decode_frame(cut)
+        with pytest.raises(wire.WireError, match="truncated"):
+            wire.decode_topk(reader)
+
+    def test_payload_length_mismatch_rejected(self):
+        # Extra bytes after a structurally-complete payload: the reader's
+        # done() check must refuse, not silently ignore them.
+        payload = wire.encode_delete(7) + b"\x00"
+        msg, reader = wire.decode_frame(
+            wire.encode_frame(wire.MSG_DELETE, payload)
+        )
+        with pytest.raises(wire.WireError, match="trailing"):
+            wire.decode_delete(reader)
+
+    def test_unknown_dtype_tag_rejected(self):
+        payload = bytearray(wire.encode_insert(np.ones(3)))
+        payload[0] = 99  # dtype tag byte of the embedded array
+        msg, reader = wire.decode_frame(
+            wire.encode_frame(wire.MSG_INSERT, bytes(payload))
+        )
+        with pytest.raises(wire.WireError, match="dtype"):
+            wire.decode_insert(reader)
+
+    def test_negative_array_dimension_rejected(self):
+        import struct
+
+        payload = bytearray(wire.encode_insert(np.ones(3)))
+        struct.pack_into("<q", payload, 2, -3)  # first shape slot
+        msg, reader = wire.decode_frame(
+            wire.encode_frame(wire.MSG_INSERT, bytes(payload))
+        )
+        with pytest.raises(wire.WireError, match="negative"):
+            wire.decode_insert(reader)
+
+    def test_truncated_batch_reply_rejected(self):
+        reply = ShardReply(
+            ids=(0,),
+            scores=(1.0,),
+            tie_sums=(1.5,),
+            points_g=np.ones((1, 3)),
+            region=region(),
+            source="computed",
+            pages_read=1,
+            latency_ms=0.5,
+            cache_entries=0,
+        )
+        payload = wire.encode_batch_reply([reply, reply])
+        msg, reader = wire.decode_frame(
+            wire.encode_frame(wire.MSG_REPLY_BATCH, payload[: len(payload) // 2])
+        )
+        with pytest.raises(wire.WireError, match="truncated"):
+            wire.decode_batch_reply(reader)
