@@ -12,6 +12,7 @@ from pathlib import Path
 
 from repro.analysis.framework import (
     Project,
+    render_github,
     render_json,
     render_text,
     run_rules,
@@ -64,9 +65,18 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated rule ids to skip",
     )
     parser.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help=(
+            "output format: human text, machine-readable JSON, or GitHub "
+            "Actions ::error annotations"
+        ),
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
-        help="machine-readable output instead of text",
+        help="shorthand for --format json",
     )
     parser.add_argument(
         "--strict",
@@ -108,8 +118,11 @@ def main(argv: list[str] | None = None) -> int:
 
     rules = _select_rules(args.select, args.ignore)
     result = run_rules(project, rules, strict=args.strict)
-    if args.json:
+    fmt = "json" if args.json else args.format
+    if fmt == "json":
         render_json(result)
+    elif fmt == "github":
+        render_github(result)
     else:
         render_text(result)
     return result.exit_code

@@ -1,0 +1,661 @@
+"""Lightweight interprocedural call-graph / reachability layer.
+
+The concurrency rules (``lock-discipline``, ``shared-state``) need to
+answer two questions that no single-function AST walk can: *which
+functions can run on a fan-out thread?* and *which locks are certainly
+held when a statement executes?* This module builds, once per analysis
+run, a conservative over-approximation of both:
+
+* a **call graph** whose nodes are functions/methods of the in-scope
+  modules and whose edges are resolved name-based: ``self.m(...)``
+  binds to the defining class when it defines ``m`` and otherwise to
+  every in-scope method named ``m``; ``obj.m(...)`` binds to every
+  in-scope method named ``m`` (plus the aliased module's function for
+  ``mod.f(...)`` when ``mod`` is an imported project module); bare
+  ``f(...)`` binds to the same-module function, a ``from``-imported
+  project function, or any in-scope module-level ``f``. Class
+  instantiation (``C(...)``) is deliberately *not* resolved to
+  ``__init__`` — construction happens-before sharing, so flagging
+  initializer stores would only produce noise;
+
+* **spawn edges** for ``pool.submit(fn, ...)``, ``Thread(target=fn)``,
+  ``Process(target=fn)`` and ``Timer(_, fn)``: the callee becomes a
+  fresh thread root, and — crucially — the held-lock set does *not*
+  propagate across the edge (the child starts with nothing held);
+
+* a **held-lock dataflow**: :meth:`CallGraph.propagate` runs a BFS over
+  ``(function, frozenset(held_locks))`` states, where a call edge adds
+  the locks lexically held at the call site. A mutation is *guarded* in
+  a given entry state iff the entry-held set union the locks lexically
+  wrapping the mutation is non-empty.
+
+Locks are *declared* instance attributes: any ``self.X = ...`` whose
+right-hand side calls ``Lock``/``RLock``/``make_lock`` (including
+``sanitize.make_lock``). A lock's identity is ``Class.attr`` — the
+name-based abstraction every lock-order tool uses: two instances of the
+same class alias to one lock name, which over-approximates ordering
+constraints and under-approximates exclusion exactly the safe way
+around for deadlock (over-report) but is accepted as "guarded" for
+mutation discipline (the rules are a review gate, not a proof).
+
+Everything here is resolution by *name*, on purpose: the codebase is
+small, names are unambiguous in practice, and over-approximating the
+callee set only makes the rules stricter.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.framework import Module, Project
+
+__all__ = [
+    "MUTATOR_METHODS",
+    "LOCK_FACTORIES",
+    "THREAD_CTORS",
+    "Mutation",
+    "Access",
+    "Acquire",
+    "FunctionNode",
+    "ClassNode",
+    "CallGraph",
+]
+
+#: In-place mutator methods of the stdlib containers: calling one of
+#: these on ``self.x`` (or a module-level name) mutates the receiver.
+MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "extend", "insert", "add", "update",
+    "pop", "popitem", "popleft", "remove", "discard", "clear",
+    "setdefault", "move_to_end", "sort", "reverse",
+})
+
+#: Call names whose result is a declared lock when stored on ``self``.
+LOCK_FACTORIES = frozenset({"Lock", "RLock", "make_lock"})
+
+#: Constructors whose ``target=`` (or first arg, for ``submit``) starts
+#: executing on another thread of control.
+THREAD_CTORS = frozenset({"Thread", "Process", "Timer"})
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One store into ``self.<attr>`` (or a bare name, for globals)."""
+
+    attr: str
+    #: ``assign`` / ``augassign`` / ``subscript`` / ``call`` / ``del``
+    kind: str
+    line: int
+    #: Lock names lexically held (``with self.lock:``) at the site.
+    held: frozenset[str]
+
+
+@dataclass(frozen=True)
+class Access:
+    """One read of ``self.<attr>`` (or a bare name, for globals)."""
+
+    attr: str
+    line: int
+    held: frozenset[str]
+
+
+@dataclass(frozen=True)
+class Acquire:
+    """One ``with self.<lock>:`` entry."""
+
+    lock: str
+    line: int
+    #: Locks already lexically held when this one is taken.
+    held: frozenset[str]
+
+
+@dataclass
+class FunctionNode:
+    """One function or method, with everything the rules ask about."""
+
+    qual: str
+    path: str
+    cls: str | None
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    #: ``(ref, lexically_held, line)`` — ref is a resolution descriptor.
+    calls: list[tuple[tuple[str, ...], frozenset[str], int]] = field(
+        default_factory=list
+    )
+    #: ``(ref, line)`` — callables handed to another thread of control.
+    spawns: list[tuple[tuple[str, ...], int]] = field(default_factory=list)
+    mutations: list[Mutation] = field(default_factory=list)
+    self_reads: list[Access] = field(default_factory=list)
+    name_mutations: list[Mutation] = field(default_factory=list)
+    name_reads: list[Access] = field(default_factory=list)
+    acquires: list[Acquire] = field(default_factory=list)
+    global_decls: set[str] = field(default_factory=set)
+
+
+@dataclass
+class ClassNode:
+    """One class definition of an in-scope module."""
+
+    qual: str
+    path: str
+    name: str
+    node: ast.ClassDef
+    methods: dict[str, FunctionNode] = field(default_factory=dict)
+    properties: set[str] = field(default_factory=set)
+    #: Declared lock attribute names (``self.X = Lock()`` anywhere).
+    locks: set[str] = field(default_factory=set)
+    #: Every attribute ever stored through ``self`` in any method.
+    attrs: set[str] = field(default_factory=set)
+
+
+def _base_name(expr: ast.expr) -> ast.expr:
+    """Strip attribute/subscript chains down to the base expression."""
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        expr = expr.value
+    return expr
+
+
+def _first_attr(expr: ast.expr) -> str | None:
+    """For a chain rooted at ``self``, the first-level attribute name
+    (``self.a.b[c].d`` → ``a``); ``None`` when the chain has none."""
+    first: str | None = None
+    node = expr
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute):
+            first = node.attr
+        node = node.value
+    return first
+
+
+class _FunctionScanner:
+    """Single pass over one function body, tracking the lexical lock
+    stack. Nested functions and lambdas are *inlined* into their parent
+    (their bodies execute, in every case this codebase has, on the same
+    thread that reached the parent) — a conservative over-approximation
+    that keeps closures visible to reachability."""
+
+    def __init__(self, fn: FunctionNode, lock_attrs: set[str], cls: str | None):
+        self.fn = fn
+        self.lock_attrs = lock_attrs
+        self.cls = cls
+
+    def _lock_name(self, expr: ast.expr) -> str | None:
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in self.lock_attrs
+        ):
+            return f"{self.cls}.{expr.attr}"
+        return None
+
+    # -- statement / expression walk -----------------------------------------
+
+    def scan(self, body: list[ast.stmt], held: frozenset[str]) -> None:
+        for stmt in body:
+            self._stmt(stmt, held)
+
+    def _stmt(self, node: ast.stmt, held: frozenset[str]) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = held
+            for item in node.items:
+                self._expr(item.context_expr, held)
+                lock = self._lock_name(item.context_expr)
+                if lock is not None:
+                    self.fn.acquires.append(
+                        Acquire(lock=lock, line=item.context_expr.lineno, held=inner)
+                    )
+                    inner = inner | {lock}
+            self.scan(node.body, inner)
+            return
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                self._store(t, "assign", node.lineno, held)
+            self._expr(node.value, held)
+            return
+        if isinstance(node, ast.AugAssign):
+            self._store(node.target, "augassign", node.lineno, held)
+            # An augmented store also reads its target.
+            self._expr_load(node.target, held)
+            self._expr(node.value, held)
+            return
+        if isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                self._store(node.target, "assign", node.lineno, held)
+                self._expr(node.value, held)
+            return
+        if isinstance(node, ast.Delete):
+            for t in node.targets:
+                self._store(t, "del", node.lineno, held)
+            return
+        if isinstance(node, ast.Global):
+            self.fn.global_decls.update(node.names)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.scan(node.body, held)
+            return
+        # Generic statement: walk child statements with the same held
+        # set, and child expressions for reads/calls.
+        for field_name, value in ast.iter_fields(node):
+            if isinstance(value, list):
+                stmts = [v for v in value if isinstance(v, ast.stmt)]
+                if stmts:
+                    self.scan(stmts, held)
+                for v in value:
+                    if isinstance(v, ast.expr):
+                        self._expr(v, held)
+            elif isinstance(value, ast.expr):
+                self._expr(value, held)
+            elif isinstance(value, ast.stmt):
+                self._stmt(value, held)
+
+    def _store(
+        self, target: ast.expr, kind: str, line: int, held: frozenset[str]
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._store(elt, kind, line, held)
+            return
+        base = _base_name(target)
+        if isinstance(base, ast.Name) and base.id == "self":
+            attr = _first_attr(target)
+            if attr is not None:
+                real_kind = (
+                    "subscript" if isinstance(target, ast.Subscript) else kind
+                )
+                self.fn.mutations.append(
+                    Mutation(attr=attr, kind=real_kind, line=line, held=held)
+                )
+            return
+        if isinstance(base, ast.Name):
+            if target is base:
+                # Bare-name assignment: a global mutation only under an
+                # explicit ``global`` declaration (checked by the rule).
+                self.fn.name_mutations.append(
+                    Mutation(attr=base.id, kind=kind, line=line, held=held)
+                )
+            else:
+                self.fn.name_mutations.append(
+                    Mutation(attr=base.id, kind="subscript", line=line, held=held)
+                )
+            return
+        # Subscript/attribute of a complex base (call result, etc.):
+        # walk it for reads; no attributable mutation.
+        self._expr(target, held)
+
+    def _expr_load(self, expr: ast.expr, held: frozenset[str]) -> None:
+        """Record the *read* half of an augmented assignment target."""
+        base = _base_name(expr)
+        if isinstance(base, ast.Name) and base.id == "self":
+            attr = _first_attr(expr)
+            if attr is not None:
+                self.fn.self_reads.append(
+                    Access(attr=attr, line=expr.lineno, held=held)
+                )
+        elif isinstance(base, ast.Name):
+            self.fn.name_reads.append(
+                Access(attr=base.id, line=expr.lineno, held=held)
+            )
+
+    def _callable_ref(self, expr: ast.expr) -> tuple[str, ...] | None:
+        """Resolution descriptor for an expression used as a callable."""
+        if isinstance(expr, ast.Name):
+            return ("name", expr.id)
+        if isinstance(expr, ast.Attribute):
+            if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+                return ("selfattr", expr.attr)
+            if isinstance(expr.value, ast.Name):
+                return ("dotted", expr.value.id, expr.attr)
+            return ("method", expr.attr)
+        return None
+
+    def _expr(self, expr: ast.expr | None, held: frozenset[str]) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, ast.Call):
+            self._call(expr, held)
+            return
+        if isinstance(expr, ast.Attribute) and isinstance(expr.ctx, ast.Load):
+            base = _base_name(expr)
+            if isinstance(base, ast.Name) and base.id == "self":
+                attr = _first_attr(expr)
+                if attr is not None:
+                    self.fn.self_reads.append(
+                        Access(attr=attr, line=expr.lineno, held=held)
+                    )
+                # The chain below the first attribute needs no further
+                # walk for self-reads, but may contain calls/subscripts.
+                for child in ast.walk(expr):
+                    if isinstance(child, ast.Call):
+                        self._call(child, held)
+                return
+        if isinstance(expr, ast.Name) and isinstance(expr.ctx, ast.Load):
+            self.fn.name_reads.append(
+                Access(attr=expr.id, line=expr.lineno, held=held)
+            )
+            return
+        if isinstance(expr, ast.Lambda):
+            self._expr(expr.body, held)
+            return
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self._expr(child, held)
+            elif isinstance(child, ast.stmt):  # pragma: no cover - defensive
+                self._stmt(child, held)
+            elif isinstance(child, ast.comprehension):
+                self._expr(child.iter, held)
+                for cond in child.ifs:
+                    self._expr(cond, held)
+
+    def _call(self, call: ast.Call, held: frozenset[str]) -> None:
+        func = call.func
+        ref = self._callable_ref(func)
+        spawn_target: ast.expr | None = None
+        if isinstance(func, ast.Attribute) and func.attr == "submit":
+            if call.args:
+                spawn_target = call.args[0]
+        elif ref is not None and ref[-1] in THREAD_CTORS:
+            for kw in call.keywords:
+                if kw.arg == "target":
+                    spawn_target = kw.value
+        if spawn_target is not None:
+            sref = self._callable_ref(spawn_target)
+            if sref is not None:
+                self.fn.spawns.append((sref, spawn_target.lineno))
+
+        if ref is not None:
+            self.fn.calls.append((ref, held, call.lineno))
+        else:
+            self._expr(func, held)
+        # Mutator-method call on a self attribute / bare name:
+        # ``self.x.append(v)`` mutates ``x``.
+        if isinstance(func, ast.Attribute) and func.attr in MUTATOR_METHODS:
+            base = _base_name(func.value)
+            attr = _first_attr(func)
+            if isinstance(base, ast.Name) and base.id == "self":
+                if attr is not None and attr != func.attr:
+                    self.fn.mutations.append(
+                        Mutation(attr=attr, kind="call", line=call.lineno, held=held)
+                    )
+            elif isinstance(base, ast.Name):
+                self.fn.name_mutations.append(
+                    Mutation(
+                        attr=base.id, kind="call", line=call.lineno, held=held
+                    )
+                )
+        # Receiver chain of an attribute call is itself a read.
+        if isinstance(func, ast.Attribute):
+            self._expr(func.value, held)
+        for arg in call.args:
+            if arg is not spawn_target:
+                self._expr(arg, held)
+        for kw in call.keywords:
+            if kw.value is not spawn_target:
+                self._expr(kw.value, held)
+
+
+class CallGraph:
+    """Name-resolved call graph over the in-scope modules of a project."""
+
+    def __init__(self, project: Project, scope: Iterable[str]) -> None:
+        self.scope = tuple(scope)
+        self.functions: dict[str, FunctionNode] = {}
+        self.classes: dict[str, ClassNode] = {}
+        self.classes_by_name: dict[str, list[ClassNode]] = defaultdict(list)
+        self.methods_by_name: dict[str, list[FunctionNode]] = defaultdict(list)
+        self.module_functions: dict[str, dict[str, FunctionNode]] = {}
+        self.module_globals: dict[str, set[str]] = {}
+        #: Per-module import maps: alias → dotted module, name → (module, name).
+        self._mod_aliases: dict[str, dict[str, str]] = {}
+        self._from_imports: dict[str, dict[str, tuple[str, str]]] = {}
+        self._dotted: dict[str, str] = {}
+        self.modules: list[Module] = [
+            m for m in project if any(frag in m.path for frag in self.scope)
+        ]
+        for module in self.modules:
+            self._index_module(module)
+        for module in self.modules:
+            self._scan_module(module)
+
+    # -- construction ----------------------------------------------------------
+
+    def _index_module(self, module: Module) -> None:
+        path = module.path
+        self._dotted[path] = path[:-3].replace("/", ".") if path.endswith(
+            ".py"
+        ) else path.replace("/", ".")
+        self.module_functions[path] = {}
+        self.module_globals[path] = set()
+        self._mod_aliases[path] = {}
+        self._from_imports[path] = {}
+        for node in module.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self._mod_aliases[path][alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self._from_imports[path][alias.asname or alias.name] = (
+                        node.module,
+                        alias.name,
+                    )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = FunctionNode(
+                    qual=f"{path}::{node.name}",
+                    path=path,
+                    cls=None,
+                    name=node.name,
+                    node=node,
+                )
+                self.functions[fn.qual] = fn
+                self.module_functions[path][node.name] = fn
+            elif isinstance(node, ast.ClassDef):
+                cls = ClassNode(
+                    qual=f"{path}::{node.name}",
+                    path=path,
+                    name=node.name,
+                    node=node,
+                )
+                self.classes[cls.qual] = cls
+                self.classes_by_name[node.name].append(cls)
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        fn = FunctionNode(
+                            qual=f"{path}::{node.name}.{item.name}",
+                            path=path,
+                            cls=node.name,
+                            name=item.name,
+                            node=item,
+                        )
+                        cls.methods[item.name] = fn
+                        self.functions[fn.qual] = fn
+                        self.methods_by_name[item.name].append(fn)
+                        for dec in item.decorator_list:
+                            if isinstance(dec, ast.Name) and dec.id == "property":
+                                cls.properties.add(item.name)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for t in targets:
+                    if isinstance(t, ast.Name) and not t.id.startswith("__"):
+                        self.module_globals[path].add(t.id)
+
+    def _scan_module(self, module: Module) -> None:
+        path = module.path
+        for cls in [c for c in self.classes.values() if c.path == path]:
+            # Pass 1: declared locks and known attributes (needed before
+            # the body scan can classify ``with self.X:`` blocks).
+            for fn in cls.methods.values():
+                for node in ast.walk(fn.node):
+                    if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                        targets = (
+                            node.targets
+                            if isinstance(node, ast.Assign)
+                            else [node.target]
+                        )
+                        for t in targets:
+                            base = _base_name(t)
+                            if isinstance(base, ast.Name) and base.id == "self":
+                                attr = _first_attr(t)
+                                if attr:
+                                    cls.attrs.add(attr)
+                            if (
+                                isinstance(t, ast.Attribute)
+                                and isinstance(t.value, ast.Name)
+                                and t.value.id == "self"
+                                and isinstance(node, (ast.Assign, ast.AnnAssign))
+                                and node.value is not None
+                                and self._is_lock_ctor(node.value)
+                            ):
+                                cls.locks.add(t.attr)
+            # Pass 2: full body scan with the lock set known.
+            for fn in cls.methods.values():
+                scanner = _FunctionScanner(fn, cls.locks, cls.name)
+                scanner.scan(fn.node.body, frozenset())
+                # Property loads on self resolve to the getter.
+                for read in fn.self_reads:
+                    if read.attr in cls.properties and read.attr != fn.name:
+                        fn.calls.append(
+                            (("selfattr", read.attr), read.held, read.line)
+                        )
+        for fn in self.module_functions[path].values():
+            scanner = _FunctionScanner(fn, set(), None)
+            scanner.scan(fn.node.body, frozenset())
+
+    @staticmethod
+    def _is_lock_ctor(expr: ast.expr) -> bool:
+        if not isinstance(expr, ast.Call):
+            return False
+        func = expr.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in LOCK_FACTORIES
+
+    # -- resolution ------------------------------------------------------------
+
+    def class_of(self, fn: FunctionNode) -> ClassNode | None:
+        if fn.cls is None:
+            return None
+        return self.classes.get(f"{fn.path}::{fn.cls}")
+
+    def _module_path_of(self, dotted: str) -> str | None:
+        for path, d in self._dotted.items():
+            if d == dotted or d.endswith("." + dotted):
+                return path
+        return None
+
+    def resolve(
+        self, fn: FunctionNode, ref: tuple[str, ...]
+    ) -> list[FunctionNode]:
+        kind = ref[0]
+        if kind == "name":
+            name = ref[1]
+            local = self.module_functions.get(fn.path, {})
+            if name in local:
+                return [local[name]]
+            imported = self._from_imports.get(fn.path, {}).get(name)
+            if imported is not None:
+                target = self._module_path_of(imported[0])
+                if target is not None:
+                    got = self.module_functions.get(target, {}).get(imported[1])
+                    return [got] if got is not None else []
+            return [
+                fns[name]
+                for fns in self.module_functions.values()
+                if name in fns
+            ]
+        if kind == "selfattr":
+            meth = ref[1]
+            cls = self.class_of(fn)
+            if cls is not None and meth in cls.methods:
+                return [cls.methods[meth]]
+            return list(self.methods_by_name.get(meth, []))
+        if kind == "dotted":
+            base, meth = ref[1], ref[2]
+            dotted = self._mod_aliases.get(fn.path, {}).get(base)
+            if dotted is not None:
+                target = self._module_path_of(dotted)
+                if target is not None:
+                    got = self.module_functions.get(target, {}).get(meth)
+                    if got is not None:
+                        return [got]
+            return list(self.methods_by_name.get(meth, []))
+        if kind == "method":
+            return list(self.methods_by_name.get(ref[1], []))
+        return []
+
+    # -- reachability ----------------------------------------------------------
+
+    def propagate(
+        self, roots: Iterable[str]
+    ) -> dict[str, set[frozenset[str]]]:
+        """BFS over ``(function, held-locks)`` states from ``roots``
+        (each seeded with the empty held set). Spawn edges reset the
+        held set — the child thread starts with nothing held."""
+        states: dict[str, set[frozenset[str]]] = defaultdict(set)
+        work: deque[tuple[str, frozenset[str]]] = deque()
+
+        def push(qual: str, held: frozenset[str]) -> None:
+            if held not in states[qual]:
+                states[qual].add(held)
+                work.append((qual, held))
+
+        for qual in roots:
+            if qual in self.functions:
+                push(qual, frozenset())
+        while work:
+            qual, held = work.popleft()
+            fn = self.functions[qual]
+            for ref, lex_held, _line in fn.calls:
+                for callee in self.resolve(fn, ref):
+                    push(callee.qual, held | lex_held)
+            for ref, _line in fn.spawns:
+                for callee in self.resolve(fn, ref):
+                    push(callee.qual, frozenset())
+        return dict(states)
+
+    def thread_roots(self, names: Iterable[str]) -> list[str]:
+        """Quals of every function whose bare name is in ``names``, plus
+        every spawn target anywhere in scope — the set of functions that
+        can be the first frame on a non-main thread of control."""
+        wanted = set(names)
+        roots = [
+            fn.qual for fn in self.functions.values() if fn.name in wanted
+        ]
+        for fn in self.functions.values():
+            for ref, _line in fn.spawns:
+                for callee in self.resolve(fn, ref):
+                    roots.append(callee.qual)
+        return sorted(set(roots))
+
+    # -- lock-order graph ------------------------------------------------------
+
+    def lock_order_edges(
+        self,
+    ) -> dict[tuple[str, str], tuple[str, int]]:
+        """``(held, acquired) → example (path, line)`` over every state
+        reachable from *any* function seeded with the empty held set —
+        i.e. every acquisition order the code can exhibit, whatever the
+        entry point. Same-name pairs (reentrant re-acquisition) are not
+        edges."""
+        states = self.propagate(list(self.functions))
+        edges: dict[tuple[str, str], tuple[str, int]] = {}
+        for qual, held_sets in states.items():
+            fn = self.functions[qual]
+            if not fn.acquires:
+                continue
+            for entry in held_sets:
+                for acq in fn.acquires:
+                    for h in entry | acq.held:
+                        if h != acq.lock and (h, acq.lock) not in edges:
+                            edges[(h, acq.lock)] = (fn.path, acq.line)
+        return edges

@@ -19,6 +19,11 @@ is itself reported (rule id ``suppression``) — the point of the marker is
 to leave the *reason* in the code, not just to silence the tool. In
 ``--strict`` mode, suppressions that match no finding are also reported
 (rule id ``unused-suppression``), so stale markers cannot accumulate.
+
+The concurrency rules additionally honour a second marker kind,
+``# repro: thread-owned[name] -- justification`` (see
+:meth:`Module.thread_owned`), declaring a class or attribute
+single-owner; its justification is equally mandatory.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ import io
 import json
 import re
 import sys
+import time
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -36,6 +42,7 @@ from typing import Iterable, Iterator
 __all__ = [
     "Finding",
     "Suppression",
+    "ThreadOwned",
     "Module",
     "Project",
     "Rule",
@@ -43,6 +50,7 @@ __all__ = [
     "run_rules",
     "render_text",
     "render_json",
+    "render_github",
 ]
 
 #: The suppression marker: ``repro: allow[<rule-id>]`` in a comment, with
@@ -50,6 +58,16 @@ __all__ = [
 #: very comment from matching its own pattern).
 _SUPPRESS_RE = re.compile(
     r"#\s*repro:\s*allow\[(?P<rule>[a-z0-9-]+)\]"
+    r"(?:\s*--\s*(?P<why>.*\S))?"
+)
+
+#: The single-owner marker the concurrency rules honour:
+#: ``repro: thread-owned[<attr-or-class>]`` with a required
+#: ``-- justification`` tail. On (or above) a ``class`` line naming the
+#: class it declares the whole instance single-owner; inside a class
+#: body naming an attribute it declares just that attribute.
+_THREAD_OWNED_RE = re.compile(
+    r"#\s*repro:\s*thread-owned\[(?P<name>[A-Za-z_]\w*)\]"
     r"(?:\s*--\s*(?P<why>.*\S))?"
 )
 
@@ -89,6 +107,19 @@ class Suppression:
         )
 
 
+@dataclass(frozen=True)
+class ThreadOwned:
+    """One ``# repro: thread-owned[...]`` marker."""
+
+    #: Attribute or class name the marker declares single-owner.
+    name: str
+    path: str
+    line: int
+    justification: str
+    #: The code line the marker covers (same semantics as suppressions).
+    target: int = 0
+
+
 @dataclass
 class Module:
     """One parsed source file."""
@@ -101,6 +132,8 @@ class Module:
     def __post_init__(self) -> None:
         if not self.lines:
             self.lines = self.source.splitlines()
+        self._comments: dict[int, str] | None = None
+        self._suppressions: list[Suppression] | None = None
 
     def line(self, lineno: int) -> str:
         """1-based source line (empty string out of range)."""
@@ -108,52 +141,80 @@ class Module:
             return self.lines[lineno - 1]
         return ""
 
-    def suppressions(self) -> list[Suppression]:
-        """All ``# repro: allow[...]`` markers in real comments.
+    def comments(self) -> dict[int, str]:
+        """Real comment tokens by line, tokenized once and cached.
 
         Tokenizing (rather than regex-scanning raw lines) keeps markers
         quoted inside docstrings — e.g. documentation *about* the
-        suppression syntax — from registering as live suppressions.
-        A marker in a standalone comment covers the first code line
-        below its comment block, so multi-line justifications work.
+        suppression syntax — from registering as live markers. Every
+        marker scan (suppressions, thread-owned) shares this one table,
+        so a file is tokenized at most once per run.
         """
-        comment_lines: dict[int, str] = {}
-        try:
-            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
-            for tok in tokens:
-                if tok.type == tokenize.COMMENT:
-                    comment_lines[tok.start[0]] = tok.string
-        except tokenize.TokenError:  # pragma: no cover - file already parsed
-            return []
+        if self._comments is None:
+            comment_lines: dict[int, str] = {}
+            try:
+                tokens = tokenize.generate_tokens(
+                    io.StringIO(self.source).readline
+                )
+                for tok in tokens:
+                    if tok.type == tokenize.COMMENT:
+                        comment_lines[tok.start[0]] = tok.string
+            except tokenize.TokenError:  # pragma: no cover - already parsed
+                pass
+            self._comments = comment_lines
+        return self._comments
 
+    def marker_target(self, line: int) -> int:
+        """The code line a comment marker on ``line`` covers: its own
+        line for a trailing comment, otherwise the first code line below
+        the contiguous comment/blank block it belongs to."""
+        comment_lines = self.comments()
+        before = self.line(line)[: self.line(line).find("#")]
+        if before.strip():
+            return line
+        target = line + 1
+        while target <= len(self.lines) and (
+            not self.line(target).strip()
+            or target in comment_lines
+            and not self.line(target)[: self.line(target).find("#")].strip()
+        ):
+            target += 1
+        return target
+
+    def suppressions(self) -> list[Suppression]:
+        """All ``# repro: allow[...]`` markers in real comments (cached)."""
+        if self._suppressions is None:
+            out = []
+            for i, text in sorted(self.comments().items()):
+                m = _SUPPRESS_RE.search(text)
+                if m is None:
+                    continue
+                out.append(
+                    Suppression(
+                        rule=m.group("rule"),
+                        path=self.path,
+                        line=i,
+                        justification=(m.group("why") or "").strip(),
+                        target=self.marker_target(i),
+                    )
+                )
+            self._suppressions = out
+        return self._suppressions
+
+    def thread_owned(self) -> list[ThreadOwned]:
+        """All ``# repro: thread-owned[...]`` markers in real comments."""
         out = []
-        for i, text in sorted(comment_lines.items()):
-            m = _SUPPRESS_RE.search(text)
+        for i, text in sorted(self.comments().items()):
+            m = _THREAD_OWNED_RE.search(text)
             if m is None:
                 continue
-            # Trailing comment (code before the '#') covers its own line;
-            # a standalone comment covers the first code line below the
-            # contiguous comment/blank block it belongs to.
-            before = self.line(i)[: self.line(i).find("#")]
-            if before.strip():
-                target = i
-            else:
-                target = i + 1
-                while target <= len(self.lines) and (
-                    not self.line(target).strip()
-                    or target in comment_lines
-                    and not self.line(target)[
-                        : self.line(target).find("#")
-                    ].strip()
-                ):
-                    target += 1
             out.append(
-                Suppression(
-                    rule=m.group("rule"),
+                ThreadOwned(
+                    name=m.group("name"),
                     path=self.path,
                     line=i,
                     justification=(m.group("why") or "").strip(),
-                    target=target,
+                    target=self.marker_target(i),
                 )
             )
         return out
@@ -176,12 +237,19 @@ class Project:
         root = root.resolve()
         modules: dict[str, Module] = {}
         errors: list[tuple[str, str]] = []
+        seen: set[Path] = set()
         for path in paths:
             path = Path(path)
             files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
             for f in files:
                 if "__pycache__" in f.parts:
                     continue
+                resolved = f.resolve()
+                if resolved in seen:
+                    # Overlapping path arguments (``src src/repro``) must
+                    # not parse — or report on — the same file twice.
+                    continue
+                seen.add(resolved)
                 rel = _relpath(f, root)
                 try:
                     source = f.read_text(encoding="utf-8")
@@ -235,6 +303,8 @@ class AnalysisResult:
     suppressed: list[tuple[Finding, Suppression]]
     checked_files: int
     rules_run: list[str]
+    #: Wall-clock per rule, rule id → milliseconds.
+    rule_timings_ms: dict[str, float] = field(default_factory=dict)
 
     @property
     def exit_code(self) -> int:
@@ -250,8 +320,11 @@ def run_rules(
         for path, msg in project._parse_errors
     ]
     rules = list(rules)
+    timings: dict[str, float] = {}
     for rule in rules:
+        t0 = time.perf_counter()
         raw.extend(rule.check(project))
+        timings[rule.id] = (time.perf_counter() - t0) * 1e3
 
     suppressions: list[Suppression] = []
     for module in project:
@@ -302,6 +375,7 @@ def run_rules(
         suppressed=suppressed,
         checked_files=len(project.modules),
         rules_run=[r.id for r in rules],
+        rule_timings_ms=timings,
     )
 
 
@@ -341,7 +415,33 @@ def render_json(result: AnalysisResult, stream=sys.stdout) -> None:
         ],
         "checked_files": result.checked_files,
         "rules": result.rules_run,
+        "rule_timings_ms": {
+            rid: round(ms, 3) for rid, ms in result.rule_timings_ms.items()
+        },
         "exit_code": result.exit_code,
     }
     json.dump(payload, stream, indent=2)
     stream.write("\n")
+
+
+def render_github(result: AnalysisResult, stream=sys.stdout) -> None:
+    """GitHub Actions workflow commands: one ``::error`` annotation per
+    finding, so PRs show findings inline at the offending line."""
+    for f in result.findings:
+        # Workflow-command syntax: property values escape ',' ':' '%';
+        # the message escapes '%' and newlines.
+        message = (
+            f.message.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+        )
+        print(
+            f"::error file={f.path},line={f.line},"
+            f"title=repro.analysis[{f.rule}]::{message}",
+            file=stream,
+        )
+    n = len(result.findings)
+    print(
+        f"repro.analysis: {n} finding{'s' if n != 1 else ''} "
+        f"({len(result.suppressed)} suppressed) across "
+        f"{result.checked_files} files",
+        file=stream,
+    )

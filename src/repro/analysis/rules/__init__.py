@@ -9,7 +9,9 @@ from __future__ import annotations
 from repro.analysis.rules.accounting import AccountingRule
 from repro.analysis.rules.fork_safety import ForkSafetyRule
 from repro.analysis.rules.kernel_purity import KernelPurityRule
+from repro.analysis.rules.lock_discipline import LockDisciplineRule
 from repro.analysis.rules.numeric_safety import NumericSafetyRule
+from repro.analysis.rules.shared_state import SharedStateRule
 from repro.analysis.rules.wire_drift import WireDriftRule
 
 __all__ = [
@@ -19,6 +21,8 @@ __all__ = [
     "WireDriftRule",
     "ForkSafetyRule",
     "AccountingRule",
+    "LockDisciplineRule",
+    "SharedStateRule",
 ]
 
 ALL_RULES = (
@@ -27,4 +31,6 @@ ALL_RULES = (
     WireDriftRule,
     ForkSafetyRule,
     AccountingRule,
+    LockDisciplineRule,
+    SharedStateRule,
 )

@@ -10,7 +10,7 @@ CPU-bound phase-2 work on the GIL — escaping that is what
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -31,21 +31,34 @@ from repro.engine.workload import Request
 __all__ = ["InProcBackend"]
 
 
+# The backend holds no lock of its own: the router's serve lock already
+# serializes every request that reaches it, and the engine it wraps is
+# built before any fan-out thread exists (happens-before publication).
+# repro: thread-owned[InProcBackend] -- every call arrives under the router's serve lock; the backend itself adds no concurrency
 class InProcBackend(ShardBackend):
     """Direct calls into a locally owned :class:`GIREngine`."""
 
     name = "inproc"
 
     def __init__(self) -> None:
-        self.engine: GIREngine | None = None
+        self._engine: GIREngine | None = None
+
+    @property
+    def engine(self) -> GIREngine:
+        """The shard engine; raises until :meth:`build` has run."""
+        engine = self._engine
+        if engine is None:
+            raise RuntimeError("backend is not built")
+        return engine
 
     def build(self, spec: ShardSpec) -> None:
-        if self.engine is not None:
+        if self._engine is not None:
             raise RuntimeError("backend already built")
-        self.engine = build_shard_engine(spec)
+        self._engine = build_shard_engine(spec)
 
     def topk(self, weights: np.ndarray, k: int) -> ShardReply:
-        return reply_from_response(self.engine, self.engine.topk(weights, k))
+        engine = self.engine
+        return reply_from_response(engine, engine.topk(weights, k))
 
     def topk_batch(
         self, requests: Sequence[tuple[np.ndarray, int]]
@@ -66,8 +79,10 @@ class InProcBackend(ShardBackend):
             guarded_engine_write(self.engine, "delete", rid)
         )
 
-    def stats(self) -> dict:
-        return engine_shard_stats(self.engine)
+    def stats(self) -> dict[str, Any]:
+        stats = engine_shard_stats(self.engine)
+        assert isinstance(stats, dict)
+        return stats
 
     def close(self) -> None:
         """Nothing to release: the engine is plain in-process state."""

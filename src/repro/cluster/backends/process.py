@@ -32,11 +32,11 @@ from __future__ import annotations
 
 import multiprocessing
 import sys
-import threading
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
+from repro import sanitize
 from repro.cluster import wire
 from repro.cluster.backends.base import (
     ShardBackend,
@@ -72,7 +72,7 @@ def default_start_method() -> str:
     return "spawn"
 
 
-def _worker_main(conn) -> None:
+def _worker_main(conn: Any) -> None:
     """Worker loop: decode a frame, act on the shard engine, reply.
 
     Runs until an orderly ``MSG_SHUTDOWN`` (acknowledged, then exit) or
@@ -85,7 +85,7 @@ def _worker_main(conn) -> None:
     refuses everything but stats and shutdown from then on; the router
     fail-stops on its side too.
     """
-    engine = None
+    engine: Any = None
     broken: str | None = None
     try:
         while True:
@@ -184,12 +184,14 @@ class ProcessBackend(ShardBackend):
     name = "process"
 
     def __init__(self, start_method: str | None = None) -> None:
-        self._start_method = start_method or default_start_method()
+        self._start_method: str = start_method or default_start_method()
         self._proc: multiprocessing.process.BaseProcess | None = None
-        self._conn = None
+        self._conn: Any = None
         #: One outstanding request per worker: the lock serializes the
         #: send/recv pair so thread fan-out from the router stays safe.
-        self._lock = threading.Lock()
+        #: Every ``_proc``/``_conn`` touch after ``build`` happens under
+        #: it, which is what lets the shared-state rule prove the pair.
+        self._lock = sanitize.make_lock("ProcessBackend._lock")
 
     def build(self, spec: ShardSpec) -> None:
         if self._proc is not None:
@@ -209,16 +211,23 @@ class ProcessBackend(ShardBackend):
         child.close()
         self._request(wire.MSG_BUILD, payload, expect=wire.MSG_READY)
 
-    def _request(self, msg: int, payload: bytes, expect: int) -> wire.Reader:
-        if self._conn is None:
-            raise RuntimeError("backend is not running (closed or unbuilt)")
+    def _request(self, msg: int, payload: bytes, expect: int) -> "wire.Reader":
         with self._lock:
-            try:
-                self._conn.send_bytes(wire.encode_frame(msg, payload))
-                frame = self._conn.recv_bytes()
-            except (EOFError, OSError) as exc:
+            # The closed/unbuilt check lives *inside* the lock so it and
+            # the use it guards are one atomic step — a concurrent
+            # ``close`` cannot null the pipe between them.
+            conn = self._conn
+            if conn is None:
                 raise RuntimeError(
-                    f"shard worker {self._proc.name if self._proc else '?'} "
+                    "backend is not running (closed or unbuilt)"
+                )
+            try:
+                conn.send_bytes(wire.encode_frame(msg, payload))
+                frame = conn.recv_bytes()
+            except (EOFError, OSError) as exc:
+                proc = self._proc
+                raise RuntimeError(
+                    f"shard worker {proc.name if proc else '?'} "
                     f"died mid-request"
                 ) from exc
         reply_msg, reader = wire.decode_frame(frame)
@@ -260,14 +269,26 @@ class ProcessBackend(ShardBackend):
         )
         return wire.decode_update(reader)
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         reader = self._request(wire.MSG_STATS, b"", wire.MSG_REPLY_STATS)
-        return wire.decode_stats(reader)
+        stats = wire.decode_stats(reader)
+        assert isinstance(stats, dict)
+        return stats
 
     def close(self) -> None:
-        """Orderly worker shutdown; escalates to terminate on a hang."""
-        proc, conn = self._proc, self._conn
-        self._proc, self._conn = None, None
+        """Orderly worker shutdown; escalates to terminate on a hang.
+
+        The attribute swap happens under ``_lock`` (waiting out any
+        in-flight request, and making later ones fail the guard), but
+        the shutdown handshake and the join run *outside* it: they can
+        block for seconds, and — more subtly — doing pipe teardown while
+        holding ``_lock`` would order it against the router's serve
+        lock, inverting the serve-lock -> pipe-lock order every request
+        establishes.
+        """
+        with self._lock:
+            proc, conn = self._proc, self._conn
+            self._proc, self._conn = None, None
         if conn is not None:
             try:
                 conn.send_bytes(wire.encode_frame(wire.MSG_SHUTDOWN))

@@ -42,15 +42,28 @@ generators (and their delete streams) work against either unchanged.
 Each shard assigns its local rids in ascending global-rid order, which
 keeps every local ``(score, coord-sum, rid)`` tie-break consistent with
 the global one — the invariant the merge's byte-identity rests on.
+
+**Thread safety.** The router itself is safe for concurrent external
+callers: every serving and update entry point runs under one reentrant
+*serve lock* (``_serve_lock``), so a ``topk`` observes either all or
+none of a concurrent ``insert``/``delete`` — reads and the maps/caches
+they consult can never interleave with a half-applied write. Fan-out
+parallelism is unaffected: the pool threads run *backend* calls, which
+never take the serve lock (the router's own fan-out holds it while it
+waits on them). Under ``REPRO_SANITIZE=1`` the lock is a
+:class:`repro.sanitize.SanitizedRLock`, so acquisition-order inversions
+against the backend pipe locks fail fast.
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
+from typing import Any
 
 import numpy as np
 
+from repro import sanitize
 from repro.cluster.backends import (
     InProcBackend,
     ShardBackend,
@@ -169,9 +182,13 @@ class ShardedGIREngine:
         self.invalidation = invalidation
         self.parallel = bool(parallel)
         self.partitioner = make_partitioner(partitioner, self.n_shards)
-        self.backend_name = (
+        self.backend_name: str = (
             backend if isinstance(backend, str) else getattr(backend, "name", "custom")
         )
+        #: Serializes every serving/update entry point against concurrent
+        #: external callers (reentrant: the fan-out helpers re-enter it).
+        #: Pool threads never take it, so fan-out parallelism is intact.
+        self._serve_lock = sanitize.make_lock("ShardedGIREngine._serve_lock")
 
         #: Global mirror of the record table: the cluster's public rids.
         #: Keeps the full point rows addressable for cluster-cache
@@ -183,7 +200,7 @@ class ShardedGIREngine:
         #: global rid without asking the owning shard — which may live in
         #: another process).
         self._g_buf = self.scorer.transform(self.table.rows).copy()
-        self._g_n = self.table.n_allocated
+        self._g_n: int = int(self.table.n_allocated)
 
         assignment = self.partitioner.assign_initial(self._g_buf[: data.n])
         #: Per shard: local rid → global rid (append-only, ascending).
@@ -251,8 +268,8 @@ class ShardedGIREngine:
         self.fanouts = 0
         self.updates_applied = 0
         self.update_evictions = 0
-        self._shard_requests = [0] * self.n_shards
-        self._shard_latency_ms = [0.0] * self.n_shards
+        self._shard_requests: list[int] = [0] * self.n_shards
+        self._shard_latency_ms: list[float] = [0.0] * self.n_shards
         #: Set when a shard diverged mid-write (dirty failure): the
         #: router's maps no longer describe the shard's state, so every
         #: further serving call fail-stops instead of returning answers
@@ -263,17 +280,20 @@ class ShardedGIREngine:
 
     def close(self) -> None:
         """Shut the fan-out pool and every shard backend down (idempotent;
-        process-backed shards get an orderly worker shutdown)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-        for backend in self.backends:
-            backend.close()
+        process-backed shards get an orderly worker shutdown). Taking the
+        serve lock first lets any in-flight request finish before the
+        backends under it disappear."""
+        with self._serve_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+            for backend in self.backends:
+                backend.close()
 
     def __enter__(self) -> "ShardedGIREngine":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # -- views ----------------------------------------------------------------
@@ -295,11 +315,11 @@ class ShardedGIREngine:
 
     @property
     def d(self) -> int:
-        return self.table.d
+        return int(self.table.d)
 
     @property
     def n_live(self) -> int:
-        return self.table.n_live
+        return int(self.table.n_live)
 
     @property
     def points(self) -> np.ndarray:
@@ -334,33 +354,34 @@ class ShardedGIREngine:
         unpartitioned data; ``region`` carries the merged stability
         region the answer is valid in.
         """
-        self._ensure_serving()
-        weights = validate_weights(weights, self.d)
-        self._validate_k(k)
-        t0 = time.perf_counter()
-        hit = (
-            self.cache.lookup(weights, k, full_only=True)
-            if self.cache is not None
-            else None
-        )
-        if hit is not None:
-            return self._serve_cluster_hit(weights, k, hit, t0)
-        merged = self._fan_out(weights, k)
-        self._cache_merged(merged)
-        self.requests_served += 1
-        return EngineResponse(
-            ids=merged.gir.topk.ids,
-            scores=merged.gir.topk.scores,
-            weights=weights,
-            k=k,
-            source=merged.source,
-            latency_ms=(time.perf_counter() - t0) * 1e3,
-            pages_read=merged.pages_read,
-            gir_stats=None,
-            region=merged.gir.polytope,
-        )
+        with self._serve_lock:
+            self._ensure_serving()
+            weights = validate_weights(weights, self.d)
+            self._validate_k(k)
+            t0 = time.perf_counter()
+            hit = (
+                self.cache.lookup(weights, k, full_only=True)
+                if self.cache is not None
+                else None
+            )
+            if hit is not None:
+                return self._serve_cluster_hit(weights, k, hit, t0)
+            merged = self._fan_out(weights, k)
+            self._cache_merged(merged)
+            self.requests_served += 1
+            return EngineResponse(
+                ids=merged.gir.topk.ids,
+                scores=merged.gir.topk.scores,
+                weights=weights,
+                k=k,
+                source=merged.source,
+                latency_ms=(time.perf_counter() - t0) * 1e3,
+                pages_read=merged.pages_read,
+                gir_stats=None,
+                region=merged.gir.polytope,
+            )
 
-    def topk_batch(self, requests: list) -> list[EngineResponse]:
+    def topk_batch(self, requests: "list[Request] | list[Any]") -> list[EngineResponse]:
         """Serve a batch of read requests.
 
         The cluster cache is probed in one batched membership pass; the
@@ -373,61 +394,66 @@ class ShardedGIREngine:
         instead and caches its own merged entry; the LRU bounds the
         duplicates).
         """
-        self._ensure_serving()
-        reqs = list(requests)
-        if not reqs:
-            return []
-        W = np.stack([validate_weights(r.weights, self.d) for r in reqs])
-        ks = [r.k for r in reqs]
-        for k in ks:
-            self._validate_k(k)
-        t_lookup = time.perf_counter()
-        hits = (
-            self.cache.lookup_batch(W, ks, full_only=True)
-            if self.cache is not None
-            else [None] * len(reqs)
-        )
-        lookup_share_ms = (time.perf_counter() - t_lookup) * 1e3 / len(reqs)
-
-        responses: list[EngineResponse | None] = [None] * len(reqs)
-        pending = []
-        for i, hit in enumerate(hits):
-            if hit is not None:
-                t0 = time.perf_counter()
-                responses[i] = self._serve_cluster_hit(
-                    W[i], ks[i], hit, t0, extra_latency_ms=lookup_share_ms
-                )
-            else:
-                pending.append(i)
-        if pending:
-            t_fan = time.perf_counter()
-            per_shard = self._fan_out_batch(
-                [W[i] for i in pending], [ks[i] for i in pending]
+        with self._serve_lock:
+            self._ensure_serving()
+            reqs = list(requests)
+            if not reqs:
+                return []
+            W = np.stack([validate_weights(r.weights, self.d) for r in reqs])
+            ks = [r.k for r in reqs]
+            for k in ks:
+                self._validate_k(k)
+            t_lookup = time.perf_counter()
+            hits = (
+                self.cache.lookup_batch(W, ks, full_only=True)
+                if self.cache is not None
+                else [None] * len(reqs)
             )
-            fan_share_ms = (time.perf_counter() - t_fan) * 1e3 / len(pending)
-            for offset, i in enumerate(pending):
-                t0 = time.perf_counter()
-                answers = [
-                    self._lift(s, shard_replies[offset])
-                    for s, shard_replies in per_shard
-                ]
-                merged = merge_shard_answers(answers, W[i], ks[i])
-                self._cache_merged(merged)
-                self.requests_served += 1
-                responses[i] = EngineResponse(
-                    ids=merged.gir.topk.ids,
-                    scores=merged.gir.topk.scores,
-                    weights=W[i],
-                    k=ks[i],
-                    source=merged.source,
-                    latency_ms=(time.perf_counter() - t0) * 1e3
-                    + fan_share_ms
-                    + lookup_share_ms,
-                    pages_read=merged.pages_read,
-                    gir_stats=None,
-                    region=merged.gir.polytope,
+            lookup_share_ms = (time.perf_counter() - t_lookup) * 1e3 / len(reqs)
+
+            responses: list[EngineResponse | None] = [None] * len(reqs)
+            pending = []
+            for i, hit in enumerate(hits):
+                if hit is not None:
+                    t0 = time.perf_counter()
+                    responses[i] = self._serve_cluster_hit(
+                        W[i], ks[i], hit, t0, extra_latency_ms=lookup_share_ms
+                    )
+                else:
+                    pending.append(i)
+            if pending:
+                t_fan = time.perf_counter()
+                per_shard = self._fan_out_batch(
+                    [W[i] for i in pending], [ks[i] for i in pending]
                 )
-        return responses  # type: ignore[return-value]
+                fan_share_ms = (time.perf_counter() - t_fan) * 1e3 / len(pending)
+                for offset, i in enumerate(pending):
+                    t0 = time.perf_counter()
+                    answers = [
+                        self._lift(s, shard_replies[offset])
+                        for s, shard_replies in per_shard
+                    ]
+                    merged = merge_shard_answers(answers, W[i], ks[i])
+                    self._cache_merged(merged)
+                    self.requests_served += 1
+                    responses[i] = EngineResponse(
+                        ids=merged.gir.topk.ids,
+                        scores=merged.gir.topk.scores,
+                        weights=W[i],
+                        k=ks[i],
+                        source=merged.source,
+                        latency_ms=(time.perf_counter() - t0) * 1e3
+                        + fan_share_ms
+                        + lookup_share_ms,
+                        pages_read=merged.pages_read,
+                        gir_stats=None,
+                        region=merged.gir.polytope,
+                    )
+            # Every slot is filled by now; the comprehension (rather than a
+            # cast) keeps the narrowing visible to the type checker.
+            out = [r for r in responses if r is not None]
+            assert len(out) == len(reqs)
+            return out
 
     def _validate_k(self, k: int) -> None:
         if k <= 0:
@@ -454,12 +480,13 @@ class ShardedGIREngine:
         self,
         weights: np.ndarray,
         k: int,
-        hit,
+        hit: Any,
         t0: float,
         extra_latency_ms: float = 0.0,
     ) -> EngineResponse:
         """Serve from a cluster-cache entry: zero fan-out, zero pages;
         scores recomputed for the request's own weights."""
+        assert self.cache is not None  # hits only come from the cache
         ids = hit.ids
         scores = tuple(
             float(s)
@@ -494,22 +521,27 @@ class ShardedGIREngine:
     def _fan_out(self, weights: np.ndarray, k: int) -> MergedAnswer:
         """One read fan-out: every non-empty shard answers locally
         (cache-first), concurrently in parallel mode; answers are merged
-        under the global tie-break."""
-        targets = self._fan_targets(k)
-        if self._pool is not None and len(targets) > 1:
-            futures = [
-                self._pool.submit(self.backends[s].topk, weights, ks)
-                for s, ks in targets
+        under the global tie-break. Re-enters the serve lock so the
+        targeting maps and lift counters cannot move under it even when
+        a subclass (or test harness) calls it directly."""
+        with self._serve_lock:
+            targets = self._fan_targets(k)
+            if self._pool is not None and len(targets) > 1:
+                futures = [
+                    self._pool.submit(self.backends[s].topk, weights, ks)
+                    for s, ks in targets
+                ]
+                replies = [f.result() for f in futures]
+            else:
+                replies = [
+                    self.backends[s].topk(weights, ks) for s, ks in targets
+                ]
+            self.fanouts += 1
+            answers = [
+                self._lift(s, reply)
+                for (s, _), reply in zip(targets, replies)
             ]
-            replies = [f.result() for f in futures]
-        else:
-            replies = [self.backends[s].topk(weights, ks) for s, ks in targets]
-        self.fanouts += 1
-        answers = [
-            self._lift(s, reply)
-            for (s, _), reply in zip(targets, replies)
-        ]
-        return merge_shard_answers(answers, weights, k)
+            return merge_shard_answers(answers, weights, k)
 
     def _fan_out_batch(
         self, weights_list: list[np.ndarray], ks: list[int]
@@ -517,31 +549,32 @@ class ShardedGIREngine:
         """Batched fan-out: one backend ``topk_batch`` per shard over the
         whole pending request list. Returns ``(shard, replies)`` pairs,
         replies aligned with the request list."""
-        targets = [
-            (
-                s,
-                [
-                    (w, min(k, self._shard_live[s]))
-                    for w, k in zip(weights_list, ks)
-                ],
-            )
-            for s, _ in self._fan_targets(max(ks))
-        ]
-        if self._pool is not None and len(targets) > 1:
-            futures = [
-                self._pool.submit(self.backends[s].topk_batch, shard_reqs)
-                for s, shard_reqs in targets
+        with self._serve_lock:
+            targets = [
+                (
+                    s,
+                    [
+                        (w, min(k, self._shard_live[s]))
+                        for w, k in zip(weights_list, ks)
+                    ],
+                )
+                for s, _ in self._fan_targets(max(ks))
             ]
-            reply_lists = [f.result() for f in futures]
-        else:
-            reply_lists = [
-                self.backends[s].topk_batch(shard_reqs)
-                for s, shard_reqs in targets
+            if self._pool is not None and len(targets) > 1:
+                futures = [
+                    self._pool.submit(self.backends[s].topk_batch, shard_reqs)
+                    for s, shard_reqs in targets
+                ]
+                reply_lists = [f.result() for f in futures]
+            else:
+                reply_lists = [
+                    self.backends[s].topk_batch(shard_reqs)
+                    for s, shard_reqs in targets
+                ]
+            self.fanouts += len(weights_list)
+            return [
+                (s, replies) for (s, _), replies in zip(targets, reply_lists)
             ]
-        self.fanouts += len(weights_list)
-        return [
-            (s, replies) for (s, _), replies in zip(targets, reply_lists)
-        ]
 
     def _lift(self, shard: int, reply: ShardReply) -> ShardAnswer:
         """Lift a local-rid shard reply into global-rid terms for the
@@ -576,87 +609,91 @@ class ShardedGIREngine:
         """Insert a record: route to the owning shard only, then apply the
         selective (or flush) invalidation to that shard's cache *and* to
         the cluster-level cache under the global rids."""
-        self._ensure_serving()
-        t0 = time.perf_counter()
-        point = validate_point(point, self.d)
-        gid = self.table.insert(point)
-        # Work from the *stored* (unit-cube-clipped) row from here on, so
-        # the cluster tier's g-image — and hence its exact-tie prescreen
-        # classification — is byte-identical to what the owning shard
-        # computes from its own stored copy.
-        stored = self.table.point(gid)
-        point_g = self._append_g(stored)
-        shard = self.partitioner.route(point_g)
-        try:
-            sub = self.backends[shard].insert(stored)
-        except Exception as exc:
-            if getattr(exc, "dirty", False):
-                # The shard mutated before failing: its state no longer
-                # matches the router's maps (or possibly its own cache).
-                # Rolling back here would serve wrong answers later —
-                # fail-stop instead.
-                self._mark_broken(shard, "insert", exc)
+        with self._serve_lock:
+            self._ensure_serving()
+            t0 = time.perf_counter()
+            point = validate_point(point, self.d)
+            gid = self.table.insert(point)
+            # Work from the *stored* (unit-cube-clipped) row from here on,
+            # so the cluster tier's g-image — and hence its exact-tie
+            # prescreen classification — is byte-identical to what the
+            # owning shard computes from its own stored copy.
+            stored = self.table.point(gid)
+            point_g = self._append_g(stored)
+            shard = self.partitioner.route(point_g)
+            try:
+                sub = self.backends[shard].insert(stored)
+            except Exception as exc:
+                if getattr(exc, "dirty", False):
+                    # The shard mutated before failing: its state no
+                    # longer matches the router's maps (or possibly its
+                    # own cache). Rolling back here would serve wrong
+                    # answers later — fail-stop instead.
+                    self._mark_broken(shard, "insert", exc)
+                    raise
+                # Clean failure: the shard never stored the row. Tombstone
+                # the global allocation and keep the rid map aligned with
+                # the table — otherwise every later insert's routing entry
+                # would land one rid off.
+                self.table.delete(gid)
+                self._rid_map.append((-1, -1))
                 raise
-            # Clean failure: the shard never stored the row. Tombstone the
-            # global allocation and keep the rid map aligned with the
-            # table — otherwise every later insert's routing entry would
-            # land one rid off.
-            self.table.delete(gid)
-            self._rid_map.append((-1, -1))
-            raise
-        local = sub.rid
-        assert local == len(self._local_to_global[shard])
-        self._local_to_global[shard].append(gid)
-        self._rid_map.append((shard, local))
-        self._shard_live[shard] += 1
-        self._shard_cache_entries[shard] = sub.cache_entries
-        evicted, screened, lps = self._cluster_invalidate_insert(point_g, gid)
-        return self._finish_update(
-            "insert",
-            gid,
-            t0,
-            evicted=sub.evicted + evicted,
-            screened=sub.screened + screened,
-            lps=sub.lps + lps,
-        )
+            local = sub.rid
+            assert local == len(self._local_to_global[shard])
+            self._local_to_global[shard].append(gid)
+            self._rid_map.append((shard, local))
+            self._shard_live[shard] += 1
+            self._shard_cache_entries[shard] = sub.cache_entries
+            evicted, screened, lps = self._cluster_invalidate_insert(
+                point_g, gid
+            )
+            return self._finish_update(
+                "insert",
+                gid,
+                t0,
+                evicted=sub.evicted + evicted,
+                screened=sub.screened + screened,
+                lps=sub.lps + lps,
+            )
 
     def delete(self, rid: int) -> UpdateResponse:
         """Delete a live record by global rid: routed to its owning shard;
         cluster-cache entries are evicted only if they served the rid."""
-        self._ensure_serving()
-        t0 = time.perf_counter()
-        # Validate first, mutate the global table only after the owning
-        # shard applied the delete — a clean backend failure must not
-        # strand a live shard record that the router counts as dead (a
-        # *dirty* failure, where the shard tombstoned the row before
-        # raising, fail-stops the cluster instead: see _mark_broken).
-        if not self.table.is_live(rid):
-            raise KeyError(f"rid {rid} is not a live record")
-        shard, local = self.locate(rid)
-        try:
-            sub = self.backends[shard].delete(local)
-        except Exception as exc:
-            if getattr(exc, "dirty", False):
-                self._mark_broken(shard, "delete", exc)
-            raise
-        self.table.delete(rid)
-        self._shard_live[shard] -= 1
-        self._shard_cache_entries[shard] = sub.cache_entries
-        if self.cache is None:
-            evicted = 0
-        elif self.invalidation == "flush":
-            evicted = self.cache.flush()
-        else:
-            # No tset_of: merged entries retain no search runs.
-            evicted = apply_delete_invalidation(self.cache, rid)
-        return self._finish_update(
-            "delete",
-            rid,
-            t0,
-            evicted=sub.evicted + evicted,
-            screened=sub.screened,
-            lps=sub.lps,
-        )
+        with self._serve_lock:
+            self._ensure_serving()
+            t0 = time.perf_counter()
+            # Validate first, mutate the global table only after the owning
+            # shard applied the delete — a clean backend failure must not
+            # strand a live shard record that the router counts as dead (a
+            # *dirty* failure, where the shard tombstoned the row before
+            # raising, fail-stops the cluster instead: see _mark_broken).
+            if not self.table.is_live(rid):
+                raise KeyError(f"rid {rid} is not a live record")
+            shard, local = self.locate(rid)
+            try:
+                sub = self.backends[shard].delete(local)
+            except Exception as exc:
+                if getattr(exc, "dirty", False):
+                    self._mark_broken(shard, "delete", exc)
+                raise
+            self.table.delete(rid)
+            self._shard_live[shard] -= 1
+            self._shard_cache_entries[shard] = sub.cache_entries
+            if self.cache is None:
+                evicted = 0
+            elif self.invalidation == "flush":
+                evicted = self.cache.flush()
+            else:
+                # No tset_of: merged entries retain no search runs.
+                evicted = apply_delete_invalidation(self.cache, rid)
+            return self._finish_update(
+                "delete",
+                rid,
+                t0,
+                evicted=sub.evicted + evicted,
+                screened=sub.screened,
+                lps=sub.lps,
+            )
 
     def _append_g(self, stored: np.ndarray) -> np.ndarray:
         """Maintain the global g-space image for a freshly inserted row
@@ -678,9 +715,9 @@ class ShardedGIREngine:
         if self.cache is None:
             return 0, 0, 0
         if self.invalidation == "flush":
-            return self.cache.flush(), 0, 0
+            return int(self.cache.flush()), 0, 0
         rows = self.points
-        return apply_insert_invalidation(
+        evicted, screened, lps = apply_insert_invalidation(
             self.cache,
             point_g,
             new_sum=float(rows[gid].sum()),
@@ -688,6 +725,7 @@ class ShardedGIREngine:
             kth_point=lambda rid: rows[rid],
             kth_g=self._g_of,
         )
+        return int(evicted), int(screened), int(lps)
 
     def _g_of(self, rid: int) -> np.ndarray:
         """g-space image of a global rid (router-maintained buffer — the
@@ -742,7 +780,9 @@ class ShardedGIREngine:
         "cluster_misses",
     )
 
-    def run(self, workload: Workload | list, batch: bool = False) -> WorkloadReport:
+    def run(
+        self, workload: "Workload | list[Any]", batch: bool = False
+    ) -> WorkloadReport:
         """Serve a whole workload (reads and updates) through the cluster.
 
         Identical in shape to :meth:`GIREngine.run`; the returned report
@@ -782,7 +822,9 @@ class ShardedGIREngine:
                 raise TypeError(f"unknown workload operation {op!r}")
         wall_ms = (time.perf_counter() - t0) * 1e3
 
-        def deltas(now: dict, before: dict, keys: tuple[str, ...]) -> dict:
+        def deltas(
+            now: dict[str, Any], before: dict[str, Any], keys: tuple[str, ...]
+        ) -> dict[str, Any]:
             return {
                 **now,
                 **{key: now[key] - before[key] for key in keys},
@@ -805,7 +847,7 @@ class ShardedGIREngine:
 
     # -- introspection --------------------------------------------------------
 
-    def shard_stats(self) -> list[dict]:
+    def shard_stats(self) -> list[dict[str, Any]]:
         """Per-shard breakdown: fan-out traffic, page reads, cache state.
 
         Router-side counters (requests fanned out, accumulated latency)
@@ -832,9 +874,9 @@ class ShardedGIREngine:
             return "sequential"
         return "thread" if self.backend_name == "inproc" else self.backend_name
 
-    def cluster_stats(self) -> dict:
+    def cluster_stats(self) -> dict[str, Any]:
         """Cluster-tier counters (cache, fan-outs, backend, mode)."""
-        stats = {
+        stats: dict[str, Any] = {
             "shards": self.n_shards,
             "backend": self.backend_name,
             "mode": self.fanout_mode,
@@ -858,6 +900,6 @@ class ShardedGIREngine:
             stats["cluster_entries"] = 0
         return stats
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         """Cluster counters plus the per-shard breakdown."""
         return {**self.cluster_stats(), "shard_stats": self.shard_stats()}

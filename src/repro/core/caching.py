@@ -62,6 +62,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro import sanitize
 from repro.core.gir import GIRResult
 from repro.core.region_index import (
     RegionIndex,
@@ -225,6 +226,7 @@ class InsertPrescreen:
 _MIN_RADIUS = MIN_GAIN_RADIUS
 
 
+# repro: thread-owned[GIRCache] -- owned by one GIREngine; the router's serve lock serializes every path that reaches it
 class GIRCache:
     """A capacity-bounded cache of (query, top-k result, GIR) triples.
 
@@ -380,6 +382,7 @@ class GIRCache:
 
     # -- writes ---------------------------------------------------------------
 
+    @sanitize.mutates
     def insert(
         self,
         gir: GIRResult,
@@ -480,6 +483,7 @@ class GIRCache:
 
     # -- lookups --------------------------------------------------------------
 
+    @sanitize.mutates  # a hit touches recency; every path bumps counters
     def lookup(
         self, weights: np.ndarray, k: int, full_only: bool = False
     ) -> CacheHit | None:
@@ -502,6 +506,7 @@ class GIRCache:
         weights = np.asarray(weights, dtype=np.float64)
         return self._resolve(self._members_of(weights), k, full_only=full_only)
 
+    @sanitize.mutates
     def lookup_scan(self, weights: np.ndarray, k: int) -> CacheHit | None:
         """Entry-by-entry reference implementation of :meth:`lookup`.
 
@@ -536,6 +541,7 @@ class GIRCache:
         self.misses += 1
         return None
 
+    @sanitize.mutates
     def lookup_batch(
         self,
         weights_batch: np.ndarray,
@@ -639,6 +645,7 @@ class GIRCache:
 
     # -- update-driven eviction ------------------------------------------------
 
+    @sanitize.mutates  # the grid prescreen bumps probe counters
     def prescreen_insert(
         self, point_g: np.ndarray, tol: float = MEMBERSHIP_TOL
     ) -> InsertPrescreen:
@@ -675,6 +682,7 @@ class GIRCache:
             safe=tuple(safe), ties=tuple(ties), candidates=tuple(candidates)
         )
 
+    @sanitize.mutates
     def evict(self, keys: Iterable[int]) -> int:
         """Drop the given entries (update invalidation); returns the number
         actually removed. Unknown keys are ignored. The region indexes are
@@ -695,6 +703,7 @@ class GIRCache:
         self.invalidation_evictions += removed
         return removed
 
+    @sanitize.mutates
     def flush(self) -> int:
         """Drop every entry (the flush-on-write baseline); returns the count."""
         removed = len(self._entries)

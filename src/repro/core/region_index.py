@@ -70,6 +70,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import sanitize
 from repro.core import kernels
 from repro.geometry.polytope import Polytope
 from repro.core.tolerances import GRID_SAFE_TOL, GRID_SLACK, MEMBERSHIP_TOL, SCREEN_SAFETY
@@ -110,6 +111,7 @@ def default_grid_cells(d: int) -> int:
     return g
 
 
+# repro: thread-owned[GridSignature] -- lives inside one RegionIndex and shares its single-owner discipline (probe counters mutate on reads)
 class GridSignature:
     """Coarse uniform-grid negative filter over the unit query box.
 
@@ -264,6 +266,7 @@ class _ScreenEntry:
     has_vertices: bool
 
 
+# repro: thread-owned[RegionIndex] -- owned by one GIRCache; reached only under the router's serve lock (membership lazily materializes screen stacks)
 class RegionIndex:
     """Contiguously stacked half-space rows of many bounded regions.
 
@@ -312,6 +315,7 @@ class RegionIndex:
         """Entry keys in segment (insertion) order."""
         return list(self._keys)
 
+    @sanitize.mutates
     def add(self, key: int, polytope: Polytope, kth_g: np.ndarray | None = None) -> None:
         """Index a region under ``key``.
 
@@ -338,10 +342,12 @@ class RegionIndex:
         )
         self._screen_stacks = None
 
+    @sanitize.mutates
     def remove(self, key: int) -> bool:
         """Drop an entry; returns False if the key is unknown."""
         return self.remove_many([key]) == 1
 
+    @sanitize.mutates
     def remove_many(self, keys) -> int:
         """Drop several entries in one compaction pass over the stacks
         (an update can invalidate many entries at once; splicing them out
@@ -373,6 +379,7 @@ class RegionIndex:
         self._screen_stacks = None
         return len(drop)
 
+    @sanitize.mutates
     def clear(self) -> None:
         self._keys = []
         self._A = np.empty((0, self.d), dtype=np.float64)
@@ -389,6 +396,7 @@ class RegionIndex:
 
     # -- membership -----------------------------------------------------------
 
+    @sanitize.mutates  # grid probe counters advance on every lookup
     def membership(self, x: np.ndarray, tol: float = MEMBERSHIP_TOL) -> np.ndarray:
         """Boolean array over :meth:`keys`: which regions contain ``x``?
 
@@ -409,6 +417,7 @@ class RegionIndex:
             self._A, self._b, self._offsets, x, tol
         )
 
+    @sanitize.mutates
     def membership_batch(self, X: np.ndarray, tol: float = MEMBERSHIP_TOL) -> np.ndarray:
         """Membership of a whole query batch at once.
 
@@ -508,6 +517,7 @@ class RegionIndex:
             has_vertices=False,
         )
 
+    @sanitize.mutates  # lazily materializes the screen stacks
     def prescreen_insert(
         self,
         point_g: np.ndarray,

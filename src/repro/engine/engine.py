@@ -53,6 +53,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import sanitize
 from repro.core.caching import (
     GIRCache,
     apply_delete_invalidation,
@@ -402,6 +403,7 @@ class WorkloadReport:
         return "\n".join(lines)
 
 
+# repro: thread-owned[GIREngine] -- one engine serves one shard; the router's serve lock (or the worker process) serializes all access
 class GIREngine:
     """A cache-first top-k serving engine over a *dynamic* dataset
     (Section 1 application).
@@ -503,6 +505,7 @@ class GIREngine:
 
     # -- serving --------------------------------------------------------------
 
+    @sanitize.mutates  # cache-first serving touches recency and counters
     def topk(self, weights: np.ndarray, k: int) -> EngineResponse:
         """Answer one top-k request, cache-first.
 
@@ -521,6 +524,7 @@ class GIREngine:
         hit = self.cache.lookup(weights, k)
         return self._serve(weights, k, hit, t0, io_before)
 
+    @sanitize.mutates
     def topk_batch(self, requests: list) -> list[EngineResponse]:
         """Serve a batch of :class:`~repro.engine.workload.Request`\\ s.
 
@@ -666,6 +670,7 @@ class GIREngine:
 
     # -- updates --------------------------------------------------------------
 
+    @sanitize.mutates
     def insert(self, point: np.ndarray) -> UpdateResponse:
         """Insert a new record; returns its rid and eviction accounting.
 
@@ -709,6 +714,7 @@ class GIREngine:
             "insert", rid, t0, evicted, screened=screened, lps=lps
         )
 
+    @sanitize.mutates
     def delete(self, rid: int) -> UpdateResponse:
         """Delete a live record; returns eviction accounting.
 

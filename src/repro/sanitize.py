@@ -1,0 +1,264 @@
+"""Runtime concurrency sanitizer — the dynamic twin of the static rules.
+
+The ``lock-discipline`` / ``shared-state`` rules prove discipline
+*statically*, by conservative over-approximation; this module checks the
+same contracts *dynamically*, on real executions, and fails fast with
+**both** stacks when a violation actually happens. Two primitives:
+
+* :class:`SanitizedRLock` — an RLock that records, per thread, the
+  stack of sanitized locks currently held and maintains a global
+  acquisition-order graph keyed by lock *name*. Taking ``B`` while
+  holding ``A`` orders ``A`` before ``B``; a later attempt to take
+  ``A`` while holding ``B`` is an ABBA inversion and raises
+  :class:`LockOrderViolation` immediately — on the *inversion*, without
+  needing the actual deadlock to strike.
+
+* :class:`AccessToken` — the ownership tag for structures the static
+  rules accept as ``thread-owned``: every instrumented method enters the
+  owner's token for its duration; two threads inside the same token at
+  the same time, at least one of them mutating, is a data race by
+  definition and raises :class:`OwnershipViolation` carrying the stacks
+  of both participants.
+
+Production wiring is **zero-overhead when disabled**: the
+:func:`mutates` / :func:`reads` decorators return the function object
+untouched unless ``REPRO_SANITIZE=1`` was set at import time, and
+:func:`make_lock` degrades to a plain ``threading.RLock``. The
+primitives themselves always work when constructed directly, so tests
+can exercise them in-process without the environment flag.
+
+Costs when enabled are kept proportional: a token access appends a
+``(kind, frame)`` pair — stack *formatting* happens only on violation.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import sys
+import threading
+import traceback
+from types import FrameType
+from typing import Any, Callable, Iterator, TypeVar
+from contextlib import contextmanager
+
+__all__ = [
+    "ENABLED",
+    "SanitizerViolation",
+    "OwnershipViolation",
+    "LockOrderViolation",
+    "AccessToken",
+    "SanitizedRLock",
+    "make_lock",
+    "mutates",
+    "reads",
+]
+
+#: Frozen at import: flipping the env var later must not half-instrument
+#: a process (decorated classes would disagree with live instances).
+ENABLED = os.environ.get("REPRO_SANITIZE", "") == "1"
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+class SanitizerViolation(RuntimeError):
+    """Base of every sanitizer failure (never raised directly)."""
+
+
+class OwnershipViolation(SanitizerViolation):
+    """Two threads were inside one thread-owned structure at once, at
+    least one of them mutating."""
+
+
+class LockOrderViolation(SanitizerViolation):
+    """A sanitized lock was acquired against the established order."""
+
+
+def _format_frame(frame: FrameType | None) -> str:
+    if frame is None:  # pragma: no cover - frames are always captured
+        return "  <no stack captured>"
+    return "".join(traceback.format_stack(frame)).rstrip()
+
+
+# -- ownership tokens ----------------------------------------------------------
+
+
+class AccessToken:
+    """Reentrant, per-structure ownership tag.
+
+    ``access("mutate")`` / ``access("read")`` bracket an instrumented
+    method. Concurrent brackets from different threads are legal only
+    when *all* of them are reads; any read/mutate or mutate/mutate
+    overlap raises :class:`OwnershipViolation` with both stacks. The
+    same thread may nest freely (methods call methods).
+    """
+
+    __slots__ = ("name", "_guard", "_active")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._guard = threading.Lock()
+        #: thread id → list of ``(kind, frame)`` currently inside.
+        self._active: dict[int, list[tuple[str, FrameType]]] = {}
+
+    @contextmanager
+    def access(self, kind: str) -> Iterator[None]:
+        me = threading.get_ident()
+        frame = sys._getframe(2)  # caller of the with-statement
+        with self._guard:
+            for tid, entries in self._active.items():
+                if tid == me or not entries:
+                    continue
+                other_kind, other_frame = entries[-1]
+                if kind == "mutate" or other_kind == "mutate":
+                    raise OwnershipViolation(
+                        f"thread-owned structure {self.name!r} touched "
+                        f"by two threads at once "
+                        f"({kind} in thread {me} vs {other_kind} in "
+                        f"thread {tid})\n"
+                        f"--- this thread ({kind}) ---\n"
+                        f"{_format_frame(frame)}\n"
+                        f"--- other thread ({other_kind}) ---\n"
+                        f"{_format_frame(other_frame)}"
+                    )
+            self._active.setdefault(me, []).append((kind, frame))
+        try:
+            yield
+        finally:
+            with self._guard:
+                entries = self._active[me]
+                entries.pop()
+                if not entries:
+                    del self._active[me]
+
+
+# -- sanitized locks -----------------------------------------------------------
+
+#: Global acquisition-order graph, by lock name: ``(a, b)`` present
+#: means "a was held while b was acquired". Guarded by ``_ORDER_GUARD``.
+_ORDER_EDGES: dict[tuple[str, str], str] = {}
+_ORDER_GUARD = threading.Lock()
+_HELD = threading.local()
+
+
+def _held_stack() -> list[str]:
+    stack = getattr(_HELD, "stack", None)
+    if stack is None:
+        stack = _HELD.stack = []
+    return stack
+
+
+def _reset_order_graph() -> None:
+    """Test hook: forget every recorded acquisition order."""
+    with _ORDER_GUARD:
+        _ORDER_EDGES.clear()
+
+
+class SanitizedRLock:
+    """An RLock that checks acquisition order against all history.
+
+    Order is keyed by *name*, so every instance of one lock site (e.g.
+    each shard backend's pipe lock) shares one rank — exactly the
+    abstraction the static ABBA check uses.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.RLock()
+
+    def _check_order(self) -> None:
+        held = _held_stack()
+        if not held:
+            return
+        me = self.name
+        with _ORDER_GUARD:
+            for h in held:
+                if h == me:
+                    continue  # reentrant re-acquisition
+                if (me, h) in _ORDER_EDGES:
+                    first = _ORDER_EDGES[(me, h)]
+                    raise LockOrderViolation(
+                        f"lock order inversion (ABBA candidate): "
+                        f"acquiring {me!r} while holding {h!r}, but the "
+                        f"opposite order {me!r} -> {h!r} was established "
+                        f"at:\n{first}\n"
+                        f"--- this acquisition ---\n"
+                        f"{_format_frame(sys._getframe(2))}"
+                    )
+                if (h, me) not in _ORDER_EDGES:
+                    _ORDER_EDGES[(h, me)] = _format_frame(
+                        sys._getframe(2)
+                    )
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._check_order()
+        got = self._lock.acquire(blocking, timeout)
+        if got:
+            _held_stack().append(self.name)
+        return got
+
+    def release(self) -> None:
+        stack = _held_stack()
+        # Pop the most recent occurrence (reentrant holds repeat).
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == self.name:
+                del stack[i]
+                break
+        self._lock.release()
+
+    def __enter__(self) -> "SanitizedRLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+def make_lock(name: str) -> "SanitizedRLock | threading.RLock":
+    """The lock constructor production code uses: sanitized under
+    ``REPRO_SANITIZE=1``, a plain ``threading.RLock`` otherwise."""
+    if ENABLED:
+        return SanitizedRLock(name)
+    return threading.RLock()
+
+
+# -- method instrumentation ----------------------------------------------------
+
+_TOKEN_ATTR = "__repro_sanitize_token__"
+_TOKEN_CREATE = threading.Lock()
+
+
+def _token_of(obj: Any) -> AccessToken:
+    token = obj.__dict__.get(_TOKEN_ATTR)
+    if token is None:
+        with _TOKEN_CREATE:
+            token = obj.__dict__.get(_TOKEN_ATTR)
+            if token is None:
+                token = AccessToken(
+                    f"{type(obj).__name__}@{id(obj):#x}"
+                )
+                obj.__dict__[_TOKEN_ATTR] = token
+    return token
+
+
+def _instrument(kind: str, fn: F) -> F:
+    if not ENABLED:
+        return fn
+
+    @functools.wraps(fn)
+    def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
+        with _token_of(self).access(kind):
+            return fn(self, *args, **kwargs)
+
+    return wrapper  # type: ignore[return-value]
+
+
+def mutates(fn: F) -> F:
+    """Instrument a method as a *mutating* access to its thread-owned
+    instance. Identity (zero overhead) when the sanitizer is disabled."""
+    return _instrument("mutate", fn)
+
+
+def reads(fn: F) -> F:
+    """Instrument a method as a *read-only* access."""
+    return _instrument("read", fn)
