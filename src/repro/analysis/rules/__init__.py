@@ -7,6 +7,7 @@ ordering of ``--list-rules`` output and of ties in rendered findings.
 from __future__ import annotations
 
 from repro.analysis.rules.accounting import AccountingRule
+from repro.analysis.rules.async_safety import AsyncSafetyRule
 from repro.analysis.rules.fork_safety import ForkSafetyRule
 from repro.analysis.rules.kernel_purity import KernelPurityRule
 from repro.analysis.rules.lock_discipline import LockDisciplineRule
@@ -23,6 +24,7 @@ __all__ = [
     "AccountingRule",
     "LockDisciplineRule",
     "SharedStateRule",
+    "AsyncSafetyRule",
 ]
 
 ALL_RULES = (
@@ -33,4 +35,5 @@ ALL_RULES = (
     AccountingRule,
     LockDisciplineRule,
     SharedStateRule,
+    AsyncSafetyRule,
 )

@@ -1,18 +1,12 @@
 """CLI: ``python -m repro.bench --figure 15 --scale default``.
 
-``python -m repro.bench --engine`` runs the serving-layer throughput
-benchmark instead and writes its JSON report (default: ``benchmarks/``);
-``python -m repro.bench --engine --updates`` runs the mixed read/write
-update-throughput benchmark, comparing GIR-aware selective cache
-invalidation against the flush-on-write baseline;
-``python -m repro.bench --engine --drift`` serves the drifting-hot-spot
-Zipf stream instead of the stationary one;
-``python -m repro.bench --cluster`` runs the sharded fan-out benchmark
-(1/2/4/8 shards, sequential vs thread fan-out, gated on merged-result
-equivalence with the single engine); ``--cluster --backend process``
-adds the process-shard fan-out column in the CPU-bound (zero page-sleep)
-regime. ``--family {IND,COR,ANTI}`` selects the synthetic data family
-for the engine and cluster benchmarks.
+Five top-level modes, mutually exclusive: paper figures (``--figure`` /
+no flag), the serving-engine benchmarks (``--engine``, with ``--updates``
+or ``--drift`` variants), the sharded fan-out benchmark (``--cluster``,
+with ``--backend``), and the serving-front-door benchmark (``--serve``).
+The shared modifiers compose as documented in the epilog's interaction
+matrix (``python -m repro.bench --help``); every benchmark mode writes a
+JSON report (default directory: ``benchmarks/``).
 """
 
 from __future__ import annotations
@@ -25,14 +19,35 @@ from repro.bench.config import SCALES
 from repro.bench.figures import FIGURES
 from repro.bench.harness import run_all, run_figure
 
+#: The flag-interaction matrix, kept in --help where it is discoverable
+#: (the CLI grew mode by mode and the rules were previously folklore).
+_EPILOG = """\
+flag interactions:
+  mode flags (pick one):   --figure | --engine | --cluster | --serve
+  --updates, --drift       only with --engine, mutually exclusive with
+                           each other (--updates serves the mixed
+                           read/write stream; --drift the drifting-hot-
+                           spot Zipf stream)
+  --backend                only with --cluster ('process' also switches
+                           to the zero-page-sleep CPU-bound regime)
+  --family                 with --engine, --cluster or --serve (synthetic
+                           data family; figures always sweep all three)
+  --scale, --out-dir       every mode
+
+report naming: <benchmark>[_<backend>][_<family>]_<scale>.json
+"""
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description=(
             "Regenerate the evaluation figures of 'Global Immutable Region "
-            "Computation' (SIGMOD 2014)."
+            "Computation' (SIGMOD 2014), or run the serving-stack "
+            "benchmarks (engine, cluster, front door)."
         ),
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "--figure",
@@ -98,25 +113,45 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--serve",
+        action="store_true",
+        help=(
+            "run the serving-front-door benchmark: the flash-crowd "
+            "coalescing regime plus a write-fence and an overload "
+            "sub-run, each replay-checked for byte-identity with "
+            "sequential per-request serving (see repro.bench.serve_bench)"
+        ),
+    )
+    parser.add_argument(
         "--family",
         default="IND",
         choices=["IND", "COR", "ANTI"],
         help=(
-            "with --engine/--cluster: synthetic data family (the paper's "
-            "IND/COR/ANTI distributions; default IND)"
+            "with --engine/--cluster/--serve: synthetic data family (the "
+            "paper's IND/COR/ANTI distributions; default IND)"
         ),
     )
     args = parser.parse_args(argv)
+    modes = [
+        name
+        for name, on in [
+            ("--figure", args.figure is not None),
+            ("--engine", args.engine),
+            ("--cluster", args.cluster),
+            ("--serve", args.serve),
+        ]
+        if on
+    ]
+    if len(modes) > 1:
+        parser.error(f"{' and '.join(modes)} are mutually exclusive")
     if args.updates and not args.engine:
         parser.error("--updates requires --engine")
     if args.drift and (not args.engine or args.updates):
         parser.error("--drift requires --engine (without --updates)")
-    if args.cluster and (args.engine or args.figure is not None):
-        parser.error("--cluster is mutually exclusive with --engine/--figure")
     if args.backend != "inproc" and not args.cluster:
         parser.error("--backend requires --cluster")
-    if args.family != "IND" and not (args.engine or args.cluster):
-        parser.error("--family requires --engine or --cluster")
+    if args.family != "IND" and not (args.engine or args.cluster or args.serve):
+        parser.error("--family requires --engine, --cluster or --serve")
 
     def report_name(base: str) -> str:
         parts = [base]
@@ -127,6 +162,25 @@ def main(argv: list[str] | None = None) -> int:
         parts.append(args.scale)
         return "_".join(parts) + ".json"
 
+    if args.serve:
+        from repro.bench.serve_bench import (
+            ServeBenchConfig,
+            run_serve_benchmark,
+        )
+
+        scale = SCALES[args.scale]
+        out_dir = Path(args.out_dir) if args.out_dir else Path("benchmarks")
+        config = ServeBenchConfig(
+            n=scale.n_default,
+            k=scale.k_default,
+            requests=scale.serve_requests,
+            family=args.family,
+        )
+        out_path = out_dir / report_name("serve_flash_crowd")
+        payload = run_serve_benchmark(config, out_path)
+        print(json.dumps(payload, indent=2))
+        print(f"\n[serve benchmark report written to {out_path}]")
+        return 0
     if args.cluster:
         from repro.bench.cluster_bench import (
             ClusterBenchConfig,
@@ -156,8 +210,6 @@ def main(argv: list[str] | None = None) -> int:
         print(f"\n[cluster benchmark report written to {out_path}]")
         return 0
     if args.engine:
-        if args.figure is not None:
-            parser.error("--engine and --figure are mutually exclusive")
         scale = SCALES[args.scale]
         out_dir = Path(args.out_dir) if args.out_dir else Path("benchmarks")
         if args.updates:

@@ -51,6 +51,8 @@ class ExperimentScale:
     engine_update_ops: int = 250
     #: workload length per configuration of the sharded-cluster benchmark
     cluster_queries: int = 240
+    #: flash-crowd request count of the serving-front-door benchmark
+    serve_requests: int = 400
 
     def __post_init__(self) -> None:
         if self.n_default <= 0 or self.queries <= 0:
@@ -63,6 +65,7 @@ SCALES: dict[str, ExperimentScale] = {
         engine_queries=150,
         engine_update_ops=120,
         cluster_queries=120,
+        serve_requests=160,
         n_default=4_000,
         n_sweep=(2_000, 4_000, 8_000),
         d_sweep=(2, 3, 4),
@@ -91,6 +94,7 @@ SCALES: dict[str, ExperimentScale] = {
         name="default",
         engine_queries=1_000,
         engine_update_ops=600,
+        serve_requests=800,
         n_default=40_000,
         n_sweep=(15_000, 30_000, 60_000, 120_000, 240_000),
         d_sweep=(2, 3, 4, 5, 6),
@@ -105,6 +109,7 @@ SCALES: dict[str, ExperimentScale] = {
         name="paper",
         engine_queries=5_000,
         engine_update_ops=2_500,
+        serve_requests=4_000,
         n_default=1_000_000,
         n_sweep=(500_000, 1_000_000, 5_000_000, 10_000_000, 20_000_000),
         d_sweep=(2, 3, 4, 5, 6, 7, 8),

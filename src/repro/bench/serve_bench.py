@@ -1,0 +1,201 @@
+"""Serving-front-door benchmark: coalescing under a flash crowd.
+
+Three sub-runs against the same synthetic dataset, each through a fresh
+:class:`~repro.serve.ServeFront` over a fresh
+:class:`~repro.engine.GIREngine`:
+
+* **flash_crowd** — the separating regime: duplicate-heavy bursts over a
+  few hot vectors (:func:`~repro.engine.flash_crowd_workload`) fired
+  from many concurrent clients. The payload records the full service
+  stats and the headline **fan-in ratio** (reads served per engine
+  request — CI gates on > 1), and replays the tier's serialization log
+  sequentially through a fresh identical engine to assert byte-identical
+  ``(rids, scores)`` (:func:`~repro.serve.replay_serial_check`).
+* **mixed_fence** — the same tier with inserts/deletes blended in, so
+  the committed JSON also witnesses the write fence: the replay crosses
+  every fence position and must still match exactly.
+* **overload** — the flash crowd against a deliberately tiny ingress
+  queue, proving load is *shed* (structured ``Overloaded``, counted)
+  rather than buffered without bound, with the admission identity
+  ``arrivals == admitted + rejected + shed`` checked in the payload.
+
+Run with ``python -m repro.bench --serve [--scale smoke]``; the JSON
+lands next to the other reports and carries ``host.cpu_count`` (the
+ROADMAP bench-honesty note: concurrency results are meaningless without
+the host's parallelism on record).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.data.synthetic import make_synthetic
+from repro.engine import GIREngine, flash_crowd_workload, mixed_workload
+from repro.index.bulkload import bulk_load_str
+from repro.serve import (
+    ServeConfig,
+    ServeFront,
+    replay_serial_check,
+    run_serve_workload,
+)
+
+__all__ = ["ServeBenchConfig", "run_serve_benchmark"]
+
+
+@dataclass(frozen=True)
+class ServeBenchConfig:
+    """Parameters of the front-door benchmark."""
+
+    n: int = 4_000
+    d: int = 3
+    k: int = 10
+    requests: int = 400
+    family: str = "IND"
+    seed: int = 9
+    cache_capacity: int = 128
+    # workload shape (see flash_crowd_workload)
+    hot: int = 4
+    burst_len: int = 24
+    duplicate_fraction: float = 0.85
+    background_fraction: float = 0.25
+    # front-door knobs
+    concurrency: int = 48
+    batch_window_ms: float = 2.0
+    batch_max: int = 32
+    max_pending: int = 512
+    coalesce_radius: float = 0.02
+    # overload sub-run: same traffic against a tiny ingress queue
+    overload_max_pending: int = 8
+    overload_concurrency: int = 64
+    # mixed sub-run: fence coverage
+    mixed_requests: int = 120
+    mixed_update_fraction: float = 0.2
+
+
+def _fresh_engine(config: ServeBenchConfig, data) -> GIREngine:
+    return GIREngine(
+        data, bulk_load_str(data), cache_capacity=config.cache_capacity
+    )
+
+
+async def _drive(engine, workload, serve_config, concurrency):
+    front = ServeFront(engine, serve_config)
+    async with front:
+        report = await run_serve_workload(front, workload, concurrency)
+    return front, report
+
+
+def _run_section(config, data, workload, serve_config, concurrency) -> dict:
+    front, report = asyncio.run(
+        _drive(_fresh_engine(config, data), workload, serve_config, concurrency)
+    )
+    equivalence = replay_serial_check(front.log, _fresh_engine(config, data))
+    stats = front.stats
+    return {
+        "report": report.to_dict(),
+        "equivalence": equivalence,
+        "fan_in_ratio": stats.fan_in_ratio,
+        "engine_requests": stats.engine_requests,
+        "reads_served": stats.reads_served,
+        "shed": stats.shed,
+        "rejected": stats.rejected,
+        "arrivals": stats.arrivals,
+        "accounting_ok": stats.accounting_ok(),
+    }
+
+
+def run_serve_benchmark(
+    config: ServeBenchConfig, out_path: "Path | str | None" = None
+) -> dict:
+    """Run all three sub-runs and (optionally) write the JSON report."""
+    data = make_synthetic(config.family, config.n, config.d, seed=config.seed)
+    serve_config = ServeConfig(
+        max_pending=config.max_pending,
+        batch_window_ms=config.batch_window_ms,
+        batch_max=config.batch_max,
+        coalesce_radius=config.coalesce_radius,
+    )
+
+    flash = _run_section(
+        config,
+        data,
+        flash_crowd_workload(
+            config.d,
+            config.requests,
+            k=config.k,
+            hot=config.hot,
+            burst_len=config.burst_len,
+            duplicate_fraction=config.duplicate_fraction,
+            background_fraction=config.background_fraction,
+            rng=config.seed,
+        ),
+        serve_config,
+        config.concurrency,
+    )
+
+    mixed = _run_section(
+        config,
+        data,
+        mixed_workload(
+            config.d,
+            config.mixed_requests,
+            base_n=config.n,
+            k=config.k,
+            update_fraction=config.mixed_update_fraction,
+            rng=config.seed + 1,
+        ),
+        serve_config,
+        config.concurrency,
+    )
+
+    overload = _run_section(
+        config,
+        data,
+        flash_crowd_workload(
+            config.d,
+            config.requests,
+            k=config.k,
+            hot=config.hot,
+            burst_len=config.burst_len,
+            duplicate_fraction=config.duplicate_fraction,
+            background_fraction=config.background_fraction,
+            rng=config.seed + 2,
+        ),
+        ServeConfig(
+            max_pending=config.overload_max_pending,
+            batch_window_ms=config.batch_window_ms,
+            batch_max=config.batch_max,
+            coalesce_radius=config.coalesce_radius,
+        ),
+        config.overload_concurrency,
+    )
+
+    payload = {
+        "benchmark": "serve_front",
+        "config": asdict(config),
+        "host": {"cpu_count": os.cpu_count()},
+        "flash_crowd": flash,
+        "mixed_fence": mixed,
+        "overload": overload,
+        # headline flags, lifted to the top for the CI gates
+        "fan_in_ratio": flash["fan_in_ratio"],
+        "equivalence_all_match": (
+            flash["equivalence"]["all_match"]
+            and mixed["equivalence"]["all_match"]
+            and overload["equivalence"]["all_match"]
+        ),
+        "accounting_ok": (
+            flash["accounting_ok"]
+            and mixed["accounting_ok"]
+            and overload["accounting_ok"]
+        ),
+    }
+    if out_path is not None:
+        out_path = Path(out_path)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload

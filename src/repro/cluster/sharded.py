@@ -59,7 +59,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -342,6 +342,14 @@ class ShardedGIREngine:
         if not 0 <= rid < len(self._rid_map):
             raise KeyError(f"rid {rid} was never allocated")
         return self._rid_map[rid]
+
+    def result_rows(self, ids: Sequence[int]) -> np.ndarray:
+        """Snapshot copy of the global rows behind an answer, in answer
+        order — the cluster half of the serving front door's snapshot
+        contract (see :meth:`repro.engine.GIREngine.result_rows`); taken
+        under the serve lock so it never interleaves with an update."""
+        with self._serve_lock:
+            return np.array(self.table.rows[list(ids)], dtype=np.float64)
 
     # -- serving --------------------------------------------------------------
 

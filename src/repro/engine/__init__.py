@@ -28,6 +28,7 @@ from repro.engine.workload import (
     Workload,
     as_generator,
     drifting_zipf_workload,
+    flash_crowd_workload,
     mixed_workload,
     op_batches,
     uniform_workload,
@@ -52,5 +53,6 @@ __all__ = [
     "uniform_workload",
     "zipf_clustered_workload",
     "drifting_zipf_workload",
+    "flash_crowd_workload",
     "mixed_workload",
 ]

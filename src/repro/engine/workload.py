@@ -15,6 +15,12 @@ Three stream shapes cover the interesting ends of the caching spectrum:
 * :func:`drifting_zipf_workload` — Zipf-clustered traffic whose hot spot
   *migrates* at phase boundaries. The regime where recency-only (LRU)
   eviction churns and a value-aware score should win.
+* :func:`flash_crowd_workload` — sudden duplicate-heavy bursts over a
+  tiny pool of hot vectors, on a thin uniform background. The separating
+  regime for the serving front door's single-flight coalescing: most of
+  a burst is *the same request*, concurrently in flight, so a tier that
+  coalesces serves the burst with one engine pass where a plain proxy
+  pays one per request.
 * :func:`mixed_workload` — a read stream of either shape with an update
   stream (inserts of fresh records, deletes of live ones) blended in, in
   bursts. This is the scenario where caching strategies are really
@@ -45,6 +51,7 @@ __all__ = [
     "uniform_workload",
     "zipf_clustered_workload",
     "drifting_zipf_workload",
+    "flash_crowd_workload",
     "mixed_workload",
 ]
 
@@ -306,6 +313,91 @@ def drifting_zipf_workload(
             "spread": float(spread),
             "phases": float(phases),
             "carryover": float(carryover),
+        },
+    )
+
+
+def flash_crowd_workload(
+    d: int,
+    count: int,
+    k: int = 10,
+    hot: int = 4,
+    burst_len: int = 24,
+    duplicate_fraction: float = 0.85,
+    spread: float = 0.004,
+    background_fraction: float = 0.25,
+    rng: "int | np.random.Generator | None" = None,
+) -> Workload:
+    """Duplicate-heavy request bursts over a small hot weight set.
+
+    The stream alternates between single *background* reads (i.i.d.
+    uniform, the cold traffic) and *bursts*: ``burst_len`` consecutive
+    requests aimed at one of ``hot`` fixed hot vectors, of which a
+    ``duplicate_fraction`` are byte-exact duplicates of the hot vector
+    and the rest tiny Gaussian tweaks (``spread``) around it. A burst
+    models a flash crowd — many users issuing the *same* preference at
+    once — which is precisely the traffic the GIR invariant collapses:
+    every request in the burst is certified by the one region the first
+    request computes.
+
+    Parameters
+    ----------
+    hot:
+        Number of distinct hot vectors bursts draw from.
+    burst_len:
+        Requests per burst (the last burst may be truncated by ``count``).
+    duplicate_fraction:
+        Fraction of a burst that repeats the hot vector exactly.
+    spread:
+        Std-dev of the tweak applied to the non-duplicate remainder.
+    background_fraction:
+        Approximate fraction of the stream that is background singles.
+    rng:
+        Int seed or ready generator (:func:`as_generator`).
+    """
+    if hot <= 0:
+        raise ValueError("hot must be positive")
+    if burst_len <= 0:
+        raise ValueError("burst_len must be positive")
+    if spread < 0.0:
+        raise ValueError("spread must be non-negative")
+    if not 0.0 <= duplicate_fraction <= 1.0:
+        raise ValueError("duplicate_fraction must be in [0, 1]")
+    if not 0.0 <= background_fraction < 1.0:
+        raise ValueError("background_fraction must be in [0, 1)")
+    rng = as_generator(rng)
+    hot_vectors = rng.random((hot, d)) * 0.7 + 0.15
+    # One background single "costs" 1 op, one burst costs burst_len; emit
+    # singles at the rate that makes their realised share match.
+    p_single = (
+        background_fraction
+        * burst_len
+        / (1.0 - background_fraction + background_fraction * burst_len)
+    )
+    requests: list = []
+    while len(requests) < count:
+        if rng.random() < p_single:
+            requests.append(Request(weights=rng.random(d) * 0.8 + 0.1, k=k))
+            continue
+        centre = hot_vectors[int(rng.integers(hot))]
+        for _ in range(min(burst_len, count - len(requests))):
+            if rng.random() < duplicate_fraction:
+                weights = centre
+            else:
+                weights = _interior(centre + rng.normal(0.0, spread, d))
+            requests.append(Request(weights=weights, k=k))
+    return Workload(
+        requests=requests,
+        kind="flash_crowd",
+        params={
+            "d": float(d),
+            "count": float(count),
+            "k": float(k),
+            "hot": float(hot),
+            "burst_len": float(burst_len),
+            "duplicate_fraction": float(duplicate_fraction),
+            "spread": float(spread),
+            "background_fraction": float(background_fraction),
         },
     )
 

@@ -1,0 +1,61 @@
+"""``repro.serve`` — the asyncio front door over the serving engines.
+
+The paper's Section 1 workload is *concurrent*: many near-duplicate
+requests arrive faster than one engine drains them. GIRs make that
+regime cheap — every request whose weight vector lands in a served
+answer's stability region is provably the *same* ordered answer — but
+the engines themselves are synchronous and thread-owned. This package
+puts an asyncio tier in front of :class:`~repro.engine.GIREngine` /
+:class:`~repro.cluster.ShardedGIREngine` that exploits it:
+
+* **admission** (:meth:`ServeFront.topk`) — boundary validation via the
+  engine's own :func:`~repro.engine.validate_weights` /
+  :func:`~repro.engine.validate_point`, a bounded ingress queue, and
+  explicit structured :class:`Rejected` / :class:`Overloaded` errors
+  instead of unbounded buffering;
+* **micro-batching** (:class:`ServeConfig.batch_window_ms` /
+  ``batch_max``) — queued reads are collected for a few milliseconds and
+  served through one ``topk_batch`` call (byte-identical to per-request
+  serving by the engine's own contract);
+* **single-flight coalescing** (:mod:`repro.serve.coalesce`) — requests
+  duplicating (or landing near) a weight vector already being computed
+  await that computation instead of re-entering the engine, and are
+  answered from the leader's returned GIR after a membership check;
+* **a write fence** — inserts/deletes drain every in-flight read batch
+  before applying, so no coalesced read is served from a pre-write
+  snapshot but serialized after the write;
+* **a serialization log** (:mod:`repro.serve.replay`) — every served
+  operation in commit order, replayable against a fresh engine to prove
+  the tier byte-identical to sequential per-request serving.
+
+All engine calls are routed through a one-thread executor bridge (the
+engine stays single-owner, satisfying the runtime sanitizer's ownership
+tokens); the event loop itself never blocks — enforced statically by the
+``async-safety`` rule of :mod:`repro.analysis`.
+"""
+
+from repro.serve.config import ServeConfig
+from repro.serve.errors import Overloaded, Rejected, ServeError
+from repro.serve.front import (
+    ServeFront,
+    ServeResponse,
+    ServeUpdate,
+    run_serve_workload,
+)
+from repro.serve.replay import canonical_scores, replay_serial_check
+from repro.serve.stats import ServeReport, ServeStats
+
+__all__ = [
+    "ServeConfig",
+    "ServeError",
+    "Rejected",
+    "Overloaded",
+    "ServeFront",
+    "ServeResponse",
+    "ServeUpdate",
+    "ServeReport",
+    "ServeStats",
+    "run_serve_workload",
+    "replay_serial_check",
+    "canonical_scores",
+]

@@ -1,0 +1,90 @@
+"""The single-flight in-flight table of the serving front door.
+
+One :class:`InFlightEntry` per weight vector currently being answered by
+the engine. A later read *attaches* as a follower instead of becoming a
+new engine request when its vector matches the entry — exactly (byte
+equality of the float64 vector) or within the configured L∞ radius —
+and its ``k`` does not exceed the leader's. Attachment is optimistic:
+the front door verifies the follower's vector against the leader's
+*returned* GIR before answering from it (the GIR invariant is what makes
+a membership test sufficient — any region containing the vector
+certifies the same ordered answer), so the radius only decides how often
+the optimism pays off, never whether an answer is right.
+
+Entries are discarded by identity, not by key: after a write fence
+clears the table, a finishing batch must not delete a newer entry that
+reused its key.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["InFlightEntry", "InFlightTable", "weights_key"]
+
+
+def weights_key(weights: np.ndarray) -> bytes:
+    """Exact-duplicate lookup key: the raw float64 bytes of the vector."""
+    return np.ascontiguousarray(weights, dtype=np.float64).tobytes()
+
+
+class InFlightEntry:
+    """One in-flight engine request and the followers awaiting it."""
+
+    __slots__ = ("key", "weights", "k", "leader", "followers")
+
+    def __init__(self, weights: np.ndarray, k: int, leader: object) -> None:
+        self.key = weights_key(weights)
+        self.weights = weights
+        self.k = k
+        self.leader = leader
+        self.followers: list = []
+
+
+class InFlightTable:
+    """Exact-key dict plus a linear near-match scan over live entries.
+
+    The scan is O(entries in flight), which the dispatcher bounds by
+    ``max_inflight_batches × batch_max`` — small by construction.
+    """
+
+    def __init__(self, radius: float = 0.0) -> None:
+        self.radius = float(radius)
+        self._entries: dict[bytes, InFlightEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def match(self, weights: np.ndarray, k: int) -> InFlightEntry | None:
+        """The entry a ``(weights, k)`` read may attach to, if any.
+
+        Exact byte-duplicates match first; with a positive radius, the
+        L∞-nearest in-radius entry matches next. Either way the entry
+        must be answering at least ``k`` results.
+        """
+        exact = self._entries.get(weights_key(weights))
+        if exact is not None and k <= exact.k:
+            return exact
+        if self.radius <= 0.0 or not self._entries:
+            return None
+        best: InFlightEntry | None = None
+        best_dist = self.radius
+        for entry in self._entries.values():
+            if k > entry.k:
+                continue
+            dist = float(np.max(np.abs(entry.weights - weights)))
+            if dist <= best_dist:
+                best, best_dist = entry, dist
+        return best
+
+    def register(self, entry: InFlightEntry) -> None:
+        self._entries[entry.key] = entry
+
+    def discard(self, entry: InFlightEntry) -> None:
+        """Remove ``entry`` if (and only if) it is still the live holder
+        of its key — identity-guarded against post-fence key reuse."""
+        if self._entries.get(entry.key) is entry:
+            del self._entries[entry.key]
+
+    def clear(self) -> None:
+        self._entries.clear()

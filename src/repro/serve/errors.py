@@ -1,0 +1,43 @@
+"""Structured admission errors of the serving front door.
+
+Admission failures are part of the service contract, not incidental
+exceptions: a client (or the workload runner) must be able to tell a
+malformed request (its own fault, :class:`Rejected`) from shed load (the
+tier's explicit backpressure, :class:`Overloaded`) without string
+matching. Both carry a machine-readable ``code`` plus keyword details
+and render to a JSON-ready dict via :meth:`ServeError.to_dict`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ServeError", "Rejected", "Overloaded"]
+
+
+class ServeError(Exception):
+    """Base of every structured front-door error (never raised bare)."""
+
+    #: Machine-readable discriminator, set by each subclass.
+    code = "serve-error"
+
+    def __init__(self, message: str, **details: object) -> None:
+        super().__init__(message)
+        self.message = message
+        self.details = details
+
+    def to_dict(self) -> dict:
+        """JSON-ready structured form (``error`` / ``message`` / details)."""
+        return {"error": self.code, "message": self.message, **self.details}
+
+
+class Rejected(ServeError):
+    """The request failed boundary validation (or the tier is closed);
+    retrying the same request will fail the same way."""
+
+    code = "rejected"
+
+
+class Overloaded(ServeError):
+    """The ingress queue is at capacity and the request was shed; the
+    request was valid and a later retry may succeed."""
+
+    code = "overloaded"

@@ -1,0 +1,174 @@
+"""Service-side accounting of the front door.
+
+The tier's counters follow one identity, checked (not assumed) by
+:meth:`ServeStats.accounting_ok` after a drain::
+
+    arrivals == admitted + rejected + shed            (admission)
+    admitted == reads_served + writes_applied + errors (completion)
+    reads_served == engine_requests + coalesced_served (provenance)
+
+and the headline service metric is the **coalesce fan-in ratio** —
+reads served per engine request; above 1.0 the tier is answering
+traffic the engine never saw. Latency is split into *wait* (arrival →
+dispatch, the queueing cost) and *service* (engine time, or ~0 for a
+coalesced answer), so queue pressure and engine cost cannot masquerade
+as one another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.engine import percentile
+
+__all__ = ["ServeStats", "ServeReport"]
+
+
+def _pct(values: list[float], p: float) -> float:
+    return percentile(values, p) if values else 0.0
+
+
+@dataclass
+class ServeStats:
+    """Counters of one :class:`~repro.serve.front.ServeFront` lifetime."""
+
+    #: Every call that reached admission (served, rejected or shed).
+    arrivals: int = 0
+    #: Requests that passed validation and entered the ingress queue.
+    admitted: int = 0
+    #: Requests failing boundary validation (or arriving after close).
+    rejected: int = 0
+    #: Valid requests shed because the ingress queue was at capacity.
+    shed: int = 0
+    #: Reads answered (engine-served and coalesced alike).
+    reads_served: int = 0
+    #: Inserts/deletes applied through the write fence.
+    writes_applied: int = 0
+    #: Admitted operations that failed inside the engine.
+    errors: int = 0
+    #: ``topk_batch`` calls issued to the engine.
+    engine_batch_calls: int = 0
+    #: Requests inside those calls (the coalescing denominator).
+    engine_requests: int = 0
+    #: Reads that attached to an in-flight leader at dispatch.
+    coalesce_attached: int = 0
+    #: Attached reads actually answered from their leader's GIR.
+    coalesced_served: int = 0
+    #: Attached reads whose vector fell outside the leader's returned
+    #: GIR and re-entered the queue for their own engine pass.
+    coalesce_fallbacks: int = 0
+    #: Write fences executed (each drains every in-flight read batch).
+    fences: int = 0
+    #: Deepest ingress queue observed at an admission.
+    queue_depth_peak: int = 0
+    #: Most engine batches outstanding at once.
+    inflight_batches_peak: int = 0
+    #: Arrival→dispatch queueing delay per served read, milliseconds.
+    wait_ms: list[float] = field(default_factory=list)
+    #: Engine time per served read (≈0 for coalesced answers), ms.
+    service_ms: list[float] = field(default_factory=list)
+
+    @property
+    def fan_in_ratio(self) -> float:
+        """Reads served per engine request; > 1 means coalescing won."""
+        return self.reads_served / max(self.engine_requests, 1)
+
+    def accounting_ok(self) -> bool:
+        """The admission/completion/provenance identities, post-drain."""
+        return (
+            self.arrivals == self.admitted + self.rejected + self.shed
+            and self.admitted
+            == self.reads_served + self.writes_applied + self.errors
+            and self.reads_served
+            == self.engine_requests + self.coalesced_served
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready counters (the ``--serve`` bench payload)."""
+        return {
+            "arrivals": self.arrivals,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "reads_served": self.reads_served,
+            "writes_applied": self.writes_applied,
+            "errors": self.errors,
+            "engine_batch_calls": self.engine_batch_calls,
+            "engine_requests": self.engine_requests,
+            "coalesce_attached": self.coalesce_attached,
+            "coalesced_served": self.coalesced_served,
+            "coalesce_fallbacks": self.coalesce_fallbacks,
+            "fan_in_ratio": self.fan_in_ratio,
+            "fences": self.fences,
+            "queue_depth_peak": self.queue_depth_peak,
+            "inflight_batches_peak": self.inflight_batches_peak,
+            "wait_p50_ms": _pct(self.wait_ms, 50),
+            "wait_p95_ms": _pct(self.wait_ms, 95),
+            "service_p50_ms": _pct(self.service_ms, 50),
+            "service_p95_ms": _pct(self.service_ms, 95),
+            "accounting_ok": self.accounting_ok(),
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"admission         : {self.arrivals} arrivals = "
+            f"{self.admitted} admitted + {self.rejected} rejected + "
+            f"{self.shed} shed",
+            f"reads             : {self.reads_served} served via "
+            f"{self.engine_requests} engine requests "
+            f"({self.engine_batch_calls} batches) — fan-in "
+            f"{self.fan_in_ratio:.2f}x",
+            f"coalescing        : {self.coalesce_attached} attached, "
+            f"{self.coalesced_served} served, "
+            f"{self.coalesce_fallbacks} fallbacks",
+            f"writes            : {self.writes_applied} applied through "
+            f"{self.fences} fences ({self.errors} errors)",
+            f"latency split     : wait p50 {_pct(self.wait_ms, 50):.2f} / "
+            f"p95 {_pct(self.wait_ms, 95):.2f} ms, service p50 "
+            f"{_pct(self.service_ms, 50):.2f} / "
+            f"p95 {_pct(self.service_ms, 95):.2f} ms",
+            f"pressure          : queue depth peak "
+            f"{self.queue_depth_peak}, in-flight batches peak "
+            f"{self.inflight_batches_peak}",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class ServeReport:
+    """Aggregate outcome of one workload run through the front door
+    (the serve-tier sibling of :class:`~repro.engine.WorkloadReport`)."""
+
+    #: Per-operation outcomes in workload order: a ``ServeResponse`` /
+    #: ``ServeUpdate``, or the structured ``ServeError`` for shed /
+    #: rejected arrivals.
+    outcomes: list
+    stats: ServeStats
+    wall_ms: float
+    workload_kind: str = "custom"
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def throughput_rps(self) -> float:
+        served = self.stats.reads_served + self.stats.writes_applied
+        return 1000.0 * served / self.wall_ms if self.wall_ms > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "workload_kind": self.workload_kind,
+            "operations": self.total,
+            "wall_ms": self.wall_ms,
+            "throughput_rps": self.throughput_rps,
+            **self.stats.to_dict(),
+        }
+
+    def summary(self) -> str:
+        head = (
+            f"workload          : {self.total} operations "
+            f"({self.workload_kind}), {self.wall_ms:.0f} ms wall, "
+            f"{self.throughput_rps:.0f} ops/s"
+        )
+        return "\n".join([head, self.stats.summary()])

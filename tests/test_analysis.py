@@ -18,6 +18,7 @@ import pytest
 
 from repro.analysis import ALL_RULES, Project, run_rules
 from repro.analysis.rules.accounting import AccountingRule
+from repro.analysis.rules.async_safety import AsyncSafetyRule
 from repro.analysis.rules.fork_safety import ForkSafetyRule
 from repro.analysis.rules.kernel_purity import KernelPurityRule
 from repro.analysis.rules.lock_discipline import LockDisciplineRule
@@ -870,3 +871,114 @@ class TestCLI:
         assert proc.returncode == 0
         for cls in ALL_RULES:
             assert cls.id in proc.stdout
+
+
+class TestAsyncSafety:
+    """Seeded violations and clean fixtures for the ``async-safety`` rule."""
+
+    def test_flags_time_sleep_in_coroutine(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "pkg/serve/front.py": (
+                    "import time\n\n"
+                    "async def handler():\n"
+                    "    time.sleep(0.1)\n"
+                )
+            },
+        )
+        found = findings_of(project, AsyncSafetyRule())
+        assert len(found) == 1
+        assert "time.sleep" in found[0].message
+        assert found[0].line == 4
+
+    def test_flags_raw_lock_acquire(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "pkg/serve/front.py": (
+                    "async def handler(lock):\n"
+                    "    lock.acquire()\n"
+                    "    try:\n"
+                    "        pass\n"
+                    "    finally:\n"
+                    "        lock.release()\n"
+                )
+            },
+        )
+        found = findings_of(project, AsyncSafetyRule())
+        assert len(found) == 1
+        assert ".acquire()" in found[0].message
+
+    def test_flags_synchronous_engine_call(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "pkg/serve/front.py": (
+                    "async def handler(engine, w, k):\n"
+                    "    return engine.topk(w, k)\n"
+                )
+            },
+        )
+        found = findings_of(project, AsyncSafetyRule())
+        assert len(found) == 1
+        assert "executor bridge" in found[0].message
+
+    def test_awaited_counterparts_and_bridge_pass(self, tmp_path):
+        # The front door's own shape: awaited async methods named like
+        # the engine surface, an awaited asyncio lock acquire, and the
+        # engine method crossing run_in_executor as a reference.
+        project = project_from(
+            tmp_path,
+            {
+                "pkg/serve/front.py": (
+                    "import asyncio\n\n"
+                    "async def handler(self, w, k):\n"
+                    "    await self.lock.acquire()\n"
+                    "    resp = await self.topk(w, k)\n"
+                    "    loop = asyncio.get_running_loop()\n"
+                    "    return await loop.run_in_executor(\n"
+                    "        self.pool, self.engine.topk_batch, [resp]\n"
+                    "    )\n"
+                )
+            },
+        )
+        assert findings_of(project, AsyncSafetyRule()) == []
+
+    def test_nested_def_and_sync_functions_out_of_scope(self, tmp_path):
+        # A nested def runs wherever it is called (here: on the bridge),
+        # and sync functions are the bridge itself — neither may fire.
+        project = project_from(
+            tmp_path,
+            {
+                "pkg/serve/front.py": (
+                    "import time\n\n"
+                    "def bridge(engine, reqs):\n"
+                    "    return engine.topk_batch(reqs)\n\n"
+                    "async def handler(engine, reqs):\n"
+                    "    def job():\n"
+                    "        time.sleep(0.0)\n"
+                    "        return engine.topk_batch(reqs)\n"
+                    "    return job\n"
+                )
+            },
+        )
+        assert findings_of(project, AsyncSafetyRule()) == []
+
+    def test_ignores_modules_outside_serve(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "pkg/engine/loop.py": (
+                    "import time\n\n"
+                    "async def handler(engine, w, k):\n"
+                    "    time.sleep(0.1)\n"
+                    "    return engine.topk(w, k)\n"
+                )
+            },
+        )
+        assert findings_of(project, AsyncSafetyRule()) == []
+
+    def test_committed_serve_package_is_clean(self):
+        project = Project.load(REPO, [SRC / "repro" / "serve"])
+        assert findings_of(project, AsyncSafetyRule()) == []
