@@ -13,6 +13,7 @@ from repro.analysis.rules.kernel_purity import KernelPurityRule
 from repro.analysis.rules.lock_discipline import LockDisciplineRule
 from repro.analysis.rules.numeric_safety import NumericSafetyRule
 from repro.analysis.rules.shared_state import SharedStateRule
+from repro.analysis.rules.span_discipline import SpanDisciplineRule
 from repro.analysis.rules.wire_drift import WireDriftRule
 
 __all__ = [
@@ -25,6 +26,7 @@ __all__ = [
     "LockDisciplineRule",
     "SharedStateRule",
     "AsyncSafetyRule",
+    "SpanDisciplineRule",
 ]
 
 ALL_RULES = (
@@ -36,4 +38,5 @@ ALL_RULES = (
     LockDisciplineRule,
     SharedStateRule,
     AsyncSafetyRule,
+    SpanDisciplineRule,
 )

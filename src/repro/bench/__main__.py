@@ -30,6 +30,9 @@ flag interactions:
                            spot Zipf stream)
   --backend                only with --cluster ('process' also switches
                            to the zero-page-sleep CPU-bound regime)
+  --trace                  only with --serve or --cluster: repeat the
+                           workload with repro.obs tracing armed and
+                           emit trace artifacts next to the report
   --family                 with --engine, --cluster or --serve (synthetic
                            data family; figures always sweep all three)
   --scale, --out-dir       every mode
@@ -123,6 +126,16 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "with --serve or --cluster: add a traced sub-run (repro.obs "
+            "spans armed) and write Chrome-trace / Prometheus artifacts "
+            "next to the JSON report, with balance, stitching and "
+            "disabled-overhead gates in the payload"
+        ),
+    )
+    parser.add_argument(
         "--family",
         default="IND",
         choices=["IND", "COR", "ANTI"],
@@ -150,6 +163,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--drift requires --engine (without --updates)")
     if args.backend != "inproc" and not args.cluster:
         parser.error("--backend requires --cluster")
+    if args.trace and not (args.serve or args.cluster):
+        parser.error("--trace requires --serve or --cluster")
     if args.family != "IND" and not (args.engine or args.cluster or args.serve):
         parser.error("--family requires --engine, --cluster or --serve")
 
@@ -177,7 +192,7 @@ def main(argv: list[str] | None = None) -> int:
             family=args.family,
         )
         out_path = out_dir / report_name("serve_flash_crowd")
-        payload = run_serve_benchmark(config, out_path)
+        payload = run_serve_benchmark(config, out_path, trace=args.trace)
         print(json.dumps(payload, indent=2))
         print(f"\n[serve benchmark report written to {out_path}]")
         return 0
@@ -205,7 +220,7 @@ def main(argv: list[str] | None = None) -> int:
             ),
         )
         out_path = out_dir / report_name("cluster_fanout")
-        payload = run_cluster_benchmark(config, out_path)
+        payload = run_cluster_benchmark(config, out_path, trace=args.trace)
         print(json.dumps(payload, indent=2))
         print(f"\n[cluster benchmark report written to {out_path}]")
         return 0

@@ -35,6 +35,15 @@ won).
 
 The single-engine reference runs with accounting-only I/O (no sleeping):
 it exists for answer equivalence, not for a timing comparison.
+
+With ``--trace`` an extra sub-run repeats the workload through one
+two-shard cluster with :mod:`repro.obs` tracing armed (the configured
+backend's most parallel mode), drains the worker-side spans through the
+wire protocol, and gates on: answers still matching the reference,
+every worker span stitching under a router trace id
+(``cross_process_stitched``), the collector staying balanced, and the
+measured disabled-mode span overhead staying within budget. A Chrome
+trace-event artifact lands next to the report.
 """
 
 from __future__ import annotations
@@ -46,6 +55,7 @@ import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
+from repro import obs
 from repro.cluster import ShardedGIREngine
 from repro.data.synthetic import make_synthetic
 from repro.engine import GIREngine, zipf_clustered_workload, uniform_workload
@@ -120,12 +130,110 @@ def _mode_grid(config: ClusterBenchConfig) -> list[tuple[str, str, bool]]:
     return modes
 
 
+def _trace_section(
+    config: ClusterBenchConfig,
+    data,
+    workload,
+    ref_ids: list,
+    out_path: "Path | None",
+) -> dict:
+    """The ``--trace`` sub-run: one two-shard cluster (the configured
+    backend's parallel mode) with tracing armed.
+
+    Worker spans are pulled router-side with
+    :meth:`~repro.cluster.ShardedGIREngine.drain_worker_spans`; the
+    cross-process stitch gate asserts that spans recorded in *other*
+    pids parent under router span ids within router trace ids — the
+    whole point of carrying trace context on the wire.
+    """
+    noop_ns = obs.disabled_span_overhead_ns()
+    mode, backend, parallel = _mode_grid(config)[-1]
+    obs.reset_collector()
+    obs.enable()
+    try:
+        with ShardedGIREngine(
+            data,
+            shards=2,
+            partitioner=config.partitioner,
+            backend=backend,
+            parallel=parallel,
+            method=config.method,
+            cache_capacity=config.cache_capacity,
+            cluster_cache_capacity=config.cluster_cache_capacity,
+            page_sleep_ms=config.page_sleep_ms,
+        ) as engine:
+            report = engine.run(workload)
+            drained = engine.drain_worker_spans()
+    finally:
+        obs.disable()
+    collector_stats = obs.collector().stats()
+    spans = obs.drain()
+    matches = all(
+        r.ids == ids for r, ids in zip(report.responses, ref_ids)
+    ) and len(report.responses) == len(ref_ids)
+
+    pid = os.getpid()
+    local_prefix = f"s{pid:x}-"
+    router_span_ids = {
+        s.span_id for s in spans if s.span_id.startswith(local_prefix)
+    }
+    router_trace_ids = {
+        s.trace_id for s in spans if s.span_id.startswith(local_prefix)
+    }
+    worker_spans = [
+        s for s in spans if not s.span_id.startswith(local_prefix)
+    ]
+    worker_span_ids = {s.span_id for s in worker_spans}
+    cross_process_stitched = bool(worker_spans) and all(
+        s.trace_id in router_trace_ids
+        and (
+            s.parent_id in router_span_ids or s.parent_id in worker_span_ids
+        )
+        for s in worker_spans
+    )
+
+    artifacts: dict[str, str] = {}
+    if out_path is not None:
+        chrome_path = out_path.with_name(out_path.stem + "_trace.json")
+        chrome_path.write_text(
+            json.dumps(obs.chrome_trace(spans), indent=2) + "\n"
+        )
+        artifacts = {"chrome_trace": chrome_path.name}
+
+    mean_ms = max(report.wall_ms / max(len(ref_ids), 1), 0.01)
+    spans_per_request = len(spans) / max(len(ref_ids), 1)
+    overhead_pct = noop_ns * spans_per_request / (mean_ms * 1e6) * 100.0
+
+    return {
+        "mode": mode,
+        "backend": backend,
+        "matches_reference": matches,
+        "spans": len(spans),
+        "worker_spans": len(worker_spans),
+        "worker_drain": drained,
+        "cross_process_stitched": cross_process_stitched,
+        "balanced": collector_stats["balanced"],
+        "started": collector_stats["started"],
+        "finished": collector_stats["finished"],
+        "dropped": collector_stats["dropped"],
+        "disabled_span_overhead_ns": noop_ns,
+        "spans_per_request": spans_per_request,
+        "disabled_overhead_pct": overhead_pct,
+        "overhead_ok": overhead_pct <= 3.0,
+        "artifacts": artifacts,
+    }
+
+
 def run_cluster_benchmark(
     config: ClusterBenchConfig = ClusterBenchConfig(),
     out_path: str | Path | None = None,
+    trace: bool = False,
 ) -> dict:
     """Run the full shard-count × fan-out-mode grid; return (and save)
     the report payload."""
+    if out_path is not None:
+        out_path = Path(out_path)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
     data = make_synthetic(config.family, config.n, config.d, seed=config.seed)
     workload = _make_workload(config)
 
@@ -220,8 +328,10 @@ def run_cluster_benchmark(
         ),
         "process_beats_sequential_at": process_wins,
     }
+    if trace:
+        payload["trace"] = _trace_section(
+            config, data, workload, ref_ids, out_path
+        )
     if out_path is not None:
-        out_path = Path(out_path)
-        out_path.parent.mkdir(parents=True, exist_ok=True)
         out_path.write_text(json.dumps(payload, indent=2) + "\n")
     return payload

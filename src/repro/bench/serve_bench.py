@@ -23,6 +23,14 @@ Run with ``python -m repro.bench --serve [--scale smoke]``; the JSON
 lands next to the other reports and carries ``host.cpu_count`` (the
 ROADMAP bench-honesty note: concurrency results are meaningless without
 the host's parallelism on record).
+
+With ``--trace`` a fourth sub-run repeats the flash crowd with
+:mod:`repro.obs` tracing armed and emits the trace artifacts (Chrome
+trace-event JSON next to the report, Prometheus text exposition of the
+metrics registry), plus the three gates the CI trace-smoke job reads:
+every trace balanced (span enters == exits), replay equivalence intact
+under tracing, and the measured disabled-mode span overhead within
+:data:`TRACE_OVERHEAD_BUDGET_PCT` of the mean service latency.
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ import os
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
+from repro import obs
 from repro.data.synthetic import make_synthetic
 from repro.engine import GIREngine, flash_crowd_workload, mixed_workload
 from repro.index.bulkload import bulk_load_str
@@ -43,7 +52,16 @@ from repro.serve import (
     run_serve_workload,
 )
 
-__all__ = ["ServeBenchConfig", "run_serve_benchmark"]
+__all__ = [
+    "ServeBenchConfig",
+    "run_serve_benchmark",
+    "TRACE_OVERHEAD_BUDGET_PCT",
+]
+
+#: Disabled-mode tracing must cost at most this fraction of the mean
+#: per-read service latency (in percent) — the "zero when off" contract,
+#: measured rather than assumed.
+TRACE_OVERHEAD_BUDGET_PCT = 3.0
 
 
 @dataclass(frozen=True)
@@ -95,6 +113,8 @@ def _run_section(config, data, workload, serve_config, concurrency) -> dict:
     )
     equivalence = replay_serial_check(front.log, _fresh_engine(config, data))
     stats = front.stats
+    registry = obs.MetricsRegistry()
+    obs.bind_serve_stats(registry, stats)
     return {
         "report": report.to_dict(),
         "equivalence": equivalence,
@@ -105,13 +125,104 @@ def _run_section(config, data, workload, serve_config, concurrency) -> dict:
         "rejected": stats.rejected,
         "arrivals": stats.arrivals,
         "accounting_ok": stats.accounting_ok(),
+        # The PR 7 identities re-derived through the metrics registry:
+        # if the gauge wiring lied, these break while accounting_ok holds.
+        "identities": obs.crosscheck_serve_identities(registry),
+    }
+
+
+def _trace_section(
+    config, data, workload, serve_config, out_path: "Path | None"
+) -> dict:
+    """The ``--trace`` sub-run: flash crowd with tracing armed.
+
+    Measures the disabled-mode span overhead *before* enabling (that is
+    the contract under test), runs the workload traced, replays for
+    byte-identity, and writes the Chrome-trace and Prometheus artifacts
+    next to ``out_path``.
+    """
+    noop_ns = obs.disabled_span_overhead_ns()
+    obs.reset_collector()
+    obs.enable()
+    try:
+        front, report = asyncio.run(
+            _drive(
+                _fresh_engine(config, data),
+                workload,
+                serve_config,
+                config.concurrency,
+            )
+        )
+    finally:
+        obs.disable()
+    collector_stats = obs.collector().stats()
+    spans = obs.drain()
+    # Replay runs untraced (tracing already off) so equivalence compares
+    # the traced run's answers against plain sequential serving.
+    equivalence = replay_serial_check(front.log, _fresh_engine(config, data))
+    stats = front.stats
+
+    registry = obs.MetricsRegistry()
+    obs.bind_serve_stats(registry, stats)
+    identities = obs.crosscheck_serve_identities(registry)
+
+    by_trace = obs.spans_by_trace(spans)
+    stitched = [
+        tid
+        for tid, recs in by_trace.items()
+        if any(r.name == "serve.request" for r in recs)
+        and any(r.name.startswith("engine.") for r in recs)
+    ]
+    reads = max(stats.reads_served, 1)
+    spans_per_read = len(spans) / reads
+    service_mean_ms = max(stats.service_ms.mean, 0.01)
+    overhead_pct = noop_ns * spans_per_read / (service_mean_ms * 1e6) * 100.0
+
+    artifacts: dict[str, str] = {}
+    if out_path is not None:
+        chrome_path = out_path.with_name(out_path.stem + "_trace.json")
+        chrome_path.write_text(
+            json.dumps(obs.chrome_trace(spans), indent=2) + "\n"
+        )
+        prom_path = out_path.with_name(out_path.stem + ".prom")
+        prom_path.write_text(obs.prometheus_text(registry))
+        artifacts = {
+            "chrome_trace": chrome_path.name,
+            "prometheus": prom_path.name,
+        }
+
+    return {
+        "report": report.to_dict(),
+        "equivalence": equivalence,
+        "accounting_ok": stats.accounting_ok(),
+        "identities": identities,
+        "spans": len(spans),
+        "traces": len(by_trace),
+        "stitched_traces": len(stitched),
+        "stitched_ok": len(stitched) > 0,
+        "balanced": collector_stats["balanced"],
+        "started": collector_stats["started"],
+        "finished": collector_stats["finished"],
+        "dropped": collector_stats["dropped"],
+        "disabled_span_overhead_ns": noop_ns,
+        "spans_per_read": spans_per_read,
+        "disabled_overhead_pct": overhead_pct,
+        "overhead_budget_pct": TRACE_OVERHEAD_BUDGET_PCT,
+        "overhead_ok": overhead_pct <= TRACE_OVERHEAD_BUDGET_PCT,
+        "artifacts": artifacts,
     }
 
 
 def run_serve_benchmark(
-    config: ServeBenchConfig, out_path: "Path | str | None" = None
+    config: ServeBenchConfig,
+    out_path: "Path | str | None" = None,
+    trace: bool = False,
 ) -> dict:
-    """Run all three sub-runs and (optionally) write the JSON report."""
+    """Run all three sub-runs (four with ``trace``) and (optionally)
+    write the JSON report."""
+    if out_path is not None:
+        out_path = Path(out_path)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
     data = make_synthetic(config.family, config.n, config.d, seed=config.seed)
     serve_config = ServeConfig(
         max_pending=config.max_pending,
@@ -193,9 +304,29 @@ def run_serve_benchmark(
             and mixed["accounting_ok"]
             and overload["accounting_ok"]
         ),
+        "identities_ok": (
+            flash["identities"]["ok"]
+            and mixed["identities"]["ok"]
+            and overload["identities"]["ok"]
+        ),
     }
+    if trace:
+        payload["trace"] = _trace_section(
+            config,
+            data,
+            flash_crowd_workload(
+                config.d,
+                config.requests,
+                k=config.k,
+                hot=config.hot,
+                burst_len=config.burst_len,
+                duplicate_fraction=config.duplicate_fraction,
+                background_fraction=config.background_fraction,
+                rng=config.seed,
+            ),
+            serve_config,
+            out_path,
+        )
     if out_path is not None:
-        out_path = Path(out_path)
-        out_path.parent.mkdir(parents=True, exist_ok=True)
         out_path.write_text(json.dumps(payload, indent=2) + "\n")
     return payload

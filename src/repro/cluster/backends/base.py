@@ -237,6 +237,16 @@ class ShardBackend(ABC):
     def stats(self) -> dict[str, Any]:
         """Counter snapshot (see :func:`engine_shard_stats`)."""
 
+    def drain_spans(self) -> dict[str, Any]:
+        """Drain the shard's buffered trace spans (see
+        :mod:`repro.obs`): a ``{"spans": [span dicts], "started",
+        "finished", "dropped"}`` payload. The default covers every
+        backend executing in the router's process — such spans already
+        land in the router's own collector, so there is nothing separate
+        to drain. Only backends that execute elsewhere (worker process,
+        remote host) override this with a real round trip."""
+        return {"spans": [], "started": 0, "finished": 0, "dropped": 0}
+
     @abstractmethod
     def close(self) -> None:
         """Release execution resources; safe to call more than once."""

@@ -30,13 +30,14 @@ spawn-backed cluster from a REPL/stdin ``__main__`` will fail.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import sys
 from typing import Any, Sequence
 
 import numpy as np
 
-from repro import sanitize
+from repro import obs, sanitize
 from repro.cluster import wire
 from repro.cluster.backends.base import (
     ShardBackend,
@@ -87,6 +88,9 @@ def _worker_main(conn: Any) -> None:
     """
     engine: Any = None
     broken: str | None = None
+    # A forked worker inherits the router's span buffer; start clean so
+    # a drain returns only spans this worker actually recorded.
+    obs.reset_collector()
     try:
         while True:
             try:
@@ -98,65 +102,29 @@ def _worker_main(conn: Any) -> None:
                 if msg == wire.MSG_SHUTDOWN:
                     conn.send_bytes(wire.encode_frame(wire.MSG_READY))
                     break
-                if broken is not None and msg != wire.MSG_STATS:
+                if broken is not None and msg not in (
+                    wire.MSG_STATS,
+                    wire.MSG_TRACE,
+                ):
                     raise RuntimeError(
                         f"shard engine diverged during an earlier write "
                         f"({broken}); the worker refuses further operations"
                     )
-                if msg == wire.MSG_BUILD:
-                    spec = wire.decode_build(reader)
-                    engine = build_shard_engine(spec)
-                    reply = wire.encode_frame(wire.MSG_READY)
-                elif engine is None:
-                    raise RuntimeError(
-                        f"message type {msg} before MSG_BUILD"
-                    )
-                elif msg == wire.MSG_TOPK:
-                    weights, k = wire.decode_topk(reader)
-                    resp = engine.topk(weights, k)
-                    reply = wire.encode_frame(
-                        wire.MSG_REPLY_TOPK,
-                        wire.encode_reply(reply_from_response(engine, resp)),
-                    )
-                elif msg == wire.MSG_TOPK_BATCH:
-                    requests = wire.decode_topk_batch(reader)
-                    from repro.engine.workload import Request
-
-                    responses = engine.topk_batch(
-                        [Request(weights=w, k=k) for w, k in requests]
-                    )
-                    reply = wire.encode_frame(
-                        wire.MSG_REPLY_BATCH,
-                        wire.encode_batch_reply(
-                            reply_from_response(engine, resp)
-                            for resp in responses
-                        ),
-                    )
-                elif msg == wire.MSG_INSERT:
-                    sub = guarded_engine_write(
-                        engine, "insert", wire.decode_insert(reader)
-                    )
-                    reply = wire.encode_frame(
-                        wire.MSG_REPLY_UPDATE,
-                        wire.encode_update(update_from_response(sub)),
-                    )
-                elif msg == wire.MSG_DELETE:
-                    sub = guarded_engine_write(
-                        engine, "delete", wire.decode_delete(reader)
-                    )
-                    reply = wire.encode_frame(
-                        wire.MSG_REPLY_UPDATE,
-                        wire.encode_update(update_from_response(sub)),
-                    )
-                elif msg == wire.MSG_STATS:
-                    reply = wire.encode_frame(
-                        wire.MSG_REPLY_STATS,
-                        wire.encode_stats(engine_shard_stats(engine)),
-                    )
-                else:
-                    raise RuntimeError(
-                        f"unexpected message type {msg} in a worker"
-                    )
+                with contextlib.ExitStack() as stack:
+                    if reader.trace is not None:
+                        # The router traced this request: adopt its
+                        # context so the worker's engine spans stitch
+                        # under the router's span tree, arming tracing
+                        # lazily on first traced frame.
+                        if not obs.tracing_enabled():
+                            obs.enable()
+                        stack.enter_context(obs.use_trace(*reader.trace))
+                        stack.enter_context(
+                            obs.span(
+                                "shard.worker", msg=wire.MSG_NAMES[msg]
+                            )
+                        )
+                    reply, engine = _handle_frame(msg, reader, engine)
             except Exception as exc:  # noqa: BLE001 - reported to the router
                 if getattr(exc, "dirty", False):
                     broken = str(exc)
@@ -169,6 +137,75 @@ def _worker_main(conn: Any) -> None:
                 break
     finally:
         conn.close()
+
+
+def _handle_frame(
+    msg: int, reader: "wire.Reader", engine: Any
+) -> tuple[bytes, Any]:
+    """Act on one decoded worker frame; returns ``(reply, engine)`` (the
+    engine is created by ``MSG_BUILD`` and threaded back to the loop)."""
+    if msg == wire.MSG_BUILD:
+        spec = wire.decode_build(reader)
+        engine = build_shard_engine(spec)
+        reply = wire.encode_frame(wire.MSG_READY)
+    elif msg == wire.MSG_TRACE:
+        # Drain this worker's span buffer for the router-side stitch;
+        # served even before MSG_BUILD (nothing recorded yet → empty).
+        reply = wire.encode_frame(
+            wire.MSG_REPLY_TRACE,
+            wire.encode_trace_payload(obs.drain_payload()),
+        )
+    elif engine is None:
+        raise RuntimeError(
+            f"message type {msg} before MSG_BUILD"
+        )
+    elif msg == wire.MSG_TOPK:
+        weights, k = wire.decode_topk(reader)
+        resp = engine.topk(weights, k)
+        reply = wire.encode_frame(
+            wire.MSG_REPLY_TOPK,
+            wire.encode_reply(reply_from_response(engine, resp)),
+        )
+    elif msg == wire.MSG_TOPK_BATCH:
+        requests = wire.decode_topk_batch(reader)
+        from repro.engine.workload import Request
+
+        responses = engine.topk_batch(
+            [Request(weights=w, k=k) for w, k in requests]
+        )
+        reply = wire.encode_frame(
+            wire.MSG_REPLY_BATCH,
+            wire.encode_batch_reply(
+                reply_from_response(engine, resp)
+                for resp in responses
+            ),
+        )
+    elif msg == wire.MSG_INSERT:
+        sub = guarded_engine_write(
+            engine, "insert", wire.decode_insert(reader)
+        )
+        reply = wire.encode_frame(
+            wire.MSG_REPLY_UPDATE,
+            wire.encode_update(update_from_response(sub)),
+        )
+    elif msg == wire.MSG_DELETE:
+        sub = guarded_engine_write(
+            engine, "delete", wire.decode_delete(reader)
+        )
+        reply = wire.encode_frame(
+            wire.MSG_REPLY_UPDATE,
+            wire.encode_update(update_from_response(sub)),
+        )
+    elif msg == wire.MSG_STATS:
+        reply = wire.encode_frame(
+            wire.MSG_REPLY_STATS,
+            wire.encode_stats(engine_shard_stats(engine)),
+        )
+    else:
+        raise RuntimeError(
+            f"unexpected message type {msg} in a worker"
+        )
+    return reply, engine
 
 
 class ProcessBackend(ShardBackend):
@@ -211,7 +248,13 @@ class ProcessBackend(ShardBackend):
         child.close()
         self._request(wire.MSG_BUILD, payload, expect=wire.MSG_READY)
 
-    def _request(self, msg: int, payload: bytes, expect: int) -> "wire.Reader":
+    def _request(
+        self,
+        msg: int,
+        payload: bytes,
+        expect: int,
+        trace: tuple[str, str] | None = None,
+    ) -> "wire.Reader":
         with self._lock:
             # The closed/unbuilt check lives *inside* the lock so it and
             # the use it guards are one atomic step — a concurrent
@@ -222,7 +265,7 @@ class ProcessBackend(ShardBackend):
                     "backend is not running (closed or unbuilt)"
                 )
             try:
-                conn.send_bytes(wire.encode_frame(msg, payload))
+                conn.send_bytes(wire.encode_frame(msg, payload, trace=trace))
                 frame = conn.recv_bytes()
             except (EOFError, OSError) as exc:
                 proc = self._proc
@@ -243,7 +286,10 @@ class ProcessBackend(ShardBackend):
 
     def topk(self, weights: np.ndarray, k: int) -> ShardReply:
         reader = self._request(
-            wire.MSG_TOPK, wire.encode_topk(weights, k), wire.MSG_REPLY_TOPK
+            wire.MSG_TOPK,
+            wire.encode_topk(weights, k),
+            wire.MSG_REPLY_TOPK,
+            trace=obs.current(),
         )
         return wire.decode_reply(reader)
 
@@ -254,18 +300,25 @@ class ProcessBackend(ShardBackend):
             wire.MSG_TOPK_BATCH,
             wire.encode_topk_batch(list(requests)),
             wire.MSG_REPLY_BATCH,
+            trace=obs.current(),
         )
         return wire.decode_batch_reply(reader)
 
     def insert(self, point: np.ndarray) -> ShardUpdate:
         reader = self._request(
-            wire.MSG_INSERT, wire.encode_insert(point), wire.MSG_REPLY_UPDATE
+            wire.MSG_INSERT,
+            wire.encode_insert(point),
+            wire.MSG_REPLY_UPDATE,
+            trace=obs.current(),
         )
         return wire.decode_update(reader)
 
     def delete(self, rid: int) -> ShardUpdate:
         reader = self._request(
-            wire.MSG_DELETE, wire.encode_delete(rid), wire.MSG_REPLY_UPDATE
+            wire.MSG_DELETE,
+            wire.encode_delete(rid),
+            wire.MSG_REPLY_UPDATE,
+            trace=obs.current(),
         )
         return wire.decode_update(reader)
 
@@ -274,6 +327,17 @@ class ProcessBackend(ShardBackend):
         stats = wire.decode_stats(reader)
         assert isinstance(stats, dict)
         return stats
+
+    def drain_spans(self) -> dict[str, Any]:
+        """Round-trip the worker's span buffer (skipped — empty payload —
+        when tracing is off router-side: the worker only arms tracing on
+        traced frames, so there is nothing to fetch)."""
+        if not obs.tracing_enabled():
+            return {"spans": [], "started": 0, "finished": 0, "dropped": 0}
+        reader = self._request(wire.MSG_TRACE, b"", wire.MSG_REPLY_TRACE)
+        payload = wire.decode_trace_payload(reader)
+        assert isinstance(payload, dict)
+        return payload
 
     def close(self) -> None:
         """Orderly worker shutdown; escalates to terminate on a hang.

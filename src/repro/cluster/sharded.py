@@ -63,7 +63,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from repro import sanitize
+from repro import obs, sanitize
 from repro.cluster.backends import (
     InProcBackend,
     ShardBackend,
@@ -99,6 +99,26 @@ from repro.engine.workload import (
 from repro.scoring import LinearScoring, ScoringFunction
 
 __all__ = ["ShardedGIREngine"]
+
+
+def _traced_shard_topk(
+    backend: ShardBackend, shard: int, weights: np.ndarray, k: int
+) -> ShardReply:
+    """One per-shard read under a ``shard.call`` span. Module-level (not a
+    method) so the fan-out can submit it through :func:`obs.pool_submit`,
+    which carries the router's ambient trace context into pool threads."""
+    with obs.span("shard.call", shard=shard, method="topk"):
+        return backend.topk(weights, k)
+
+
+def _traced_shard_topk_batch(
+    backend: ShardBackend,
+    shard: int,
+    requests: "list[tuple[np.ndarray, int]]",
+) -> list[ShardReply]:
+    """Batched sibling of :func:`_traced_shard_topk`."""
+    with obs.span("shard.call", shard=shard, method="topk_batch"):
+        return backend.topk_batch(requests)
 
 
 class ShardedGIREngine:
@@ -362,7 +382,7 @@ class ShardedGIREngine:
         unpartitioned data; ``region`` carries the merged stability
         region the answer is valid in.
         """
-        with self._serve_lock:
+        with obs.span("cluster.topk", k=k), self._serve_lock:
             self._ensure_serving()
             weights = validate_weights(weights, self.d)
             self._validate_k(k)
@@ -402,7 +422,7 @@ class ShardedGIREngine:
         instead and caches its own merged entry; the LRU bounds the
         duplicates).
         """
-        with self._serve_lock:
+        with obs.span("cluster.topk_batch", n=len(requests)), self._serve_lock:
             self._ensure_serving()
             reqs = list(requests)
             if not reqs:
@@ -532,24 +552,35 @@ class ShardedGIREngine:
         under the global tie-break. Re-enters the serve lock so the
         targeting maps and lift counters cannot move under it even when
         a subclass (or test harness) calls it directly."""
-        with self._serve_lock:
+        with obs.span("cluster.fanout", k=k) as fsp, self._serve_lock:
             targets = self._fan_targets(k)
+            if obs.tracing_enabled():
+                fsp.set("shards", len(targets))
             if self._pool is not None and len(targets) > 1:
                 futures = [
-                    self._pool.submit(self.backends[s].topk, weights, ks)
+                    obs.pool_submit(
+                        self._pool,
+                        _traced_shard_topk,
+                        self.backends[s],
+                        s,
+                        weights,
+                        ks,
+                    )
                     for s, ks in targets
                 ]
                 replies = [f.result() for f in futures]
             else:
                 replies = [
-                    self.backends[s].topk(weights, ks) for s, ks in targets
+                    _traced_shard_topk(self.backends[s], s, weights, ks)
+                    for s, ks in targets
                 ]
             self.fanouts += 1
-            answers = [
-                self._lift(s, reply)
-                for (s, _), reply in zip(targets, replies)
-            ]
-            return merge_shard_answers(answers, weights, k)
+            with obs.span("cluster.merge", shards=len(replies)):
+                answers = [
+                    self._lift(s, reply)
+                    for (s, _), reply in zip(targets, replies)
+                ]
+                return merge_shard_answers(answers, weights, k)
 
     def _fan_out_batch(
         self, weights_list: list[np.ndarray], ks: list[int]
@@ -557,7 +588,7 @@ class ShardedGIREngine:
         """Batched fan-out: one backend ``topk_batch`` per shard over the
         whole pending request list. Returns ``(shard, replies)`` pairs,
         replies aligned with the request list."""
-        with self._serve_lock:
+        with obs.span("cluster.fanout", n=len(weights_list)), self._serve_lock:
             targets = [
                 (
                     s,
@@ -570,13 +601,19 @@ class ShardedGIREngine:
             ]
             if self._pool is not None and len(targets) > 1:
                 futures = [
-                    self._pool.submit(self.backends[s].topk_batch, shard_reqs)
+                    obs.pool_submit(
+                        self._pool,
+                        _traced_shard_topk_batch,
+                        self.backends[s],
+                        s,
+                        shard_reqs,
+                    )
                     for s, shard_reqs in targets
                 ]
                 reply_lists = [f.result() for f in futures]
             else:
                 reply_lists = [
-                    self.backends[s].topk_batch(shard_reqs)
+                    _traced_shard_topk_batch(self.backends[s], s, shard_reqs)
                     for s, shard_reqs in targets
                 ]
             self.fanouts += len(weights_list)
@@ -617,7 +654,7 @@ class ShardedGIREngine:
         """Insert a record: route to the owning shard only, then apply the
         selective (or flush) invalidation to that shard's cache *and* to
         the cluster-level cache under the global rids."""
-        with self._serve_lock:
+        with obs.span("cluster.insert"), self._serve_lock:
             self._ensure_serving()
             t0 = time.perf_counter()
             point = validate_point(point, self.d)
@@ -667,7 +704,7 @@ class ShardedGIREngine:
     def delete(self, rid: int) -> UpdateResponse:
         """Delete a live record by global rid: routed to its owning shard;
         cluster-cache entries are evicted only if they served the rid."""
-        with self._serve_lock:
+        with obs.span("cluster.delete"), self._serve_lock:
             self._ensure_serving()
             t0 = time.perf_counter()
             # Validate first, mutate the global table only after the owning
@@ -854,6 +891,26 @@ class ShardedGIREngine:
         )
 
     # -- introspection --------------------------------------------------------
+
+    def drain_worker_spans(self) -> dict[str, int]:
+        """Pull every backend's buffered spans into the router-local trace
+        collector (:meth:`~repro.cluster.backends.ShardBackend.drain_spans`
+        → :func:`obs.absorb`), so cross-process worker spans stitch into
+        the router's timeline. Returns aggregate drain accounting. No-op
+        (all zeros) for in-process backends, whose spans already land in
+        the router's collector, and when tracing is disabled."""
+        totals = {"spans": 0, "started": 0, "finished": 0, "dropped": 0}
+        if not obs.tracing_enabled():
+            return totals
+        with self._serve_lock:
+            for backend in self.backends:
+                payload = backend.drain_spans()
+                spans = payload.get("spans", [])
+                obs.absorb(spans)
+                totals["spans"] += len(spans)
+                for key in ("started", "finished", "dropped"):
+                    totals[key] += int(payload.get(key, 0))
+        return totals
 
     def shard_stats(self) -> list[dict[str, Any]]:
         """Per-shard breakdown: fan-out traffic, page reads, cache state.

@@ -12,7 +12,17 @@ page layout): a magic tag, an explicit little-endian format version that is
 checked — not assumed — on every decode, and fixed ``struct`` headers in
 front of raw ``<f8``/``<q`` array payloads. Every frame is::
 
-    frame := magic b"GIRW" | version u16 | msg_type u16 | payload
+    frame := magic b"GIRW" | version u16 | msg_type u16 | flags u16
+             | [trace block if FLAG_TRACE] | payload
+
+``flags`` (version 2) carries optional per-frame context; unknown flag
+bits are rejected, so older peers can never silently misparse a frame
+that carries context they don't understand. The only flag today is
+``FLAG_TRACE``: a request-tracing context — two length-prefixed UTF-8
+strings ``(trace_id, parent_span_id)`` — inserted *before* the payload
+so that worker-side spans stitch under the router's trace
+(:mod:`repro.obs`). Tracing is observability, not semantics: a frame
+with and without the trace block decodes to byte-identical payloads.
 
 Float payloads round-trip bit-exactly (``<f8`` both ways), which is what
 keeps a process-backed cluster's merged answers *byte-identical* to the
@@ -30,11 +40,13 @@ Message catalogue (requests flow router → worker, replies worker → router):
 ``MSG_DELETE``       routed write: the local rid
 ``MSG_STATS``        request the shard's counter snapshot
 ``MSG_SHUTDOWN``     orderly worker exit (acknowledged with ``MSG_READY``)
+``MSG_TRACE``        drain the worker's span collector (empty payload)
 ``MSG_REPLY_TOPK``   one :class:`~repro.cluster.backends.ShardReply`
 ``MSG_REPLY_BATCH``  a list of shard replies
 ``MSG_REPLY_UPDATE`` one :class:`~repro.cluster.backends.ShardUpdate`
 ``MSG_REPLY_STATS``  stat-counter dict (JSON payload)
 ``MSG_REPLY_ERROR``  exception surrogate, re-raised router-side
+``MSG_REPLY_TRACE``  span records + balance counters (JSON payload)
 ===================  =======================================================
 
 Stats and build-config payloads are JSON (they are small, heterogeneous
@@ -68,6 +80,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 __all__ = [
     "MAGIC",
     "WIRE_VERSION",
+    "FLAG_TRACE",
     "WireError",
     "WorkerFailure",
     "encode_frame",
@@ -81,11 +94,16 @@ __all__ = [
     "MSG_DELETE",
     "MSG_STATS",
     "MSG_SHUTDOWN",
+    "MSG_TRACE",
     "MSG_REPLY_TOPK",
     "MSG_REPLY_BATCH",
     "MSG_REPLY_UPDATE",
     "MSG_REPLY_STATS",
     "MSG_REPLY_ERROR",
+    "MSG_REPLY_TRACE",
+    "MSG_NAMES",
+    "encode_trace_payload",
+    "decode_trace_payload",
     "encode_build",
     "decode_build",
     "encode_topk",
@@ -109,8 +127,13 @@ __all__ = [
 ]
 
 MAGIC = b"GIRW"
-WIRE_VERSION = 1
-_FRAME = struct.Struct("<4sHH")  # magic, version, msg_type
+WIRE_VERSION = 2
+_FRAME = struct.Struct("<4sHHH")  # magic, version, msg_type, flags
+
+#: Frame flag: a trace-context block precedes the payload.
+FLAG_TRACE = 1
+
+_KNOWN_FLAGS = FLAG_TRACE
 
 MSG_BUILD = 1
 MSG_READY = 2
@@ -125,8 +148,32 @@ MSG_REPLY_BATCH = 10
 MSG_REPLY_UPDATE = 11
 MSG_REPLY_STATS = 12
 MSG_REPLY_ERROR = 13
+MSG_TRACE = 14
+MSG_REPLY_TRACE = 15
 
-_KNOWN_MESSAGES = frozenset(range(MSG_BUILD, MSG_REPLY_ERROR + 1))
+_KNOWN_MESSAGES = frozenset(range(MSG_BUILD, MSG_REPLY_TRACE + 1))
+
+#: Human-readable message-type names (for decode-error context and
+#: worker span attributes).
+MSG_NAMES = MappingProxyType(
+    {
+        MSG_BUILD: "BUILD",
+        MSG_READY: "READY",
+        MSG_TOPK: "TOPK",
+        MSG_TOPK_BATCH: "TOPK_BATCH",
+        MSG_INSERT: "INSERT",
+        MSG_DELETE: "DELETE",
+        MSG_STATS: "STATS",
+        MSG_SHUTDOWN: "SHUTDOWN",
+        MSG_REPLY_TOPK: "REPLY_TOPK",
+        MSG_REPLY_BATCH: "REPLY_BATCH",
+        MSG_REPLY_UPDATE: "REPLY_UPDATE",
+        MSG_REPLY_STATS: "REPLY_STATS",
+        MSG_REPLY_ERROR: "REPLY_ERROR",
+        MSG_TRACE: "TRACE",
+        MSG_REPLY_TRACE: "REPLY_TRACE",
+    }
+)
 
 #: Array dtype tags on the wire.
 _DTYPE_F8 = 0
@@ -162,16 +209,31 @@ class WorkerFailure(RuntimeError):
 # -- framing ------------------------------------------------------------------
 
 
-def encode_frame(msg_type: int, payload: bytes = b"") -> bytes:
-    """Wrap a payload in the versioned frame header."""
-    return _FRAME.pack(MAGIC, WIRE_VERSION, msg_type) + payload
+def encode_frame(
+    msg_type: int, payload: bytes = b"", trace: tuple[str, str] | None = None
+) -> bytes:
+    """Wrap a payload in the versioned frame header. ``trace`` is an
+    optional ``(trace_id, parent_span_id)`` context; when given, the
+    frame carries ``FLAG_TRACE`` and a trace block ahead of the
+    payload."""
+    flags = 0 if trace is None else FLAG_TRACE
+    out = bytearray(_FRAME.pack(MAGIC, WIRE_VERSION, msg_type, flags))
+    if trace is not None:
+        _put_trace(out, trace)
+    out += payload
+    return bytes(out)
 
 
 def decode_frame(frame: bytes) -> tuple[int, "Reader"]:
-    """Validate the header; returns ``(msg_type, payload reader)``."""
+    """Validate the header; returns ``(msg_type, payload reader)``. The
+    reader's ``trace`` attribute holds the frame's trace context (or
+    ``None``), already consumed from the byte stream."""
     if len(frame) < _FRAME.size:
-        raise WireError(f"truncated frame of {len(frame)} bytes")
-    magic, version, msg_type = _FRAME.unpack_from(frame, 0)
+        raise WireError(
+            f"truncated frame of {len(frame)} bytes "
+            f"(header alone is {_FRAME.size})"
+        )
+    magic, version, msg_type, flags = _FRAME.unpack_from(frame, 0)
     if magic != MAGIC:
         raise WireError(f"not a GIR wire frame (magic {magic!r})")
     if version != WIRE_VERSION:
@@ -180,27 +242,52 @@ def decode_frame(frame: bytes) -> tuple[int, "Reader"]:
         )
     if msg_type not in _KNOWN_MESSAGES:
         raise WireError(f"unknown message type {msg_type}")
-    return msg_type, Reader(frame, _FRAME.size)
+    if flags & ~_KNOWN_FLAGS:
+        raise WireError(
+            f"unknown frame flags 0x{flags & ~_KNOWN_FLAGS:x} on "
+            f"{MSG_NAMES[msg_type]} frame"
+        )
+    reader = Reader(frame, _FRAME.size, label=MSG_NAMES[msg_type])
+    if flags & FLAG_TRACE:
+        reader.trace = _get_trace(reader)
+    return msg_type, reader
 
 
 class Reader:
-    """Cursor over a frame payload (validates it is fully consumed)."""
+    """Cursor over a frame payload (validates it is fully consumed).
 
-    def __init__(self, buf: bytes, offset: int = 0) -> None:
+    ``label`` names the message type for error context; ``trace`` is
+    the frame's trace block, populated by :func:`decode_frame`.
+    """
+
+    def __init__(self, buf: bytes, offset: int = 0, label: str = "") -> None:
         self.buf = buf
         self.off = offset
+        self.label = label
+        self.trace: tuple[str, str] | None = None
+
+    def _where(self) -> str:
+        return f"{self.label or 'frame'} payload"
 
     def unpack(self, fmt: str) -> tuple[Any, ...]:
         st = struct.Struct(fmt)
-        if self.off + st.size > len(self.buf):
-            raise WireError("payload truncated")
+        have = len(self.buf) - self.off
+        if st.size > have:
+            raise WireError(
+                f"{self._where()} truncated at offset {self.off}: "
+                f"field {fmt!r} needs {st.size} bytes, {have} remain"
+            )
         values = st.unpack_from(self.buf, self.off)
         self.off += st.size
         return values
 
     def take(self, n: int) -> bytes:
-        if self.off + n > len(self.buf):
-            raise WireError("payload truncated")
+        have = len(self.buf) - self.off
+        if n > have:
+            raise WireError(
+                f"{self._where()} truncated at offset {self.off}: "
+                f"need {n} bytes, {have} remain"
+            )
         chunk = self.buf[self.off : self.off + n]
         self.off += n
         return chunk
@@ -208,7 +295,8 @@ class Reader:
     def done(self) -> None:
         if self.off != len(self.buf):
             raise WireError(
-                f"{len(self.buf) - self.off} trailing bytes after payload"
+                f"{len(self.buf) - self.off} trailing bytes after "
+                f"{self._where()} (consumed {self.off} of {len(self.buf)})"
             )
 
 
@@ -256,6 +344,18 @@ def _put_json(out: bytearray, obj: object) -> None:
 
 def _get_json(reader: Reader) -> Any:
     return json.loads(_get_bytes(reader).decode("utf-8"))
+
+
+def _put_trace(out: bytearray, trace: tuple[str, str]) -> None:
+    trace_id, span_id = trace
+    _put_bytes(out, trace_id.encode("utf-8"))
+    _put_bytes(out, span_id.encode("utf-8"))
+
+
+def _get_trace(reader: Reader) -> tuple[str, str]:
+    trace_id = _get_bytes(reader).decode("utf-8")
+    span_id = _get_bytes(reader).decode("utf-8")
+    return trace_id, span_id
 
 
 # -- build --------------------------------------------------------------------
@@ -483,6 +583,21 @@ def decode_stats(reader: Reader) -> dict[str, Any]:
     stats: dict[str, Any] = _get_json(reader)
     reader.done()
     return stats
+
+
+def encode_trace_payload(payload: dict[str, Any]) -> bytes:
+    """Serialise a worker span drain (``MSG_REPLY_TRACE`` body): the
+    JSON payload of :func:`repro.obs.drain_payload` — span dicts plus
+    the worker collector's balance counters."""
+    out = bytearray()
+    _put_json(out, payload)
+    return bytes(out)
+
+
+def decode_trace_payload(reader: Reader) -> dict[str, Any]:
+    payload: dict[str, Any] = _get_json(reader)
+    reader.done()
+    return payload
 
 
 def encode_error(exc: BaseException) -> bytes:

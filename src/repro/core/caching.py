@@ -717,6 +717,19 @@ class GIRCache:
         self.invalidation_evictions += removed
         return removed
 
+    def grid_counters(self) -> tuple[int, int]:
+        """Cheap ``(probes, negatives)`` totals of the grid prescreen —
+        the tracing layer reads these around a lookup to attribute the
+        prescreen's outcome to a span without paying for full
+        :meth:`stats`."""
+        probes = 0
+        negatives = 0
+        for index in self._indexes.values():
+            if index.grid is not None:
+                probes += index.grid.probes
+                negatives += index.grid.negatives
+        return probes, negatives
+
     def stats(self) -> dict[str, int]:
         grids = [
             index.grid_stats()

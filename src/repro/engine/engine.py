@@ -53,7 +53,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro import sanitize
+from repro import obs, sanitize
 from repro.core.caching import (
     GIRCache,
     apply_delete_invalidation,
@@ -532,10 +532,30 @@ class GIREngine:
         :func:`validate_weights`.
         """
         weights = validate_weights(weights, self.d)
-        io_before = self.tree.store.stats.page_reads
-        t0 = time.perf_counter()
-        hit = self.cache.lookup(weights, k)
-        return self._serve(weights, k, hit, t0, io_before)
+        with obs.span("engine.topk", k=k):
+            io_before = self.tree.store.stats.page_reads
+            t0 = time.perf_counter()
+            hit = self._lookup_traced(weights, k)
+            return self._serve(weights, k, hit, t0, io_before)
+
+    def _lookup_traced(self, weights: np.ndarray, k: int):
+        """Cache lookup under a span recording the hit classification
+        and the grid prescreen's contribution (counter deltas — the
+        extra reads only happen while tracing is armed)."""
+        traced = obs.tracing_enabled()
+        with obs.span("engine.cache_lookup") as sp:
+            if traced:
+                probes0, negatives0 = self.cache.grid_counters()
+            hit = self.cache.lookup(weights, k)
+            if traced:
+                probes1, negatives1 = self.cache.grid_counters()
+                sp.set("grid_probes", probes1 - probes0)
+                sp.set("grid_negatives", negatives1 - negatives0)
+                if hit is None:
+                    sp.set("outcome", "miss")
+                else:
+                    sp.set("outcome", "partial" if hit.partial else "full")
+        return hit
 
     @sanitize.mutates
     def topk_batch(self, requests: list) -> list[EngineResponse]:
@@ -558,30 +578,34 @@ class GIREngine:
         # earlier windows already mutated the cache and the counters.
         validated = [validate_weights(r.weights, self.d) for r in reqs]
         responses: list[EngineResponse] = []
-        i = 0
-        while i < len(reqs):
-            rest = reqs[i : i + LOOKUP_WINDOW]
-            W = np.stack(validated[i : i + LOOKUP_WINDOW])
-            ks = [r.k for r in rest]
-            t_lookup = time.perf_counter()
-            hits = self.cache.lookup_batch(W, ks, stop_after_non_full=True)
-            # Attribute the shared membership matmul evenly to the
-            # requests it resolved, keeping batch-mode latency_ms
-            # comparable to the sequential path (whose clock includes its
-            # own lookup).
-            lookup_share_ms = (
-                (time.perf_counter() - t_lookup) * 1e3 / max(len(hits), 1)
-            )
-            for offset, hit in enumerate(hits):
-                io_before = self.tree.store.stats.page_reads
-                t0 = time.perf_counter()
-                responses.append(
-                    self._serve(
-                        W[offset], ks[offset], hit, t0, io_before,
-                        extra_latency_ms=lookup_share_ms,
+        with obs.span("engine.topk_batch", n=len(reqs)):
+            i = 0
+            while i < len(reqs):
+                rest = reqs[i : i + LOOKUP_WINDOW]
+                W = np.stack(validated[i : i + LOOKUP_WINDOW])
+                ks = [r.k for r in rest]
+                t_lookup = time.perf_counter()
+                with obs.span("engine.cache_lookup_batch", n=len(rest)):
+                    hits = self.cache.lookup_batch(
+                        W, ks, stop_after_non_full=True
                     )
+                # Attribute the shared membership matmul evenly to the
+                # requests it resolved, keeping batch-mode latency_ms
+                # comparable to the sequential path (whose clock includes
+                # its own lookup).
+                lookup_share_ms = (
+                    (time.perf_counter() - t_lookup) * 1e3 / max(len(hits), 1)
                 )
-            i += len(hits)
+                for offset, hit in enumerate(hits):
+                    io_before = self.tree.store.stats.page_reads
+                    t0 = time.perf_counter()
+                    responses.append(
+                        self._serve(
+                            W[offset], ks[offset], hit, t0, io_before,
+                            extra_latency_ms=lookup_share_ms,
+                        )
+                    )
+                i += len(hits)
         return responses
 
     def _serve(
@@ -597,37 +621,44 @@ class GIREngine:
         pipeline when the hit is partial or absent). ``extra_latency_ms``
         charges work done for this request before ``t0`` (a batched
         lookup's amortized share)."""
-        if hit is not None and not hit.partial:
-            ids = hit.ids
-            scores = tuple(
-                float(s)
-                for s in self.scorer.score(self.points[list(ids)], weights)
-            )
-            source = SOURCE_CACHE
-            gir_stats = None
-            region = self.cache.entry(hit.entry_key).polytope
-        else:
-            gir = self._compute_and_cache(weights, k, hit)
-            ids = gir.topk.ids
-            scores = gir.topk.scores
-            source = SOURCE_COMPLETED if hit is not None else SOURCE_COMPUTED
-            gir_stats = gir.stats
-            region = gir.polytope
+        with obs.span("engine.serve") as sp:
+            if hit is not None and not hit.partial:
+                ids = hit.ids
+                scores = tuple(
+                    float(s)
+                    for s in self.scorer.score(self.points[list(ids)], weights)
+                )
+                source = SOURCE_CACHE
+                gir_stats = None
+                region = self.cache.entry(hit.entry_key).polytope
+            else:
+                gir = self._compute_and_cache(weights, k, hit)
+                ids = gir.topk.ids
+                scores = gir.topk.scores
+                source = (
+                    SOURCE_COMPLETED if hit is not None else SOURCE_COMPUTED
+                )
+                gir_stats = gir.stats
+                region = gir.polytope
 
-        latency_ms = (time.perf_counter() - t0) * 1e3 + extra_latency_ms
-        pages_read = self.tree.store.stats.page_reads - io_before
-        self.requests_served += 1
-        return EngineResponse(
-            ids=ids,
-            scores=scores,
-            weights=weights,
-            k=k,
-            source=source,
-            latency_ms=latency_ms,
-            pages_read=pages_read,
-            gir_stats=gir_stats,
-            region=region,
-        )
+            latency_ms = (time.perf_counter() - t0) * 1e3 + extra_latency_ms
+            pages_read = self.tree.store.stats.page_reads - io_before
+            self.requests_served += 1
+            if obs.tracing_enabled():
+                sp.set("source", source)
+                sp.set("pages_read", pages_read)
+                sp.set("k", k)
+            return EngineResponse(
+                ids=ids,
+                scores=scores,
+                weights=weights,
+                k=k,
+                source=source,
+                latency_ms=latency_ms,
+                pages_read=pages_read,
+                gir_stats=gir_stats,
+                region=region,
+            )
 
     def _compute_and_cache(self, weights: np.ndarray, k: int, hit) -> GIRResult:
         """Run the staged pipeline — resuming a retained BRS run on a
@@ -651,19 +682,26 @@ class GIREngine:
             # a StaleRunError anyway) and search from scratch.
             del self._runs[hit.entry_key]
             prior = None
-        if prior is not None:
-            run = resume_brs_topk(
-                self.tree, points, prior, weights, k, scorer=self.scorer
-            )
-            self.resumed_completions += 1
-        else:
-            run = brs_topk(
-                self.tree, points, weights, k, scorer=self.scorer
-            )
+        with obs.span("engine.brs", resumed=prior is not None) as bsp:
+            if prior is not None:
+                run = resume_brs_topk(
+                    self.tree, points, prior, weights, k, scorer=self.scorer
+                )
+                self.resumed_completions += 1
+            else:
+                run = brs_topk(
+                    self.tree, points, weights, k, scorer=self.scorer
+                )
+            if obs.tracing_enabled():
+                bsp.set(
+                    "pages_read",
+                    self.tree.store.stats.page_reads - io_before,
+                )
         retrieve_ms = (time.perf_counter() - t0) * 1e3
         retrieve_pages = self.tree.store.stats.page_reads - io_before
 
-        gir = run_pipeline(ctx, run)
+        with obs.span("engine.pipeline"):
+            gir = run_pipeline(ctx, run)
         # stage_retrieve adopted our run and charged nothing; attribute the
         # engine-side retrieval (fresh or resumed) so per-request GIRStats
         # stay exact.
@@ -792,6 +830,14 @@ class GIREngine:
     ) -> UpdateResponse:
         self.updates_applied += 1
         self.update_evictions += evicted
+        if obs.tracing_enabled():
+            obs.record_span(
+                f"engine.{kind}",
+                t0,
+                time.perf_counter(),
+                rid=rid,
+                evicted=evicted,
+            )
         return UpdateResponse(
             kind=kind,
             rid=rid,

@@ -43,6 +43,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.engine.engine import (
     UpdateResponse,
     validate_point,
@@ -114,7 +115,7 @@ class ServeUpdate:
 
 
 class _ReadOp:
-    __slots__ = ("weights", "k", "future", "t_arrive", "no_coalesce")
+    __slots__ = ("weights", "k", "future", "t_arrive", "no_coalesce", "trace")
 
     def __init__(
         self, weights: np.ndarray, k: int, future: asyncio.Future
@@ -126,10 +127,14 @@ class _ReadOp:
         #: Set after a failed coalesce so the retry leads its own request
         #: instead of chasing another near leader forever.
         self.no_coalesce = False
+        #: The admitting request's trace context; retro spans (queue
+        #: wait, linger) and the engine bridge stitch under it because
+        #: contextvars do not follow the op across tasks/threads.
+        self.trace = obs.current()
 
 
 class _WriteOp:
-    __slots__ = ("kind", "point", "rid", "future", "t_arrive")
+    __slots__ = ("kind", "point", "rid", "future", "t_arrive", "trace")
 
     def __init__(
         self,
@@ -143,6 +148,7 @@ class _WriteOp:
         self.rid = rid
         self.future = future
         self.t_arrive = time.perf_counter()
+        self.trace = obs.current()
 
 
 class ServeFront:
@@ -236,47 +242,60 @@ class ServeFront:
         ingress queue is full.
         """
         self.stats.arrivals += 1
-        if self._closed:
-            self.stats.rejected += 1
-            raise Rejected("front door is closed")
-        try:
-            w = validate_weights(np.asarray(weights, dtype=np.float64), self._d)
-            if isinstance(k, bool) or not isinstance(k, int) or k <= 0:
-                raise ValueError(f"k must be a positive int, got {k!r}")
-        except ValueError as exc:
-            self.stats.rejected += 1
-            raise Rejected(str(exc)) from exc
-        op = _ReadOp(w, k, self._new_future())
-        self._admit(op)
-        return await op.future
+        with obs.trace("serve.request", kind="read") as root:
+            if self._closed:
+                self.stats.rejected += 1
+                raise Rejected("front door is closed")
+            try:
+                w = validate_weights(
+                    np.asarray(weights, dtype=np.float64), self._d
+                )
+                if isinstance(k, bool) or not isinstance(k, int) or k <= 0:
+                    raise ValueError(f"k must be a positive int, got {k!r}")
+            except ValueError as exc:
+                self.stats.rejected += 1
+                raise Rejected(str(exc)) from exc
+            op = _ReadOp(w, k, self._new_future())
+            self._admit(op)
+            resp = await op.future
+            if obs.tracing_enabled():
+                root.set("via", resp.via)
+                root.set("source", resp.source)
+            return resp
 
     async def insert(self, point) -> ServeUpdate:
         """Admit one insert; applied behind the write fence."""
         self.stats.arrivals += 1
-        if self._closed:
-            self.stats.rejected += 1
-            raise Rejected("front door is closed")
-        try:
-            p = validate_point(np.asarray(point, dtype=np.float64), self._d)
-        except ValueError as exc:
-            self.stats.rejected += 1
-            raise Rejected(str(exc)) from exc
-        op = _WriteOp("insert", self._new_future(), point=p)
-        self._admit(op)
-        return await op.future
+        with obs.trace("serve.request", kind="insert"):
+            if self._closed:
+                self.stats.rejected += 1
+                raise Rejected("front door is closed")
+            try:
+                p = validate_point(
+                    np.asarray(point, dtype=np.float64), self._d
+                )
+            except ValueError as exc:
+                self.stats.rejected += 1
+                raise Rejected(str(exc)) from exc
+            op = _WriteOp("insert", self._new_future(), point=p)
+            self._admit(op)
+            return await op.future
 
     async def delete(self, rid: int) -> ServeUpdate:
         """Admit one delete; applied behind the write fence."""
         self.stats.arrivals += 1
-        if self._closed:
-            self.stats.rejected += 1
-            raise Rejected("front door is closed")
-        if isinstance(rid, bool) or not isinstance(rid, int) or rid < 0:
-            self.stats.rejected += 1
-            raise Rejected(f"rid must be a non-negative int, got {rid!r}")
-        op = _WriteOp("delete", self._new_future(), rid=rid)
-        self._admit(op)
-        return await op.future
+        with obs.trace("serve.request", kind="delete"):
+            if self._closed:
+                self.stats.rejected += 1
+                raise Rejected("front door is closed")
+            if isinstance(rid, bool) or not isinstance(rid, int) or rid < 0:
+                self.stats.rejected += 1
+                raise Rejected(
+                    f"rid must be a non-negative int, got {rid!r}"
+                )
+            op = _WriteOp("delete", self._new_future(), rid=rid)
+            self._admit(op)
+            return await op.future
 
     def _new_future(self) -> asyncio.Future:
         if self._loop is None:
@@ -298,7 +317,16 @@ class ServeFront:
             if isinstance(op, _WriteOp):
                 await self._apply_write(op)
                 continue
+            t_linger = time.perf_counter()
             batch = await self._collect_batch(op)
+            if obs.tracing_enabled():
+                obs.record_span(
+                    "serve.batch_linger",
+                    t_linger,
+                    time.perf_counter(),
+                    trace_ctx=op.trace,
+                    batch=len(batch),
+                )
             self._launch_reads(batch)
             await self._throttle_jobs()
         # Drain: outstanding jobs may requeue fallback followers, so
@@ -347,6 +375,12 @@ class ServeFront:
         """Coalesce a batch against the in-flight table, then submit the
         leaders as one engine batch on the bridge."""
         t_dispatch = time.perf_counter()
+        if obs.tracing_enabled():
+            for op in batch:
+                obs.record_span(
+                    "serve.queue_wait", op.t_arrive, t_dispatch,
+                    trace_ctx=op.trace,
+                )
         leaders: list[InFlightEntry] = []
         for op in batch:
             entry = None
@@ -363,7 +397,10 @@ class ServeFront:
             return
         loop = asyncio.get_running_loop()
         reqs = [(e.weights, e.k) for e in leaders]
-        job = loop.run_in_executor(self._pool, self._serve_batch_sync, reqs)
+        job = loop.run_in_executor(
+            self._pool, self._serve_batch_sync, reqs,
+            leaders[0].leader.trace,
+        )
         task = loop.create_task(
             self._finish_batch(leaders, job, t_dispatch)
         )
@@ -390,10 +427,24 @@ class ServeFront:
 
     # -- the executor bridge (engine-thread code) ------------------------------
 
-    def _serve_batch_sync(self, reqs: list) -> list:
+    def _serve_batch_sync(self, reqs: list, trace_ctx=None) -> list:
         """Engine-thread half of a read batch: one ``topk_batch`` call,
         then a row snapshot + canonical scores per response, all taken
-        before any later write can run on this (single) thread."""
+        before any later write can run on this (single) thread.
+
+        ``trace_ctx`` is the first leader's trace context — contextvars
+        do not cross ``run_in_executor``, so the bridge re-adopts it
+        explicitly and the engine-side spans stitch under that request
+        (the other leaders share the batch; their spans nest here too).
+        """
+        if trace_ctx is not None and obs.tracing_enabled():
+            with obs.use_trace(*trace_ctx), obs.span(
+                "serve.engine_batch", n=len(reqs)
+            ):
+                return self._serve_batch_inner(reqs)
+        return self._serve_batch_inner(reqs)
+
+    def _serve_batch_inner(self, reqs: list) -> list:
         requests = [Request(weights=w, k=k) for w, k in reqs]
         responses = self.engine.topk_batch(requests)
         out = []
@@ -403,7 +454,15 @@ class ServeFront:
             out.append((resp, rows, scores))
         return out
 
-    def _apply_write_sync(self, op: _WriteOp) -> UpdateResponse:
+    def _apply_write_sync(self, op: _WriteOp, trace_ctx=None) -> UpdateResponse:
+        if trace_ctx is not None and obs.tracing_enabled():
+            with obs.use_trace(*trace_ctx), obs.span(
+                "serve.engine_write", kind=op.kind
+            ):
+                return self._apply_write_inner(op)
+        return self._apply_write_inner(op)
+
+    def _apply_write_inner(self, op: _WriteOp) -> UpdateResponse:
         if op.kind == "insert":
             return self.engine.insert(op.point)
         return self.engine.delete(op.rid)
@@ -456,8 +515,8 @@ class ServeFront:
             )
         )
         self.stats.reads_served += 1
-        self.stats.wait_ms.append(wait_ms)
-        self.stats.service_ms.append(resp.latency_ms)
+        self.stats.wait_ms.observe(wait_ms)
+        self.stats.service_ms.observe(resp.latency_ms)
         if not op.future.done():
             op.future.set_result(response)
 
@@ -499,8 +558,8 @@ class ServeFront:
             )
             self.stats.reads_served += 1
             self.stats.coalesced_served += 1
-            self.stats.wait_ms.append(wait_ms)
-            self.stats.service_ms.append(service_ms)
+            self.stats.wait_ms.observe(wait_ms)
+            self.stats.service_ms.observe(service_ms)
             if not op.future.done():
                 op.future.set_result(response)
         else:
@@ -521,12 +580,23 @@ class ServeFront:
         drain every outstanding read batch (all followers resolve and
         log against their pre-write snapshots), then run the write on
         the bridge and log it."""
+        t_fence = time.perf_counter()
         self._inflight.clear()
         await self._drain_jobs()
+        if obs.tracing_enabled():
+            t_now = time.perf_counter()
+            obs.record_span(
+                "serve.fence_wait", t_fence, t_now, trace_ctx=op.trace
+            )
+            obs.record_span(
+                "serve.queue_wait", op.t_arrive, t_now, trace_ctx=op.trace
+            )
         self.stats.fences += 1
         t_dispatch = time.perf_counter()
         loop = asyncio.get_running_loop()
-        job = loop.run_in_executor(self._pool, self._apply_write_sync, op)
+        job = loop.run_in_executor(
+            self._pool, self._apply_write_sync, op, op.trace
+        )
         try:
             update = await job
         except Exception as exc:

@@ -12,20 +12,21 @@ reads served per engine request; above 1.0 the tier is answering
 traffic the engine never saw. Latency is split into *wait* (arrival →
 dispatch, the queueing cost) and *service* (engine time, or ~0 for a
 coalesced answer), so queue pressure and engine cost cannot masquerade
-as one another.
+as one another. Both are fixed-bucket
+:class:`~repro.obs.metrics.Histogram` instruments — tail percentiles
+(p50/p95/p99) without retaining per-request samples — and they double
+as the registry's serve-latency series via
+:func:`repro.obs.metrics.bind_serve_stats`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
-from repro.engine.engine import percentile
+from repro.obs.metrics import Histogram
 
 __all__ = ["ServeStats", "ServeReport"]
-
-
-def _pct(values: list[float], p: float) -> float:
-    return percentile(values, p) if values else 0.0
 
 
 @dataclass
@@ -63,10 +64,19 @@ class ServeStats:
     queue_depth_peak: int = 0
     #: Most engine batches outstanding at once.
     inflight_batches_peak: int = 0
-    #: Arrival→dispatch queueing delay per served read, milliseconds.
-    wait_ms: list[float] = field(default_factory=list)
+    #: Arrival→dispatch queueing delay per served read, milliseconds
+    #: (histogram: observe per read, ask for mean/p50/p95/p99).
+    wait_ms: Histogram = field(
+        default_factory=partial(
+            Histogram, "serve_wait_ms", "arrival→dispatch queueing delay"
+        )
+    )
     #: Engine time per served read (≈0 for coalesced answers), ms.
-    service_ms: list[float] = field(default_factory=list)
+    service_ms: Histogram = field(
+        default_factory=partial(
+            Histogram, "serve_service_ms", "engine time per served read"
+        )
+    )
 
     @property
     def fan_in_ratio(self) -> float:
@@ -102,10 +112,14 @@ class ServeStats:
             "fences": self.fences,
             "queue_depth_peak": self.queue_depth_peak,
             "inflight_batches_peak": self.inflight_batches_peak,
-            "wait_p50_ms": _pct(self.wait_ms, 50),
-            "wait_p95_ms": _pct(self.wait_ms, 95),
-            "service_p50_ms": _pct(self.service_ms, 50),
-            "service_p95_ms": _pct(self.service_ms, 95),
+            "wait_p50_ms": self.wait_ms.percentile(50),
+            "wait_p95_ms": self.wait_ms.percentile(95),
+            "wait_p99_ms": self.wait_ms.percentile(99),
+            "wait_mean_ms": self.wait_ms.mean,
+            "service_p50_ms": self.service_ms.percentile(50),
+            "service_p95_ms": self.service_ms.percentile(95),
+            "service_p99_ms": self.service_ms.percentile(99),
+            "service_mean_ms": self.service_ms.mean,
             "accounting_ok": self.accounting_ok(),
         }
 
@@ -123,10 +137,12 @@ class ServeStats:
             f"{self.coalesce_fallbacks} fallbacks",
             f"writes            : {self.writes_applied} applied through "
             f"{self.fences} fences ({self.errors} errors)",
-            f"latency split     : wait p50 {_pct(self.wait_ms, 50):.2f} / "
-            f"p95 {_pct(self.wait_ms, 95):.2f} ms, service p50 "
-            f"{_pct(self.service_ms, 50):.2f} / "
-            f"p95 {_pct(self.service_ms, 95):.2f} ms",
+            f"latency split     : wait p50 {self.wait_ms.percentile(50):.2f}"
+            f" / p95 {self.wait_ms.percentile(95):.2f}"
+            f" / p99 {self.wait_ms.percentile(99):.2f} ms, service p50 "
+            f"{self.service_ms.percentile(50):.2f} / "
+            f"p95 {self.service_ms.percentile(95):.2f} / "
+            f"p99 {self.service_ms.percentile(99):.2f} ms",
             f"pressure          : queue depth peak "
             f"{self.queue_depth_peak}, in-flight batches peak "
             f"{self.inflight_batches_peak}",

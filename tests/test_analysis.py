@@ -24,6 +24,7 @@ from repro.analysis.rules.kernel_purity import KernelPurityRule
 from repro.analysis.rules.lock_discipline import LockDisciplineRule
 from repro.analysis.rules.numeric_safety import NumericSafetyRule
 from repro.analysis.rules.shared_state import SharedStateRule
+from repro.analysis.rules.span_discipline import SpanDisciplineRule
 from repro.analysis.rules.wire_drift import WireDriftRule
 
 REPO = Path(__file__).resolve().parents[1]
@@ -982,3 +983,108 @@ class TestAsyncSafety:
     def test_committed_serve_package_is_clean(self):
         project = Project.load(REPO, [SRC / "repro" / "serve"])
         assert findings_of(project, AsyncSafetyRule()) == []
+
+
+class TestSpanDiscipline:
+    """Seeded violations and clean fixtures for ``span-discipline``."""
+
+    def test_flags_bare_begin_span(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "pkg/engine/mod.py": (
+                    "from repro import obs\n\n"
+                    "def f():\n"
+                    "    sp = obs.begin_span('work')\n"
+                    "    obs.end_span(sp)\n"
+                )
+            },
+        )
+        found = findings_of(project, SpanDisciplineRule())
+        assert len(found) == 2
+        assert all(f.rule == "span-discipline" for f in found)
+        assert "leaks the span" in found[0].message
+
+    def test_flags_span_not_used_as_context_manager(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "pkg/engine/mod.py": (
+                    "from repro import obs\n\n"
+                    "def f():\n"
+                    "    sp = obs.span('work')\n"
+                    "    sp.__enter__()\n"
+                )
+            },
+        )
+        found = findings_of(project, SpanDisciplineRule())
+        assert len(found) == 1
+        assert "context manager" in found[0].message
+        assert found[0].line == 4
+
+    def test_flags_aliased_function_import(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "pkg/engine/mod.py": (
+                    "from repro.obs import span as make_span\n\n"
+                    "def f():\n"
+                    "    handle = make_span('work')\n"
+                    "    return handle\n"
+                )
+            },
+        )
+        found = findings_of(project, SpanDisciplineRule())
+        assert len(found) == 1
+
+    def test_with_and_enter_context_forms_pass(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "pkg/engine/mod.py": (
+                    "import contextlib\n\n"
+                    "from repro import obs\n\n"
+                    "def f(trace_ctx):\n"
+                    "    with obs.span('outer'), obs.trace('root'):\n"
+                    "        pass\n"
+                    "    with contextlib.ExitStack() as stack:\n"
+                    "        stack.enter_context(obs.use_trace(*trace_ctx))\n"
+                    "        stack.enter_context(obs.span('inner'))\n"
+                    "    obs.record_span('atomic', 0.0, 1.0)\n"
+                )
+            },
+        )
+        assert findings_of(project, SpanDisciplineRule()) == []
+
+    def test_obs_package_is_exempt(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "repro/obs/trace.py": (
+                    "def begin_span(name):\n"
+                    "    return name\n\n"
+                    "def span(name):\n"
+                    "    handle = begin_span(name)\n"
+                    "    return handle\n"
+                )
+            },
+        )
+        assert findings_of(project, SpanDisciplineRule()) == []
+
+    def test_modules_without_obs_imports_skipped(self, tmp_path):
+        # `span` from some other library is not the tracer's span.
+        project = project_from(
+            tmp_path,
+            {
+                "pkg/mod.py": (
+                    "from other.tracing import span\n\n"
+                    "def f():\n"
+                    "    return span('work')\n"
+                )
+            },
+        )
+        assert findings_of(project, SpanDisciplineRule()) == []
+
+    def test_committed_sources_are_clean(self):
+        project = Project.load(REPO, [SRC / "repro"])
+        assert findings_of(project, SpanDisciplineRule()) == []

@@ -1,0 +1,449 @@
+"""Tests for the observability subsystem (`repro.obs`).
+
+Covers the span/collector contract (nesting, balance, ring capacity,
+atomic records, remote-context adoption, pool propagation), the metrics
+registry (histogram percentiles, kind clashes, accounting crosschecks),
+the exporters, and the two end-to-end properties the trace-smoke CI job
+gates on:
+
+* serving is **bit-identical** with tracing on vs off (the front door
+  and a process-backed cluster both), and
+* worker-process spans **stitch** under the router's trace ids through
+  the wire protocol.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cluster import ShardedGIREngine
+from repro.data.synthetic import make_synthetic
+from repro.engine import GIREngine, flash_crowd_workload, uniform_workload
+from repro.index.bulkload import bulk_load_str
+from repro.serve import ServeFront, replay_serial_check, run_serve_workload
+
+D = 3
+N = 400
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off_after():
+    """Every test leaves tracing disarmed with an empty collector."""
+    yield
+    obs.disable()
+    obs.reset_collector()
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_synthetic("IND", N, D, seed=7)
+
+
+def fresh_engine(data) -> GIREngine:
+    return GIREngine(data, bulk_load_str(data), cache_capacity=64)
+
+
+class TestSpans:
+    def test_nested_spans_share_trace_and_parent_chain(self):
+        obs.reset_collector()
+        obs.enable()
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        spans = obs.drain()
+        assert [s.name for s in spans] == ["inner", "outer"]
+        assert spans[1].parent_id is None
+
+    def test_trace_always_roots_a_fresh_trace(self):
+        obs.reset_collector()
+        obs.enable()
+        with obs.span("ambient"):
+            with obs.trace("root") as root:
+                assert root.parent_id is None
+            with obs.span("child") as child:
+                assert child.trace_id != root.trace_id
+        assert len({s.trace_id for s in obs.drain()}) == 2
+
+    def test_attrs_and_error_tagging(self):
+        obs.reset_collector()
+        obs.enable()
+        with pytest.raises(ValueError):
+            with obs.span("failing", k=10) as sp:
+                sp.set("extra", "yes")
+                raise ValueError("boom")
+        (record,) = obs.drain()
+        assert record.attrs == {"k": 10, "extra": "yes", "error": "ValueError"}
+        assert obs.collector().balanced
+
+    def test_balance_counters_and_drain_reset(self):
+        obs.reset_collector()
+        obs.enable()
+        with obs.span("a"):
+            pass
+        handle = obs.begin_span("leaky")
+        stats = obs.collector().stats()
+        assert stats["started"] == 2 and stats["finished"] == 1
+        assert not stats["balanced"]
+        obs.end_span(handle)
+        assert obs.collector().balanced
+        obs.drain()
+        stats = obs.collector().stats()
+        assert stats == {
+            "started": 0,
+            "finished": 0,
+            "dropped": 0,
+            "absorbed": 0,
+            "buffered": 0,
+            "capacity": stats["capacity"],
+            "balanced": True,
+        }
+
+    def test_ring_drops_oldest_beyond_capacity(self):
+        default_capacity = obs.collector().capacity
+        obs.enable(capacity=4)
+        try:
+            for i in range(7):
+                with obs.trace(f"s{i}"):
+                    pass
+            stats = obs.collector().stats()
+            assert stats["dropped"] == 3 and stats["buffered"] == 4
+            names = [s.name for s in obs.drain()]
+            assert names == ["s3", "s4", "s5", "s6"]
+        finally:
+            obs.enable(capacity=default_capacity)  # restore the ring size
+            obs.disable()
+
+    def test_record_span_is_atomic_and_parents_under_ambient(self):
+        obs.reset_collector()
+        obs.enable()
+        with obs.span("parent") as parent:
+            obs.record_span("queued", 1.0, 1.5, queue="ingress")
+        spans = obs.drain()
+        queued = next(s for s in spans if s.name == "queued")
+        assert queued.parent_id == parent.span_id
+        assert queued.dur_us == pytest.approx(0.5e6)
+        assert queued.attrs == {"queue": "ingress"}
+        assert obs.collector().balanced
+
+    def test_record_span_explicit_context_and_rootless(self):
+        obs.reset_collector()
+        obs.enable()
+        obs.record_span("remote", 0.0, 1.0, trace_ctx=("t-x", "s-x"))
+        obs.record_span("orphan", 0.0, 1.0)
+        remote, orphan = obs.drain()
+        assert (remote.trace_id, remote.parent_id) == ("t-x", "s-x")
+        assert orphan.parent_id is None and orphan.trace_id != "t-x"
+
+    def test_use_trace_adopts_remote_parent(self):
+        obs.reset_collector()
+        obs.enable()
+        with obs.use_trace("t-wire", "s-wire"):
+            assert obs.current() == ("t-wire", "s-wire")
+            with obs.span("worker.side") as sp:
+                assert sp.trace_id == "t-wire"
+                assert sp.parent_id == "s-wire"
+        assert obs.current() is None
+
+    def test_pool_submit_carries_context_to_pool_threads(self):
+        obs.reset_collector()
+        obs.enable()
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            with obs.span("fanout") as fan:
+                futures = [
+                    obs.pool_submit(pool, obs.current) for _ in range(4)
+                ]
+                contexts = [f.result() for f in futures]
+        assert contexts == [(fan.trace_id, fan.span_id)] * 4
+        # plain submit does NOT carry it — the reason pool_submit exists
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            with obs.span("fanout2"):
+                assert pool.submit(obs.current).result() is None
+
+    def test_absorb_merges_foreign_records_without_balance_impact(self):
+        obs.reset_collector()
+        obs.enable()
+        payload = {
+            "trace_id": "t-w",
+            "span_id": "s-w1",
+            "parent_id": "s-router",
+            "name": "shard.worker",
+            "t0_us": 1.0,
+            "dur_us": 2.0,
+            "pid": 99,
+            "tid": 1,
+            "attrs": {"shard": 0},
+        }
+        assert obs.absorb([payload]) == 1
+        assert obs.collector().balanced
+        (record,) = obs.drain()
+        assert record.span_id == "s-w1" and record.pid == 99
+
+
+class TestDisabledMode:
+    def test_disabled_sites_are_inert(self):
+        obs.disable()
+        obs.reset_collector()
+        assert obs.span("x") is obs.span("y") is obs.trace("z")
+        assert obs.use_trace("t", "s") is obs.span("x")
+        with obs.span("nothing") as sp:
+            sp.set("ignored", 1)
+        obs.record_span("nothing", 0.0, 1.0)
+        assert obs.current() is None
+        assert obs.drain() == []
+        assert obs.collector().stats()["started"] == 0
+
+    def test_overhead_probe_sanity(self):
+        obs.disable()
+        ns = obs.disabled_span_overhead_ns(iters=2_000)
+        assert 0.0 <= ns < 100_000  # well under 0.1ms per disabled site
+        obs.enable()
+        with pytest.raises(RuntimeError):
+            obs.disabled_span_overhead_ns()
+
+
+class TestMetrics:
+    def test_histogram_percentiles_and_summary(self):
+        h = obs.Histogram("lat_ms", buckets=range(10, 101, 10))
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.count == 100 and h.mean == pytest.approx(50.5)
+        assert 25.0 <= h.percentile(50) <= 50.0
+        assert 50.0 < h.percentile(99) <= 100.0
+        assert h.percentile(0) >= 0.0
+        summary = h.to_dict()
+        assert set(summary) == {
+            "count", "total", "mean", "p50", "p95", "p99", "max",
+        }
+        assert summary["max"] == 100.0
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
+    def test_histogram_overflow_interpolates_to_max_seen(self):
+        h = obs.Histogram("h", buckets=[1.0])
+        h.observe(50.0)
+        assert h.percentile(99) <= 50.0
+        assert h.max_seen == 50.0
+
+    def test_empty_histogram_is_all_zero(self):
+        h = obs.Histogram("h")
+        assert h.percentile(99) == 0.0 and h.mean == 0.0
+
+    def test_registry_kind_clash_and_reregistration(self):
+        registry = obs.MetricsRegistry()
+        counter = registry.counter("requests")
+        assert registry.counter("requests") is counter
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("requests")
+        adopted = registry.register(obs.Histogram("wait_ms"))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(obs.Histogram("wait_ms"))
+        assert registry.get("wait_ms") is adopted
+
+    def test_registry_values_and_callback_gauges(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("n").inc(3)
+        backing = {"depth": 7}
+        registry.gauge("depth", fn=lambda: backing["depth"])
+        assert registry.value("n") == 3
+        assert registry.value("depth") == 7
+        backing["depth"] = 9
+        assert registry.value("depth") == 9  # live, not copied
+        with pytest.raises(ValueError, match="callback-backed"):
+            registry.get("depth").set(1.0)
+
+    def test_serve_identities_crosscheck(self):
+        registry = obs.MetricsRegistry()
+        values = {
+            "arrivals": 10, "admitted": 8, "rejected": 1, "shed": 1,
+            "reads_served": 6, "writes_applied": 1, "errors": 1,
+            "engine_requests": 4, "coalesced_served": 2,
+        }
+        for name, v in values.items():
+            registry.gauge(f"serve_{name}").set(v)
+        assert obs.crosscheck_serve_identities(registry) == {
+            "admission": True, "completion": True, "provenance": True,
+            "ok": True,
+        }
+        registry.get("serve_shed").set(5)  # break admission only
+        verdict = obs.crosscheck_serve_identities(registry)
+        assert not verdict["ok"] and not verdict["admission"]
+        assert verdict["completion"] and verdict["provenance"]
+
+    def test_cache_identities_crosscheck_against_live_cache(self, data):
+        engine = fresh_engine(data)
+        for request in uniform_workload(D, 30, k=5, rng=3):
+            engine.topk(request.weights, request.k)
+        registry = obs.MetricsRegistry()
+        obs.bind_cache_stats(registry, engine.cache)
+        verdict = obs.crosscheck_cache_identities(registry)
+        assert verdict["ok"], verdict
+        assert registry.value("cache_hits") == engine.cache.stats()["hits"]
+
+
+class TestExporters:
+    def _sample_spans(self):
+        obs.reset_collector()
+        obs.enable()
+        with obs.trace("serve.request", k=5):
+            with obs.span("engine.topk"):
+                pass
+        with obs.trace("serve.request"):
+            pass
+        spans = obs.drain()
+        obs.disable()
+        return spans
+
+    def test_chrome_trace_shape(self):
+        spans = self._sample_spans()
+        doc = obs.chrome_trace(spans)
+        assert doc["displayTimeUnit"] == "ms"
+        assert len(doc["traceEvents"]) == 3
+        event = doc["traceEvents"][0]
+        assert event["ph"] == "X" and event["cat"] == "repro"
+        assert {"name", "ts", "dur", "pid", "tid", "args"} <= set(event)
+        assert event["args"]["trace_id"] == spans[0].trace_id
+
+    def test_spans_by_trace_and_roots(self):
+        spans = self._sample_spans()
+        grouped = obs.spans_by_trace(spans)
+        assert len(grouped) == 2
+        big = next(recs for recs in grouped.values() if len(recs) == 2)
+        roots = obs.trace_roots(big)
+        assert [r.name for r in roots] == ["serve.request"]
+
+    def test_explain_renders_indented_tree(self):
+        spans = self._sample_spans()
+        text = obs.explain(spans)
+        lines = text.splitlines()
+        assert lines[0].startswith("trace ")
+        assert "serve.request" in lines[1] and "[k=5]" in lines[1]
+        assert lines[2].lstrip().startswith("engine.topk")
+        assert len(lines[2]) - len(lines[2].lstrip()) > (
+            len(lines[1]) - len(lines[1].lstrip())
+        )
+        assert obs.explain([]) == "(no spans collected)"
+        assert "no spans for trace" in obs.explain(spans, trace_id="missing")
+
+    def test_prometheus_text_exposition(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("reqs", help="requests").inc(5)
+        hist = registry.histogram("lat", buckets=[1.0, 2.0])
+        hist.observe(0.5)
+        hist.observe(5.0)
+        text = obs.prometheus_text(registry)
+        assert "# HELP reqs requests" in text
+        assert "# TYPE reqs counter" in text
+        assert "reqs 5.0" in text
+        assert "# TYPE lat histogram" in text
+        assert 'lat_bucket{le="+Inf"} 2' in text
+        assert "lat_count 2" in text
+
+
+class TestServeTracing:
+    def test_traced_serving_is_equivalent_and_stitched(self, data):
+        workload = flash_crowd_workload(D, 60, k=8, rng=1)
+        obs.reset_collector()
+        obs.enable()
+        try:
+
+            async def go():
+                front = ServeFront(fresh_engine(data))
+                async with front:
+                    report = await run_serve_workload(front, workload, 16)
+                return front, report
+
+            front, _report = asyncio.run(go())
+        finally:
+            obs.disable()
+        collector_stats = obs.collector().stats()
+        spans = obs.drain()
+        verdict = replay_serial_check(front.log, fresh_engine(data))
+        assert verdict["all_match"], verdict["examples"]
+        assert collector_stats["balanced"]
+        assert collector_stats["dropped"] == 0
+        grouped = obs.spans_by_trace(spans)
+        stitched = [
+            tid
+            for tid, recs in grouped.items()
+            if any(r.name == "serve.request" for r in recs)
+            and any(r.name.startswith("engine.") for r in recs)
+        ]
+        # every engine-bridged trace carries the request root
+        assert stitched, sorted({r.name for r in spans})
+
+
+class TestClusterTracing:
+    @pytest.fixture(scope="class")
+    def cluster_data(self):
+        return make_synthetic("IND", 600, D, seed=11)
+
+    def _answers(self, engine, requests):
+        return [tuple(engine.topk(w, k).ids) for w, k in requests]
+
+    def test_process_cluster_bit_identical_and_worker_spans_stitch(
+        self, cluster_data
+    ):
+        rng = np.random.default_rng(5)
+        requests = [
+            (rng.random(D) + 0.05, 5 + (i % 3)) for i in range(12)
+        ]
+
+        def make_cluster():
+            return ShardedGIREngine(
+                cluster_data,
+                shards=2,
+                backend="process",
+                parallel=True,
+                cache_capacity=16,
+                cluster_cache_capacity=16,
+            )
+
+        with make_cluster() as engine:
+            baseline = self._answers(engine, requests)
+
+        obs.reset_collector()
+        obs.enable()
+        try:
+            with make_cluster() as engine:
+                traced = self._answers(engine, requests)
+                drained = engine.drain_worker_spans()
+        finally:
+            obs.disable()
+        collector_stats = obs.collector().stats()
+        spans = obs.drain()
+
+        assert traced == baseline  # tracing must not change answers
+        assert collector_stats["balanced"]
+        assert drained["spans"] > 0 and drained["dropped"] == 0
+        assert drained["started"] == drained["finished"]
+
+        router_pid = spans[0].pid if spans else 0
+        router_spans = [s for s in spans if s.pid == router_pid]
+        worker_spans = [s for s in spans if s.pid != router_pid]
+        assert worker_spans, "no worker-process spans came back"
+        router_trace_ids = {s.trace_id for s in router_spans}
+        known_span_ids = {s.span_id for s in spans}
+        for ws in worker_spans:
+            assert ws.trace_id in router_trace_ids
+            assert ws.parent_id in known_span_ids
+        names = {s.name for s in worker_spans}
+        assert "shard.worker" in names
+        assert any(n.startswith("engine.") for n in names)
+
+    def test_trace_off_cluster_reports_no_spans(self, cluster_data):
+        obs.disable()
+        obs.reset_collector()
+        with ShardedGIREngine(
+            cluster_data, shards=2, backend="process", parallel=True
+        ) as engine:
+            engine.topk(np.array([0.4, 0.3, 0.3]), 5)
+            drained = engine.drain_worker_spans()
+        assert drained == {
+            "spans": 0, "started": 0, "finished": 0, "dropped": 0,
+        }
+        assert obs.drain() == []
